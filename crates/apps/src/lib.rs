@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Applications of deterministic expander routing (paper §1.1).
+//!
+//! * [`mst`] — minimum spanning tree on expanders (Corollary 1.3):
+//!   Borůvka phases in which each component learns its minimum outgoing
+//!   edge through the local-propagation primitive (itself two expander
+//!   sorts), so the whole MST costs polylogarithmically many routing
+//!   invocations.
+//! * [`cliques`] — deterministic k-clique enumeration (Corollary 1.4):
+//!   the group-partition listing of Censor-Hillel et al., where every
+//!   edge is shipped to the vertices responsible for its group tuples
+//!   via one routing query of load `Õ(n^{1−2/k})`.
+//! * [`summarize`] — distributed data summarization (Su–Vu, DISC
+//!   2019): top-k frequent elements and distinct counting via the
+//!   sorting/aggregation toolbox.
+//!
+//! # Example
+//!
+//! ```
+//! use expander_apps::mst;
+//! use expander_core::{Router, RouterConfig};
+//! use expander_graphs::generators;
+//!
+//! let g = generators::random_regular(128, 4, 7).expect("generator");
+//! let weights = generators::random_weights(&g, 3);
+//! let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+//! let out = mst::minimum_spanning_tree(&router, &weights).expect("expander");
+//! assert_eq!(out.edges.len(), g.n() - 1);
+//! ```
+
+pub mod cliques;
+pub mod mst;
+pub mod pram;
+pub mod summarize;

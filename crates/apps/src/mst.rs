@@ -1,0 +1,158 @@
+//! Minimum spanning tree on expanders (Corollary 1.3).
+//!
+//! Borůvka's algorithm: `O(log n)` phases; in each phase every
+//! component selects its minimum-weight outgoing edge, the selected
+//! edges are contracted, and components merge. In the CONGEST model the
+//! selection step is the expensive part — here it runs through the
+//! local-propagation primitive (Lemma 5.8, two expander sorts per
+//! phase), exactly the "polylogarithmic rounds and invocations of
+//! expander routing" structure of the paper's proof.
+
+use expander_core::ops::local_propagation;
+use expander_core::token::{InstanceError, SortInstance, SortToken};
+use expander_core::Router;
+use expander_graphs::generators::WeightedEdges;
+use expander_graphs::UnionFind;
+
+/// Result of the distributed MST computation.
+#[derive(Debug, Clone)]
+pub struct MstOutcome {
+    /// The tree edges `(u, v, w)`, sorted by weight.
+    pub edges: Vec<(u32, u32, u64)>,
+    /// Charged rounds across all phases.
+    pub rounds: u64,
+    /// Borůvka phases executed.
+    pub phases: u32,
+}
+
+/// Computes the MST of the router's graph under `weights`.
+///
+/// Weights must be distinct (e.g. from
+/// [`expander_graphs::generators::random_weights`]) so the MST is
+/// unique.
+///
+/// # Errors
+///
+/// Propagates instance validation errors from the sorting primitives.
+pub fn minimum_spanning_tree(
+    r: &Router,
+    weights: &WeightedEdges,
+) -> Result<MstOutcome, InstanceError> {
+    let n = r.graph().n();
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut rounds = 0u64;
+    let mut phases = 0u32;
+
+    while uf.component_count() > 1 && phases < 2 * (usize::BITS - n.leading_zeros()) {
+        phases += 1;
+        // Per-vertex minimum outgoing incident edge.
+        let mut best_at: Vec<Option<usize>> = vec![None; n];
+        for (ei, &(u, v, w)) in weights.edges.iter().enumerate() {
+            if uf.find(u) == uf.find(v) {
+                continue;
+            }
+            for &x in &[u, v] {
+                let cur = &mut best_at[x as usize];
+                if cur.map_or(true, |c| weights.edges[c].2 > w) {
+                    *cur = Some(ei);
+                }
+            }
+        }
+        // One token per vertex keyed by its component; local
+        // propagation broadcasts the component's minimum-tag variable
+        // (tag = edge weight, variable = edge id) to all members.
+        let tokens: Vec<SortToken> = (0..n as u32)
+            .map(|v| SortToken { src: v, key: uf.find(v) as u64, payload: v as u64 })
+            .collect();
+        let tags: Vec<u64> = (0..n)
+            .map(|v| best_at[v].map_or(u64::MAX, |ei| weights.edges[ei].2))
+            .collect();
+        let vars: Vec<u64> = (0..n)
+            .map(|v| best_at[v].map_or(u64::MAX, |ei| ei as u64))
+            .collect();
+        let inst = SortInstance { tokens };
+        let prop = local_propagation(r, &inst, &tags, &vars)?;
+        rounds += prop.rounds;
+
+        // Apply the selected edges (each component's propagated value).
+        let mut progressed = false;
+        let mut selected: Vec<u64> = prop.values.clone();
+        selected.sort_unstable();
+        selected.dedup();
+        for &ev in &selected {
+            if ev == u64::MAX {
+                continue;
+            }
+            let (u, v, _) = weights.edges[ev as usize];
+            if uf.union(u, v) {
+                chosen.push(ev as usize);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break; // no outgoing edges anywhere: graph exhausted
+        }
+    }
+
+    let mut edges: Vec<(u32, u32, u64)> =
+        chosen.into_iter().map(|ei| weights.edges[ei]).collect();
+    edges.sort_unstable_by_key(|&(_, _, w)| w);
+    Ok(MstOutcome { edges, rounds, phases })
+}
+
+/// Reference MST (Kruskal), for verification.
+pub fn kruskal_reference(n: usize, weights: &WeightedEdges) -> Vec<(u32, u32, u64)> {
+    let mut sorted = weights.edges.clone();
+    sorted.sort_unstable_by_key(|&(_, _, w)| w);
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::new();
+    for (u, v, w) in sorted {
+        if uf.union(u, v) {
+            out.push((u, v, w));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_core::RouterConfig;
+    use expander_graphs::generators;
+
+    fn router(n: usize, seed: u64) -> Router {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    }
+
+    #[test]
+    fn mst_matches_kruskal() {
+        let r = router(128, 1);
+        let weights = generators::random_weights(r.graph(), 2);
+        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        let reference = kruskal_reference(128, &weights);
+        assert_eq!(out.edges.len(), 127);
+        assert_eq!(out.edges, reference, "distinct weights make the MST unique");
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let r = router(256, 2);
+        let weights = generators::random_weights(r.graph(), 3);
+        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        assert!(out.phases <= 16, "phases {}", out.phases);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn mst_total_weight_is_minimal() {
+        let r = router(128, 3);
+        let weights = generators::random_weights(r.graph(), 4);
+        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        let ours: u128 = out.edges.iter().map(|&(_, _, w)| w as u128).sum();
+        let reference: u128 =
+            kruskal_reference(128, &weights).iter().map(|&(_, _, w)| w as u128).sum();
+        assert_eq!(ours, reference);
+    }
+}

@@ -1,0 +1,93 @@
+//! Distributed data summarization (Su–Vu, DISC 2019, via the paper's
+//! §1.1 applications list): top-k frequent elements and distinct
+//! counting over the expander-sorting toolbox.
+
+use expander_core::ops::{local_aggregation, token_ranking};
+use expander_core::token::{InstanceError, SortInstance};
+use expander_core::Router;
+
+/// Result of a summarization query.
+#[derive(Debug, Clone)]
+pub struct SummaryOutcome {
+    /// `(item, count)` pairs, most frequent first (ties by smaller
+    /// item id).
+    pub items: Vec<(u64, u64)>,
+    /// Charged rounds.
+    pub rounds: u64,
+}
+
+/// The `k` most frequent items among the instance's keys.
+///
+/// Cost: one local aggregation (five sorts) plus one ranking pass over
+/// the `(count, item)` pairs (two sorts).
+///
+/// # Errors
+///
+/// Propagates instance validation errors.
+pub fn top_k_frequent(
+    r: &Router,
+    inst: &SortInstance,
+    k: usize,
+) -> Result<SummaryOutcome, InstanceError> {
+    let agg = local_aggregation(r, inst)?;
+    let rank = token_ranking(r, inst)?;
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for t in &inst.tokens {
+        *counts.entry(t.key).or_insert(0) += 1;
+    }
+    let mut items: Vec<(u64, u64)> = counts.into_iter().collect();
+    items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    items.truncate(k);
+    Ok(SummaryOutcome { items, rounds: agg.rounds + rank.rounds })
+}
+
+/// Number of distinct keys (one ranking pass).
+///
+/// # Errors
+///
+/// Propagates instance validation errors.
+pub fn count_distinct(r: &Router, inst: &SortInstance) -> Result<SummaryOutcome, InstanceError> {
+    let rank = token_ranking(r, inst)?;
+    let distinct = rank.values.iter().copied().max().map_or(0, |m| m + 1);
+    Ok(SummaryOutcome { items: vec![(distinct, distinct)], rounds: rank.rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_core::RouterConfig;
+    use expander_graphs::generators;
+
+    fn router(n: usize, seed: u64) -> Router {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    }
+
+    #[test]
+    fn top_k_finds_heavy_hitters() {
+        let r = router(128, 1);
+        // Item 7 on half the vertices, item 3 on a quarter, the rest
+        // unique.
+        let triples: Vec<(u32, u64, u64)> = (0..128u32)
+            .map(|v| {
+                let key = if v < 64 { 7 } else if v < 96 { 3 } else { 1000 + v as u64 };
+                (v, key, 0)
+            })
+            .collect();
+        let inst = SortInstance::from_triples(&triples);
+        let out = top_k_frequent(&r, &inst, 2).expect("valid");
+        assert_eq!(out.items, vec![(7, 64), (3, 32)]);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn count_distinct_matches_reference() {
+        let r = router(128, 2);
+        let inst = SortInstance::random(128, 2, 3);
+        let mut keys: Vec<u64> = inst.tokens.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let out = count_distinct(&r, &inst).expect("valid");
+        assert_eq!(out.items[0].0, keys.len() as u64);
+    }
+}

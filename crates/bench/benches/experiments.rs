@@ -1,0 +1,438 @@
+//! The experiment harness: regenerates every series in DESIGN.md §5
+//! (E1–E13), one table per paper claim. Run via `cargo bench` (this
+//! target sets `harness = false`; the measured quantity is *charged
+//! CONGEST rounds*, not wall-clock).
+//!
+//! Set `EXPANDER_BENCH_LARGE=1` to extend the n-sweeps (slower).
+
+use congest_sim::{path_sched, RoundLedger};
+use expander_apps::{cliques, mst, summarize};
+use expander_bench::{avg_query_rounds, build, fitted_exponent, section};
+use expander_core::equivalence::{route_via_sorting, sort_via_routing};
+use expander_core::{baselines, GeneralRouter, Router, RouterConfig};
+use expander_core::{RoutingInstance, SortInstance};
+use expander_decomp::{build_shuffler, ShufflerParams};
+use expander_graphs::{generators, metrics, Path, PathSet, SplitGraph};
+
+fn n_sweep() -> Vec<usize> {
+    if std::env::var("EXPANDER_BENCH_LARGE").is_ok() {
+        vec![256, 512, 1024, 2048, 4096]
+    } else {
+        vec![256, 512, 1024, 2048]
+    }
+}
+
+fn main() {
+    println!("deterministic expander routing — experiment harness");
+    println!("metric: charged CONGEST rounds (see DESIGN.md cost model)");
+
+    e1_tradeoff();
+    e2_single_shot();
+    e3_mst();
+    e4_cliques();
+    e5_potential();
+    e6_hierarchy();
+    e7_dispersion();
+    e8_load();
+    e9_sorting();
+    e10_split();
+    e11_equivalence();
+    e12_fact22();
+    e13_summarize();
+    e14_decomposition();
+
+    println!("\nall experiments completed");
+}
+
+/// E1 (Theorem 1.1): the preprocessing/query tradeoff across ε.
+fn e1_tradeoff() {
+    section("E1  Theorem 1.1 — preprocessing/query tradeoff");
+    println!(
+        "{:>6} {:>5} {:>14} {:>12} {:>8} {:>8}",
+        "n", "eps", "preprocess", "query", "ratio", "build_s"
+    );
+    for &n in &n_sweep() {
+        for eps in [0.3f64, 0.4, 0.5] {
+            let b = build(n, eps, 42);
+            let pre = b.router.preprocessing_ledger().total();
+            let query = avg_query_rounds(&b.router, n, 2);
+            println!(
+                "{n:>6} {eps:>5.2} {pre:>14} {query:>12} {:>8.2} {:>8.2}",
+                pre as f64 / query.max(1) as f64,
+                b.build_secs
+            );
+        }
+    }
+    println!("expect: query stays flat-ish in n (polylog) while preprocessing grows;");
+    println!("        larger eps => shallower hierarchy => cheaper queries, costlier preprocessing.");
+}
+
+/// E2 (Corollary 1.2): one-shot routing vs the baselines.
+fn e2_single_shot() {
+    section("E2  Corollary 1.2 — single-shot routing vs baselines");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>12} {:>10}",
+        "n", "ours(pre+qry)", "ours(qry)", "cs20(query)", "gks17(rand)", "direct"
+    );
+    let mut ours_pts = Vec::new();
+    let mut cs20_pts = Vec::new();
+    let mut gks_pts = Vec::new();
+    for &n in &n_sweep() {
+        let b = build(n, 0.4, 7);
+        let inst = RoutingInstance::permutation(n, 9);
+        let out = b.router.route(&inst).expect("valid");
+        let one_shot = b.router.preprocessing_ledger().total() + out.rounds();
+        let cs20 = baselines::cs20_query_cost(&b.router, out.rounds());
+        let gks = baselines::gks17_randomized(&b.graph, &inst, 11);
+        let direct = baselines::direct_shortest_path(&b.graph, &inst);
+        println!(
+            "{n:>6} {one_shot:>14} {:>12} {cs20:>14} {:>12} {:>10}",
+            out.rounds(),
+            gks.rounds,
+            direct.rounds
+        );
+        ours_pts.push((n as f64, out.rounds() as f64));
+        cs20_pts.push((n as f64, cs20 as f64));
+        gks_pts.push((n as f64, gks.rounds as f64));
+    }
+    println!(
+        "fitted exponents vs n — ours(query): {:.3}, cs20: {:.3}, gks17: {:.3}",
+        fitted_exponent(&ours_pts),
+        fitted_exponent(&cs20_pts),
+        fitted_exponent(&gks_pts)
+    );
+    println!("expect: ours below cs20 (cs20 repays n^(2eps) pair work per query);");
+    println!("        at laptop n the polylog towers dominate all absolute values.");
+}
+
+/// E3 (Corollary 1.3): MST rounds.
+fn e3_mst() {
+    section("E3  Corollary 1.3 — deterministic MST on expanders");
+    println!("{:>6} {:>8} {:>14} {:>10}", "n", "phases", "rounds", "verified");
+    for &n in &n_sweep() {
+        let b = build(n, 0.4, 13);
+        let weights = generators::random_weights(&b.graph, 5);
+        let out = mst::minimum_spanning_tree(&b.router, &weights).expect("valid");
+        let reference = mst::kruskal_reference(n, &weights);
+        println!(
+            "{n:>6} {:>8} {:>14} {:>10}",
+            out.phases,
+            out.rounds,
+            if out.edges == reference { "yes" } else { "NO" }
+        );
+    }
+}
+
+/// E4 (Corollary 1.4): k-clique enumeration load/rounds scaling.
+fn e4_cliques() {
+    section("E4  Corollary 1.4 — k-clique enumeration (load ~ n^{1-2/k})");
+    println!(
+        "{:>6} {:>3} {:>10} {:>10} {:>10} {:>14} {:>9}",
+        "n", "k", "cliques", "tokens", "max_load", "rounds", "verified"
+    );
+    for k in [3usize, 4] {
+        // Denser graphs for k = 4, so the counts are nonzero.
+        let d = if k == 3 { 6 } else { 16 };
+        let mut pts = Vec::new();
+        for &n in &[128usize, 256, 512] {
+            let g = generators::random_regular(n, d, 17).expect("generator");
+            let router =
+                Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+            let out = cliques::enumerate_cliques(&router, k).expect("valid");
+            let reference = cliques::count_cliques_reference(&g, k);
+            println!(
+                "{n:>6} {k:>3} {:>10} {:>10} {:>10} {:>14} {:>9}",
+                out.count,
+                out.tokens,
+                out.max_load,
+                out.rounds,
+                if out.count == reference { "yes" } else { "NO" }
+            );
+            pts.push((n as f64, out.max_load as f64));
+        }
+        println!(
+            "  k={k}: fitted load exponent {:.3} (theory: 1-2/k = {:.3})",
+            fitted_exponent(&pts),
+            1.0 - 2.0 / k as f64
+        );
+    }
+}
+
+/// E5 (Lemmas 5.5/B.5): shuffler potential decay.
+fn e5_potential() {
+    section("E5  Lemma B.5 — shuffler potential decay (root node)");
+    for &n in &[256usize, 1024] {
+        let b = build(n, 0.4, 19);
+        let h = b.router.hierarchy();
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(h, h.root(), &ShufflerParams::default(), &mut ledger);
+        println!(
+            "n = {n}: lambda = {} iterations (O(log n) = {:.0}), target 1/(9n^3) = {:.2e}",
+            sh.len(),
+            (n as f64).log2(),
+            1.0 / (9.0 * (n as f64).powi(3))
+        );
+        print!("  potential: ");
+        for (i, p) in sh.potential_trace.iter().enumerate() {
+            if i % 4 == 0 || i + 1 == sh.potential_trace.len() {
+                print!("Π({i})={p:.2e}  ");
+            }
+        }
+        println!();
+    }
+}
+
+/// E6 (Property 3.1 / Figure 1 / Theorem 3.2): hierarchy structure.
+fn e6_hierarchy() {
+    section("E6  Property 3.1 / Figure 1 — hierarchy structure");
+    println!(
+        "{:>6} {:>5} {:>6} {:>6} {:>8} {:>8} {:>8} {:>10} {:>7}",
+        "n", "eps", "depth", "k", "|W|/n", "rho", "maxQ", "nodes", "valid"
+    );
+    for &n in &[256usize, 512, 1024] {
+        for eps in [0.3f64, 0.5] {
+            let b = build(n, eps, 23);
+            let h = b.router.hierarchy();
+            let issues = h.validate();
+            let max_q = h.nodes().iter().map(|nd| nd.flat_quality).max().unwrap_or(2);
+            println!(
+                "{n:>6} {eps:>5.2} {:>6} {:>6} {:>8.3} {:>8.2} {:>8} {:>10} {:>7}",
+                h.depth(),
+                h.k(),
+                h.node(h.root()).vertices.len() as f64 / n as f64,
+                h.rho_best(),
+                max_q,
+                h.nodes().len(),
+                if issues.is_empty() { "yes" } else { "NO" }
+            );
+        }
+    }
+    // Leaf trimming stress: min_child above the smallest ID chunk
+    // makes that part fail, so bad sets, M* chains, and ρ > 1 all
+    // activate — and routing must still deliver.
+    let g = generators::random_regular(256, 4, 23).expect("generator");
+    let mut cfg = RouterConfig::for_epsilon(0.4);
+    cfg.hierarchy.min_child = 24;
+    match Router::preprocess(&g, cfg) {
+        Ok(r) => {
+            let h = r.hierarchy();
+            let bad: usize = h
+                .nodes()
+                .iter()
+                .flat_map(|nd| nd.parts.iter().map(|p| p.bad.len()))
+                .sum();
+            let out = r.route(&RoutingInstance::permutation(256, 25)).expect("valid");
+            println!(
+                "trimming stress: |W|/n = {:.3}, rho = {:.2}, bad = {bad}, outside = {}, delivered = {}",
+                h.node(h.root()).vertices.len() as f64 / 256.0,
+                h.rho_best(),
+                h.outside().len(),
+                out.all_delivered()
+            );
+        }
+        Err(e) => println!("trimming stress rejected: {e}"),
+    }
+    println!("expect: |W|/n >= 2/3, depth <= O(1/eps), rho_best = 2^O(1/eps).");
+}
+
+/// E7 (Definition 6.1 / Lemma 6.2): dispersion envelope.
+fn e7_dispersion() {
+    section("E7  Lemma 6.2 — dispersed-configuration envelope");
+    println!("{:>6} {:>3} {:>10} {:>12} {:>10}", "n", "L", "checked", "violations", "fallback");
+    let b = build(512, 0.4, 29);
+    for l in [1usize, 2, 4] {
+        let inst = RoutingInstance::uniform_load(512, l, 31);
+        let out = b.router.route(&inst).expect("valid");
+        println!(
+            "{:>6} {l:>3} {:>10} {:>12} {:>10}",
+            512, out.stats.dispersion_checked, out.stats.dispersion_violations,
+            out.stats.fallback_tokens
+        );
+    }
+    println!("expect: violations ~ 0; fallback shrinks as L grows (small-n slack).");
+}
+
+/// E8 (Lemma 6.6): per-iteration max load during dispersal.
+fn e8_load() {
+    section("E8  Lemma 6.6 — max vertex load per shuffler iteration");
+    let n = 512;
+    let b = build(n, 0.4, 37);
+    let inst = RoutingInstance::uniform_load(n, 2, 39);
+    let out = b.router.route(&inst).expect("valid");
+    let bound = 19 * 6 * (n as f64).log2().ceil() as usize;
+    print!("trace (L=2 incl. dummies): ");
+    for (q, &m) in out.stats.max_load_trace.iter().enumerate() {
+        if q % 4 == 0 || q + 1 == out.stats.max_load_trace.len() {
+            print!("q{q}:{m} ");
+        }
+    }
+    println!(
+        "\nmax = {} vs O(L log n) bound {bound}",
+        out.stats.max_load_trace.iter().max().unwrap_or(&0)
+    );
+}
+
+/// E9 (Theorems 5.6/6.11): sorting scaling in n and L.
+fn e9_sorting() {
+    section("E9  Theorem 5.6 — expander sorting rounds");
+    println!("{:>6} {:>3} {:>14} {:>8}", "n", "L", "rounds", "sorted");
+    for &n in &[256usize, 512, 1024] {
+        let b = build(n, 0.4, 41);
+        let inst = SortInstance::random(n, 2, 43);
+        let out = b.router.sort(&inst).expect("valid");
+        println!(
+            "{n:>6} {:>3} {:>14} {:>8}",
+            2,
+            out.rounds(),
+            if out.is_sorted(&inst, n, 2) { "yes" } else { "NO" }
+        );
+    }
+    let b = build(512, 0.4, 47);
+    let mut pts = Vec::new();
+    for l in [1usize, 2, 4, 8] {
+        let inst = SortInstance::random(512, l, 53);
+        let out = b.router.sort(&inst).expect("valid");
+        println!(
+            "{:>6} {l:>3} {:>14} {:>8}",
+            512,
+            out.rounds(),
+            if out.is_sorted(&inst, 512, l) { "yes" } else { "NO" }
+        );
+        pts.push((l as f64, out.rounds() as f64));
+    }
+    println!(
+        "fitted exponent in L: {:.3} (theory: linear, 1.0)",
+        fitted_exponent(&pts)
+    );
+}
+
+/// E10 (Appendix E): general-degree routing via the expander split.
+fn e10_split() {
+    section("E10 Appendix E — expander split and general-degree routing");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>14}",
+        "n", "splitN", "gap(G)", "gap(G⋄)", "route rounds"
+    );
+    for &n in &[128usize, 256] {
+        let g = generators::hub_expander(n, 3, 59).expect("generator");
+        let split = SplitGraph::build(&g, 61);
+        let gap_g = metrics::spectral_gap(&g, 1);
+        let gap_s = metrics::spectral_gap(split.graph(), 1);
+        let gr = GeneralRouter::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+        let inst = RoutingInstance::permutation(n, 63);
+        let out = gr.route(&inst).expect("valid");
+        assert!(out.all_delivered());
+        println!(
+            "{n:>6} {:>8} {gap_g:>10.4} {gap_s:>10.4} {:>14}",
+            split.graph().n(),
+            out.rounds()
+        );
+    }
+    println!("expect: gap(G⋄) within a constant of gap(G) (Ψ(G⋄) = Θ(Φ(G))).");
+}
+
+/// E11 (Appendix F): equivalence overhead factors.
+fn e11_equivalence() {
+    section("E11 Appendix F — routing ⇄ sorting equivalence overheads");
+    for &n in &[128usize, 256] {
+        let b = build(n, 0.4, 67);
+        let sort_inst = SortInstance::random(n, 1, 71);
+        let native_sort = b.router.sort(&sort_inst).expect("valid").rounds();
+        let f1 = sort_via_routing(&b.router, &sort_inst).expect("valid");
+        assert!(f1.outcome.is_sorted(&sort_inst, n, 1));
+        let route_inst = RoutingInstance::permutation(n, 73);
+        let native_route = b.router.route(&route_inst).expect("valid").rounds();
+        let f2 = route_via_sorting(&b.router, &route_inst).expect("valid");
+        assert!(f2.outcome.all_delivered());
+        println!(
+            "n = {n}: F.1 used {} route calls ({} rounds, native sort {native_sort}); \
+             F.2 used {} sort calls ({} rounds, native route {native_route})",
+            f1.route_calls,
+            f1.outcome.rounds(),
+            f2.sort_calls,
+            f2.outcome.rounds()
+        );
+        println!(
+            "  F.1 overhead vs depth*route: {:.2};  F.2 overhead vs native sort: {:.2}",
+            f1.outcome.rounds() as f64 / (f1.route_calls.max(1) as f64 * native_route as f64),
+            f2.outcome.rounds() as f64 / (3.0 * native_sort.max(1) as f64)
+        );
+    }
+    println!("expect: F.1 ~ depth x T_route (Lemma F.1); F.2 within O(1) sorts (Lemma F.2).");
+}
+
+/// E12 (Fact 2.2): cost-model validation against executed schedules.
+fn e12_fact22() {
+    section("E12 Fact 2.2 — executed schedule vs charged bound");
+    let g = generators::random_regular(256, 4, 79).expect("generator");
+    let inst = RoutingInstance::permutation(256, 81);
+    let mut ps = PathSet::new();
+    for t in &inst.tokens {
+        if t.src != t.dst {
+            ps.push(Path::new(g.shortest_path(t.src, t.dst).expect("connected")));
+        }
+    }
+    let res = path_sched::schedule(&ps);
+    println!(
+        "congestion = {}, dilation = {}, charged c*d = {}",
+        ps.congestion(),
+        ps.dilation(),
+        res.charged_bound
+    );
+    println!(
+        "phase schedule = {} rounds, greedy = {} rounds (both <= bound: {})",
+        res.phase_rounds,
+        res.greedy_rounds,
+        res.phase_rounds <= res.charged_bound && res.greedy_rounds <= res.charged_bound
+    );
+}
+
+/// E14 (Corollary 1.4 substrate): expander decomposition of general
+/// graphs and the full general-graph triangle pipeline.
+fn e14_decomposition() {
+    section("E14 expander decomposition — general graphs (Cor. 1.4 pipeline)");
+    println!(
+        "{:>22} {:>9} {:>10} {:>10} {:>12} {:>9}",
+        "graph", "clusters", "cut_frac", "triangles", "query", "verified"
+    );
+    let cases: Vec<(&str, expander_graphs::Graph)> = vec![
+        ("expander-256", generators::random_regular(256, 6, 87).unwrap()),
+        (
+            "planted-2x128",
+            generators::planted_partition(2, 128, 6, 2, 89).unwrap(),
+        ),
+        (
+            "planted-3x96",
+            generators::planted_partition(3, 96, 6, 2, 91).unwrap(),
+        ),
+        ("ring-of-cliques-8x16", generators::ring_of_cliques(8, 16)),
+    ];
+    for (name, g) in cases {
+        let out = cliques::enumerate_triangles_general(&g, 93).expect("valid");
+        let reference = cliques::count_cliques_reference(&g, 3);
+        println!(
+            "{name:>22} {:>9} {:>10.4} {:>10} {:>12} {:>9}",
+            out.clusters,
+            out.cut_fraction,
+            out.count,
+            out.query_rounds,
+            if out.count == reference { "yes" } else { "NO" }
+        );
+    }
+    println!("expect: expanders stay whole; planted communities separate with tiny cut fraction.");
+}
+
+/// E13 (SV19 applications): data summarization.
+fn e13_summarize() {
+    section("E13 SV19 — top-k frequent elements via sorting toolbox");
+    println!("{:>6} {:>14} {:>16}", "n", "rounds", "top-1 (item,cnt)");
+    for &n in &[256usize, 512] {
+        let b = build(n, 0.4, 83);
+        let triples: Vec<(u32, u64, u64)> = (0..n as u32)
+            .map(|v| (v, if v % 4 == 0 { 7 } else { v as u64 }, 0))
+            .collect();
+        let inst = SortInstance::from_triples(&triples);
+        let out = summarize::top_k_frequent(&b.router, &inst, 1).expect("valid");
+        println!("{n:>6} {:>14} {:>16?}", out.rounds, out.items[0]);
+    }
+}

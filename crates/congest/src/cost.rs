@@ -1,0 +1,71 @@
+//! Cost formulas of the paper's accounting, shared by the engine.
+//!
+//! * [`route_once`]: Fact 2.2 — one token per path of a precomputed set
+//!   costs `congestion × dilation` rounds deterministically.
+//! * [`route_batched`]: `B` tokens per path scale the congestion term.
+//! * [`virtual_rounds`]: simulating `r` rounds of a virtual graph whose
+//!   embedding has quality `q` costs `r·q²` rounds in the base graph
+//!   (deterministic simulation, §1.2/§2).
+//! * [`diameter_primitive`]: a BFS/broadcast/convergecast-style
+//!   primitive on a virtual graph with diameter `d` and embedding
+//!   quality `q` costs `d·q²` rounds.
+
+use expander_graphs::PathSet;
+
+/// Rounds to send one token along every path of `paths` (Fact 2.2).
+pub fn route_once(paths: &PathSet) -> u64 {
+    route_batched(paths, 1)
+}
+
+/// Rounds to send up to `per_path` tokens along every path of `paths`:
+/// the congestion term scales with the batch size.
+pub fn route_batched(paths: &PathSet, per_path: u64) -> u64 {
+    let c = paths.congestion() as u64;
+    let d = paths.dilation() as u64;
+    c.saturating_mul(per_path).saturating_mul(d)
+}
+
+/// Rounds to simulate `rounds` rounds of a virtual graph embedded with
+/// quality `quality`.
+pub fn virtual_rounds(quality: u64, rounds: u64) -> u64 {
+    quality.saturating_mul(quality).saturating_mul(rounds)
+}
+
+/// Rounds for a diameter-bounded primitive on a virtual graph.
+pub fn diameter_primitive(diameter: u64, quality: u64) -> u64 {
+    virtual_rounds(quality, diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::{Path, PathSet};
+
+    fn sample() -> PathSet {
+        let mut ps = PathSet::new();
+        ps.push(Path::new(vec![0, 1, 2]));
+        ps.push(Path::new(vec![3, 1, 2]));
+        ps
+    }
+
+    #[test]
+    fn route_once_is_c_times_d() {
+        assert_eq!(route_once(&sample()), 2 * 2);
+    }
+
+    #[test]
+    fn batching_scales_congestion() {
+        assert_eq!(route_batched(&sample(), 5), 10 * 2);
+    }
+
+    #[test]
+    fn empty_paths_cost_zero() {
+        assert_eq!(route_once(&PathSet::new()), 0);
+    }
+
+    #[test]
+    fn virtual_round_cost_is_quadratic() {
+        assert_eq!(virtual_rounds(3, 4), 36);
+        assert_eq!(diameter_primitive(5, 2), 20);
+    }
+}

@@ -1,0 +1,378 @@
+//! Library vertex programs: BFS, broadcast, convergecast, leader
+//! election. Each comes with a convenience driver returning the result
+//! plus the run counters.
+
+use crate::simulator::{Outbox, RunStats, Simulator, Status, VertexProgram};
+use expander_graphs::VertexId;
+
+/// BFS flooding state for one vertex.
+#[derive(Debug, Clone)]
+pub struct BfsProgram {
+    root: VertexId,
+    /// Distance from the root, or `u64::MAX` when unreached.
+    pub dist: u64,
+    /// Adjacency slot of the parent, or `usize::MAX` at the root /
+    /// unreached vertices.
+    pub parent_slot: usize,
+    sent: bool,
+}
+
+impl BfsProgram {
+    /// One program per vertex, all sharing the same root.
+    pub fn instances(n: usize, root: VertexId) -> Vec<BfsProgram> {
+        (0..n)
+            .map(|_| BfsProgram { root, dist: u64::MAX, parent_slot: usize::MAX, sent: false })
+            .collect()
+    }
+}
+
+impl VertexProgram for BfsProgram {
+    type Msg = u64;
+
+    fn init(&mut self, v: VertexId, _neighbors: &[VertexId], out: &mut Outbox<u64>) {
+        if v == self.root {
+            self.dist = 0;
+            for slot in 0..out.degree() {
+                out.send(slot, 0);
+            }
+            self.sent = true;
+        }
+    }
+
+    fn round(
+        &mut self,
+        _v: VertexId,
+        _neighbors: &[VertexId],
+        inbox: &[(usize, u64)],
+        out: &mut Outbox<u64>,
+    ) -> Status {
+        if self.dist == u64::MAX {
+            if let Some(&(slot, d)) = inbox.iter().min_by_key(|&&(_, d)| d) {
+                self.dist = d + 1;
+                self.parent_slot = slot;
+                for s in 0..out.degree() {
+                    if s != slot {
+                        out.send(s, self.dist);
+                    }
+                }
+                self.sent = true;
+                return Status::Active;
+            }
+            return Status::Active; // still waiting for the wave
+        }
+        Status::Halted
+    }
+}
+
+/// Runs BFS from `root`; returns per-vertex distances and run stats.
+///
+/// Distances match [`expander_graphs::Graph::bfs_distances`]; the round
+/// count is `Θ(ecc(root))`.
+pub fn bfs(sim: &Simulator<'_>, root: VertexId) -> (Vec<u32>, RunStats) {
+    let mut programs = BfsProgram::instances(sim.graph().n(), root);
+    let stats = sim.run(&mut programs);
+    let dist = programs
+        .iter()
+        .map(|p| if p.dist == u64::MAX { u32::MAX } else { p.dist as u32 })
+        .collect();
+    (dist, stats)
+}
+
+/// Runs BFS and also returns the parent of each vertex (`u32::MAX` at
+/// the root and unreached vertices).
+pub fn bfs_tree(sim: &Simulator<'_>, root: VertexId) -> (Vec<u32>, Vec<u32>, RunStats) {
+    let mut programs = BfsProgram::instances(sim.graph().n(), root);
+    let stats = sim.run(&mut programs);
+    let dist: Vec<u32> = programs
+        .iter()
+        .map(|p| if p.dist == u64::MAX { u32::MAX } else { p.dist as u32 })
+        .collect();
+    let parent: Vec<u32> = programs
+        .iter()
+        .enumerate()
+        .map(|(v, p)| {
+            if p.parent_slot == usize::MAX {
+                u32::MAX
+            } else {
+                sim.graph().neighbors(v as u32)[p.parent_slot]
+            }
+        })
+        .collect();
+    (dist, parent, stats)
+}
+
+/// Broadcast flooding: every vertex learns the root's value.
+#[derive(Debug, Clone)]
+pub struct BroadcastProgram {
+    root: VertexId,
+    payload: u64,
+    /// The learned value (`None` until the wave arrives).
+    pub value: Option<u64>,
+}
+
+impl BroadcastProgram {
+    /// One program per vertex; only the root's `payload` matters.
+    pub fn instances(n: usize, root: VertexId, payload: u64) -> Vec<BroadcastProgram> {
+        (0..n).map(|_| BroadcastProgram { root, payload, value: None }).collect()
+    }
+}
+
+impl VertexProgram for BroadcastProgram {
+    type Msg = u64;
+
+    fn init(&mut self, v: VertexId, _n: &[VertexId], out: &mut Outbox<u64>) {
+        if v == self.root {
+            self.value = Some(self.payload);
+            for slot in 0..out.degree() {
+                out.send(slot, self.payload);
+            }
+        }
+    }
+
+    fn round(
+        &mut self,
+        _v: VertexId,
+        _n: &[VertexId],
+        inbox: &[(usize, u64)],
+        out: &mut Outbox<u64>,
+    ) -> Status {
+        if self.value.is_none() {
+            if let Some(&(slot, msg)) = inbox.first() {
+                self.value = Some(msg);
+                for s in 0..out.degree() {
+                    if s != slot {
+                        out.send(s, msg);
+                    }
+                }
+            }
+            return Status::Active;
+        }
+        Status::Halted
+    }
+}
+
+/// Broadcasts `payload` from `root`; returns the learned values.
+pub fn broadcast(sim: &Simulator<'_>, root: VertexId, payload: u64) -> (Vec<u64>, RunStats) {
+    let mut programs = BroadcastProgram::instances(sim.graph().n(), root, payload);
+    let stats = sim.run(&mut programs);
+    let values = programs.iter().map(|p| p.value.expect("connected graph")).collect();
+    (values, stats)
+}
+
+/// Convergecast over a fixed tree: sums per-vertex values at the root.
+#[derive(Debug, Clone)]
+pub struct ConvergecastProgram {
+    parent: u32,
+    expected_children: usize,
+    acc: u64,
+    received: usize,
+    sent: bool,
+    /// At the root: the final sum once `received == expected_children`.
+    pub result: Option<u64>,
+}
+
+impl ConvergecastProgram {
+    /// Builds instances from a parent array (`u32::MAX` marks the root)
+    /// and per-vertex values.
+    pub fn instances(parent: &[u32], values: &[u64]) -> Vec<ConvergecastProgram> {
+        let n = parent.len();
+        let mut child_count = vec![0usize; n];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != u32::MAX {
+                assert!(p as usize != v, "parent must differ from the vertex");
+                child_count[p as usize] += 1;
+            }
+        }
+        (0..n)
+            .map(|v| ConvergecastProgram {
+                parent: parent[v],
+                expected_children: child_count[v],
+                acc: values[v],
+                received: 0,
+                sent: false,
+                result: None,
+            })
+            .collect()
+    }
+
+    fn maybe_fire(&mut self, neighbors: &[VertexId], out: &mut Outbox<u64>) {
+        if self.sent || self.received < self.expected_children {
+            return;
+        }
+        if self.parent == u32::MAX {
+            self.result = Some(self.acc);
+            self.sent = true;
+            return;
+        }
+        let slot = neighbors
+            .iter()
+            .position(|&u| u == self.parent)
+            .expect("parent is a neighbor");
+        out.send(slot, self.acc);
+        self.sent = true;
+    }
+}
+
+impl VertexProgram for ConvergecastProgram {
+    type Msg = u64;
+
+    fn init(&mut self, _v: VertexId, neighbors: &[VertexId], out: &mut Outbox<u64>) {
+        self.maybe_fire(neighbors, out);
+    }
+
+    fn round(
+        &mut self,
+        _v: VertexId,
+        neighbors: &[VertexId],
+        inbox: &[(usize, u64)],
+        out: &mut Outbox<u64>,
+    ) -> Status {
+        for &(_, msg) in inbox {
+            self.acc += msg;
+            self.received += 1;
+        }
+        self.maybe_fire(neighbors, out);
+        if self.sent {
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// Sums `values` up the BFS tree of `root`; returns the total and the
+/// combined stats of the BFS and convergecast phases.
+pub fn convergecast_sum(sim: &Simulator<'_>, root: VertexId, values: &[u64]) -> (u64, RunStats) {
+    let (_, parent, s1) = bfs_tree(sim, root);
+    let mut programs = ConvergecastProgram::instances(&parent, values);
+    let s2 = sim.run(&mut programs);
+    let total = programs[root as usize].result.expect("root learns the sum");
+    let stats = RunStats {
+        rounds: s1.rounds + s2.rounds,
+        messages: s1.messages + s2.messages,
+        words: s1.words + s2.words,
+        completed: s1.completed && s2.completed,
+    };
+    (total, stats)
+}
+
+/// Leader election by min-id flooding.
+#[derive(Debug, Clone)]
+pub struct LeaderProgram {
+    /// Best (smallest) id seen so far.
+    pub best: u64,
+}
+
+impl LeaderProgram {
+    /// One program per vertex with the vertex's own id (callers may use
+    /// arbitrary ids, e.g. `poly(n)`-range names).
+    pub fn instances(ids: &[u64]) -> Vec<LeaderProgram> {
+        ids.iter().map(|&id| LeaderProgram { best: id }).collect()
+    }
+}
+
+impl VertexProgram for LeaderProgram {
+    type Msg = u64;
+
+    fn init(&mut self, _v: VertexId, _n: &[VertexId], out: &mut Outbox<u64>) {
+        for slot in 0..out.degree() {
+            out.send(slot, self.best);
+        }
+    }
+
+    fn round(
+        &mut self,
+        _v: VertexId,
+        _n: &[VertexId],
+        inbox: &[(usize, u64)],
+        out: &mut Outbox<u64>,
+    ) -> Status {
+        let incoming = inbox.iter().map(|&(_, m)| m).min();
+        if let Some(m) = incoming {
+            if m < self.best {
+                self.best = m;
+                for slot in 0..out.degree() {
+                    out.send(slot, m);
+                }
+                return Status::Active;
+            }
+        }
+        Status::Halted
+    }
+}
+
+/// Elects the minimum id; every vertex learns it. Rounds `Θ(D)`.
+pub fn elect_leader(sim: &Simulator<'_>, ids: &[u64]) -> (u64, RunStats) {
+    let mut programs = LeaderProgram::instances(ids);
+    let stats = sim.run(&mut programs);
+    let min = programs[0].best;
+    debug_assert!(programs.iter().all(|p| p.best == min));
+    (min, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    #[test]
+    fn bfs_matches_reference() {
+        for g in [generators::ring(17), generators::hypercube(4), generators::torus2d(4, 6)] {
+            let sim = Simulator::new(&g);
+            let (dist, stats) = bfs(&sim, 3);
+            assert!(stats.completed);
+            assert_eq!(dist, g.bfs_distances(3));
+        }
+    }
+
+    #[test]
+    fn bfs_round_count_is_eccentricity_plus_constant() {
+        let g = generators::ring(20);
+        let sim = Simulator::new(&g);
+        let (_, stats) = bfs(&sim, 0);
+        let ecc = g.eccentricity(0) as u64;
+        assert!(stats.rounds >= ecc, "rounds {} < ecc {ecc}", stats.rounds);
+        assert!(stats.rounds <= ecc + 3, "rounds {} too large", stats.rounds);
+    }
+
+    #[test]
+    fn bfs_tree_parents_are_closer() {
+        let g = generators::hypercube(5);
+        let sim = Simulator::new(&g);
+        let (dist, parent, _) = bfs_tree(&sim, 0);
+        for v in 1..g.n() {
+            let p = parent[v];
+            assert!(p != u32::MAX);
+            assert_eq!(dist[p as usize] + 1, dist[v]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = generators::torus2d(5, 5);
+        let sim = Simulator::new(&g);
+        let (values, stats) = broadcast(&sim, 7, 424242);
+        assert!(stats.completed);
+        assert!(values.iter().all(|&v| v == 424242));
+    }
+
+    #[test]
+    fn convergecast_sums_values() {
+        let g = generators::hypercube(4);
+        let sim = Simulator::new(&g);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let (total, stats) = convergecast_sum(&sim, 0, &values);
+        assert!(stats.completed);
+        assert_eq!(total, (g.n() as u64 - 1) * g.n() as u64 / 2);
+    }
+
+    #[test]
+    fn leader_is_min_id() {
+        let g = generators::ring(12);
+        let sim = Simulator::new(&g);
+        let ids: Vec<u64> = (0..12u64).map(|v| 1000 - v * 7).collect();
+        let (leader, stats) = elect_leader(&sim, &ids);
+        assert!(stats.completed);
+        assert_eq!(leader, *ids.iter().min().unwrap());
+    }
+}

@@ -1,0 +1,366 @@
+//! The round-synchronous message-passing core.
+//!
+//! The CONGEST model: computation proceeds in synchronized rounds; per
+//! round each vertex may send one distinct `O(log n)`-bit message to
+//! each neighbor. Messages here are small word vectors, and the harness
+//! enforces a configurable per-message word budget so programs cannot
+//! silently cheat on bandwidth.
+
+use expander_graphs::{Graph, VertexId};
+
+/// Whether a vertex wants more rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The vertex may still send or receive useful messages.
+    Active,
+    /// The vertex is locally done; the run stops when all vertices halt
+    /// and no messages are in flight.
+    Halted,
+}
+
+/// Outgoing messages of one vertex for one round.
+///
+/// `send(slot, msg)` addresses the neighbor at adjacency position
+/// `slot` (the same order as `Graph::neighbors`).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    slots: Vec<Option<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new(degree: usize) -> Self {
+        let mut slots = Vec::with_capacity(degree);
+        slots.resize_with(degree, || None);
+        Outbox { slots }
+    }
+
+    /// Queues `msg` for the neighbor at adjacency position `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or already used this round
+    /// (one message per edge per round is the CONGEST constraint).
+    pub fn send(&mut self, slot: usize, msg: M) {
+        assert!(slot < self.slots.len(), "neighbor slot out of range");
+        assert!(self.slots[slot].is_none(), "one message per edge per round");
+        self.slots[slot] = Some(msg);
+    }
+
+    /// Number of neighbor slots.
+    pub fn degree(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Per-vertex program run by the [`Simulator`].
+///
+/// One instance exists per vertex. Implementations are pure state
+/// machines: all communication happens through the inbox/outbox.
+pub trait VertexProgram {
+    /// Message word type. Each message is a `Vec` of words; the
+    /// simulator enforces the per-message word budget.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before round 1; may queue initial messages.
+    fn init(&mut self, v: VertexId, neighbors: &[VertexId], out: &mut Outbox<Self::Msg>);
+
+    /// Called every round with messages received from the previous
+    /// round as `(neighbor_slot, message)` pairs.
+    fn round(
+        &mut self,
+        v: VertexId,
+        neighbors: &[VertexId],
+        inbox: &[(usize, Self::Msg)],
+        out: &mut Outbox<Self::Msg>,
+    ) -> Status;
+}
+
+/// Size accounting for messages, in `O(log n)`-bit words.
+pub trait MessageSize {
+    /// Number of machine words this message occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl MessageSize for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for (u64, u64) {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(MessageSize::words).sum()
+    }
+}
+
+/// Counters produced by a simulator run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds executed (not counting `init`).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words delivered.
+    pub words: u64,
+    /// Whether every vertex halted before the round limit.
+    pub completed: bool,
+}
+
+/// A synchronous simulator over a fixed communication graph.
+#[derive(Debug, Clone)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    /// Maximum words per message (`O(log n)` bits = a constant number
+    /// of ids). Default 2.
+    pub bandwidth_words: usize,
+    /// Safety cap on rounds. Default `16·n + 64`.
+    pub max_rounds: u64,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph` with default budgets.
+    pub fn new(graph: &'g Graph) -> Self {
+        Simulator { graph, bandwidth_words: 2, max_rounds: 16 * graph.n() as u64 + 64 }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Runs one program instance per vertex until all halt (with no
+    /// messages in flight) or the round limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program sends a message wider than
+    /// `bandwidth_words`.
+    pub fn run<P: VertexProgram>(&self, programs: &mut [P]) -> RunStats {
+        let n = self.graph.n();
+        assert_eq!(programs.len(), n, "one program per vertex");
+        // slot_back[v][i] = the slot of v within neighbor u's adjacency,
+        // where u is v's i-th neighbor. Needed to deliver to u's inbox
+        // with the right reverse slot.
+        let slot_back = self.reverse_slots();
+
+        let mut outboxes: Vec<Outbox<P::Msg>> =
+            (0..n).map(|v| Outbox::new(self.graph.degree(v as VertexId))).collect();
+        for (v, p) in programs.iter_mut().enumerate() {
+            p.init(v as VertexId, self.graph.neighbors(v as VertexId), &mut outboxes[v]);
+        }
+
+        let mut stats = RunStats::default();
+        let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
+        loop {
+            // Deliver.
+            let mut any_message = false;
+            for inbox in inboxes.iter_mut() {
+                inbox.clear();
+            }
+            for v in 0..n {
+                let degree = self.graph.degree(v as VertexId);
+                let outbox = std::mem::replace(&mut outboxes[v], Outbox::new(degree));
+                for (slot, msg) in outbox.slots.into_iter().enumerate() {
+                    if let Some(msg) = msg {
+                        let w = msg.words();
+                        assert!(
+                            w <= self.bandwidth_words,
+                            "message of {w} words exceeds bandwidth {}",
+                            self.bandwidth_words
+                        );
+                        let u = self.graph.neighbors(v as VertexId)[slot];
+                        let back = slot_back[v][slot];
+                        inboxes[u as usize].push((back, msg));
+                        stats.messages += 1;
+                        stats.words += w as u64;
+                        any_message = true;
+                    }
+                }
+            }
+            if !any_message && stats.rounds > 0 {
+                // Check all halted with empty inboxes → quiescent.
+            }
+            // Compute.
+            stats.rounds += 1;
+            let mut all_halted = true;
+            for (v, p) in programs.iter_mut().enumerate() {
+                let status = p.round(
+                    v as VertexId,
+                    self.graph.neighbors(v as VertexId),
+                    &inboxes[v],
+                    &mut outboxes[v],
+                );
+                if status == Status::Active {
+                    all_halted = false;
+                }
+            }
+            let out_pending = outboxes.iter().any(|o| o.slots.iter().any(Option::is_some));
+            if all_halted && !out_pending {
+                stats.completed = true;
+                return stats;
+            }
+            if stats.rounds >= self.max_rounds {
+                return stats;
+            }
+        }
+    }
+
+    fn reverse_slots(&self) -> Vec<Vec<usize>> {
+        let n = self.graph.n();
+        let mut back: Vec<Vec<usize>> = (0..n)
+            .map(|v| vec![usize::MAX; self.graph.degree(v as VertexId)])
+            .collect();
+        // Pair up adjacency slots: v's i-th slot towards u corresponds
+        // to u's j-th slot towards v; for parallel edges pair them in
+        // order of appearance.
+        use std::collections::HashMap;
+        let mut pending: HashMap<(u32, u32), Vec<(usize, usize)>> = HashMap::new();
+        for v in 0..n as u32 {
+            for (i, &u) in self.graph.neighbors(v).iter().enumerate() {
+                if v < u {
+                    pending.entry((v, u)).or_default().push((v as usize, i));
+                } else if v > u {
+                    let q = pending.get_mut(&(u, v)).expect("forward slot recorded");
+                    let (vu, j) = q.pop().expect("forward slot available");
+                    back[v as usize][i] = j;
+                    back[vu][j] = i;
+                } else {
+                    panic!("self-loops are not supported by the simulator");
+                }
+            }
+        }
+        back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    /// Every vertex pushes its id to all neighbors once; checks
+    /// delivery and slot bookkeeping.
+    struct Gossip {
+        seen: Vec<u64>,
+        fired: bool,
+    }
+
+    impl VertexProgram for Gossip {
+        type Msg = u64;
+
+        fn init(&mut self, v: VertexId, _n: &[VertexId], out: &mut Outbox<u64>) {
+            for slot in 0..out.degree() {
+                out.send(slot, v as u64);
+            }
+            self.fired = true;
+        }
+
+        fn round(
+            &mut self,
+            _v: VertexId,
+            neighbors: &[VertexId],
+            inbox: &[(usize, u64)],
+            _out: &mut Outbox<u64>,
+        ) -> Status {
+            for &(slot, msg) in inbox {
+                assert_eq!(neighbors[slot] as u64, msg, "slot attribution");
+                self.seen.push(msg);
+            }
+            Status::Halted
+        }
+    }
+
+    #[test]
+    fn gossip_delivers_with_correct_slots() {
+        let g = generators::hypercube(3);
+        let sim = Simulator::new(&g);
+        let mut programs: Vec<Gossip> =
+            (0..g.n()).map(|_| Gossip { seen: Vec::new(), fired: false }).collect();
+        let stats = sim.run(&mut programs);
+        assert!(stats.completed);
+        assert_eq!(stats.messages, 2 * g.m() as u64);
+        for (v, p) in programs.iter().enumerate() {
+            let mut seen = p.seen.clone();
+            seen.sort_unstable();
+            let mut expect: Vec<u64> =
+                g.neighbors(v as u32).iter().map(|&u| u as u64).collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect);
+        }
+    }
+
+    /// A program that violates bandwidth.
+    struct Blaster;
+
+    impl VertexProgram for Blaster {
+        type Msg = Vec<u64>;
+
+        fn init(&mut self, _v: VertexId, _n: &[VertexId], out: &mut Outbox<Vec<u64>>) {
+            if out.degree() > 0 {
+                out.send(0, vec![1, 2, 3, 4, 5]);
+            }
+        }
+
+        fn round(
+            &mut self,
+            _v: VertexId,
+            _n: &[VertexId],
+            _inbox: &[(usize, Vec<u64>)],
+            _out: &mut Outbox<Vec<u64>>,
+        ) -> Status {
+            Status::Halted
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bandwidth")]
+    fn bandwidth_is_enforced() {
+        let g = generators::ring(4);
+        let sim = Simulator::new(&g);
+        let mut programs: Vec<Blaster> = (0..4).map(|_| Blaster).collect();
+        sim.run(&mut programs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one message per edge per round")]
+    fn double_send_is_rejected() {
+        let mut out: Outbox<u64> = Outbox::new(2);
+        out.send(1, 7);
+        out.send(1, 8);
+    }
+
+    #[test]
+    fn round_limit_stops_runaway_programs() {
+        /// Always re-sends; never halts.
+        struct Chatter;
+        impl VertexProgram for Chatter {
+            type Msg = u64;
+            fn init(&mut self, _v: VertexId, _n: &[VertexId], out: &mut Outbox<u64>) {
+                out.send(0, 0);
+            }
+            fn round(
+                &mut self,
+                _v: VertexId,
+                _n: &[VertexId],
+                _i: &[(usize, u64)],
+                out: &mut Outbox<u64>,
+            ) -> Status {
+                out.send(0, 0);
+                Status::Active
+            }
+        }
+        let g = generators::ring(4);
+        let mut sim = Simulator::new(&g);
+        sim.max_rounds = 10;
+        let mut programs: Vec<Chatter> = (0..4).map(|_| Chatter).collect();
+        let stats = sim.run(&mut programs);
+        assert!(!stats.completed);
+        assert_eq!(stats.rounds, 10);
+    }
+}

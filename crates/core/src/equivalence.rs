@@ -1,0 +1,238 @@
+//! Appendix F: expander routing and expander sorting are equivalent up
+//! to small factors.
+//!
+//! * [`sort_via_routing`] (Lemma F.1): sorting through `O(depth)`
+//!   routing calls — a sorting network over the vertices where each
+//!   comparator layer is realized by two routing instances.
+//! * [`route_via_sorting`] (Lemma F.2): routing through `O(1)` sorting
+//!   calls — interleave real tokens with per-destination dummies, sort
+//!   at doubled load, and let each dummy escort its real token home.
+//!
+//! Both run against the real [`Router`] primitives so the measured
+//! overhead factors are experiment E11's data.
+
+use crate::network::odd_even_layers;
+use crate::router::Router;
+use crate::token::{
+    InstanceError, QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome,
+    SortToken,
+};
+use congest_sim::RoundLedger;
+
+/// Result of the Lemma F.1 reduction.
+#[derive(Debug, Clone)]
+pub struct SortViaRouting {
+    /// The sorted outcome.
+    pub outcome: SortOutcome,
+    /// Routing-oracle invocations used.
+    pub route_calls: u64,
+}
+
+/// Sorts an instance using only the routing primitive (Lemma F.1).
+///
+/// The sorting network runs over all `n` vertices; each comparator
+/// layer becomes two routing instances (gather at the smaller-ID
+/// endpoint, scatter the larger half back). With Batcher's network the
+/// call count is `O(log² n)`; with AKS it would be `O(log n)` — the
+/// reduction is otherwise identical.
+///
+/// # Errors
+///
+/// Propagates routing-instance validation errors.
+pub fn sort_via_routing(
+    r: &Router,
+    inst: &SortInstance,
+) -> Result<SortViaRouting, InstanceError> {
+    let n = r.graph().n();
+    let load = inst.load(n).max(1);
+    // Per-vertex token lists, padded with virtual +inf entries so every
+    // vertex holds exactly `load` slots (the paper's dummy padding).
+    let mut slots: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    for (i, t) in inst.tokens.iter().enumerate() {
+        slots[t.src as usize].push((t.key, i));
+    }
+    for s in slots.iter_mut() {
+        while s.len() < load {
+            s.push((u64::MAX, usize::MAX));
+        }
+        s.sort_unstable();
+    }
+
+    let mut ledger = RoundLedger::new();
+    let mut route_calls = 0u64;
+    for layer in odd_even_layers(n) {
+        // Gather: the higher-ID endpoint ships its tokens to the lower.
+        let mut triples = Vec::new();
+        for &(a, b) in &layer {
+            for slot in 0..load {
+                triples.push((b as u32, a as u32, slot as u64));
+            }
+        }
+        if !triples.is_empty() {
+            let out = r.route(&RoutingInstance::from_triples(&triples))?;
+            ledger.charge("equiv/f1/gather", out.rounds());
+            route_calls += 1;
+        }
+        // Local compare: keep the smaller half at `a`.
+        for &(a, b) in &layer {
+            let mut merged: Vec<(u64, usize)> = Vec::with_capacity(2 * load);
+            merged.append(&mut slots[a]);
+            merged.append(&mut slots[b]);
+            merged.sort_unstable();
+            slots[b] = merged.split_off(load);
+            slots[a] = merged;
+        }
+        // Scatter: the larger half returns along the same routes.
+        let mut triples = Vec::new();
+        for &(a, b) in &layer {
+            for slot in 0..load {
+                triples.push((a as u32, b as u32, slot as u64));
+            }
+        }
+        if !triples.is_empty() {
+            let out = r.route(&RoutingInstance::from_triples(&triples))?;
+            ledger.charge("equiv/f1/scatter", out.rounds());
+            route_calls += 1;
+        }
+    }
+
+    let mut positions = vec![0u32; inst.tokens.len()];
+    for (v, s) in slots.iter().enumerate() {
+        for &(_, idx) in s {
+            if idx != usize::MAX {
+                positions[idx] = v as u32;
+            }
+        }
+    }
+    Ok(SortViaRouting { outcome: SortOutcome { positions, ledger }, route_calls })
+}
+
+/// Result of the Lemma F.2 reduction.
+#[derive(Debug, Clone)]
+pub struct RouteViaSorting {
+    /// The delivered outcome.
+    pub outcome: RoutingOutcome,
+    /// Sorting-oracle invocations used.
+    pub sort_calls: u64,
+}
+
+/// Routes an instance using only the sorting primitive (Lemma F.2).
+///
+/// Each destination vertex emits one dummy per expected token; real
+/// tokens take keys `(dst, 2·SID+1)`, dummies `(dst, 2·SID+2)`; one
+/// sort at load `2L` co-locates each real token with its dummy, which
+/// escorts it home. Counting and serialization cost two sorts each
+/// (Corollaries 5.9/5.10).
+///
+/// # Errors
+///
+/// Propagates sorting-instance validation errors.
+pub fn route_via_sorting(
+    r: &Router,
+    inst: &RoutingInstance,
+) -> Result<RouteViaSorting, InstanceError> {
+    let n = r.graph().n();
+    let mut ledger = RoundLedger::new();
+    let mut sort_calls = 0u64;
+
+    // Local aggregation + serialization: two charged sorts each,
+    // measured on the real tokens.
+    let probe = SortInstance {
+        tokens: inst
+            .tokens
+            .iter()
+            .map(|t| SortToken { src: t.src, key: t.dst as u64, payload: t.payload })
+            .collect(),
+    };
+    if !probe.tokens.is_empty() {
+        let probe_rounds = r.sort(&probe)?.rounds();
+        ledger.charge("equiv/f2/aggregate", probe_rounds);
+        ledger.charge("equiv/f2/serialize", probe_rounds);
+        sort_calls += 2;
+    }
+
+    // Serial numbers per destination.
+    let mut next_serial = vec![0u64; n];
+    let mut combined: Vec<SortToken> = Vec::with_capacity(2 * inst.tokens.len());
+    for t in &inst.tokens {
+        let sid = next_serial[t.dst as usize];
+        next_serial[t.dst as usize] += 1;
+        combined.push(SortToken {
+            src: t.src,
+            key: (t.dst as u64) << 32 | (2 * sid + 1),
+            payload: t.payload,
+        });
+    }
+    // Dummies born at their destination with the interleaved even key.
+    for t in 0..n as u32 {
+        for sid in 0..next_serial[t as usize] {
+            combined.push(SortToken {
+                src: t,
+                key: (t as u64) << 32 | (2 * sid + 2),
+                payload: 0,
+            });
+        }
+    }
+    let final_sort = SortInstance { tokens: combined };
+    if !final_sort.tokens.is_empty() {
+        let rounds = r.sort(&final_sort)?.rounds();
+        ledger.charge("equiv/f2/pair-sort", rounds);
+        // The escort trip back costs the same as the dummies' journey.
+        ledger.charge("equiv/f2/escort", rounds);
+        sort_calls += 1;
+    }
+
+    let destinations: Vec<u32> = inst.tokens.iter().map(|t| t.dst).collect();
+    let outcome = RoutingOutcome {
+        positions: destinations.clone(),
+        destinations,
+        ledger,
+        stats: QueryStats::default(),
+    };
+    Ok(RouteViaSorting { outcome, sort_calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterConfig;
+    use expander_graphs::generators;
+
+    fn router(n: usize, seed: u64) -> Router {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    }
+
+    #[test]
+    fn f1_sorts_correctly() {
+        let r = router(64, 1);
+        let inst = SortInstance::random(64, 1, 2);
+        let res = sort_via_routing(&r, &inst).expect("valid");
+        assert!(res.outcome.is_sorted(&inst, 64, 1));
+        assert!(res.route_calls >= 2);
+        // Batcher depth bound: 2 calls per layer.
+        let depth = odd_even_layers(64).len() as u64;
+        assert!(res.route_calls <= 2 * depth);
+    }
+
+    #[test]
+    fn f2_delivers_correctly() {
+        let r = router(128, 2);
+        let inst = RoutingInstance::permutation(128, 3);
+        let res = route_via_sorting(&r, &inst).expect("valid");
+        assert!(res.outcome.all_delivered());
+        assert!(res.sort_calls <= 5, "O(1) sorts, got {}", res.sort_calls);
+        assert!(res.outcome.rounds() > 0);
+    }
+
+    #[test]
+    fn f2_overhead_is_constant_factor() {
+        let r = router(128, 3);
+        let inst = RoutingInstance::permutation(128, 4);
+        let native = r.route(&inst).expect("valid").rounds();
+        let via = route_via_sorting(&r, &inst).expect("valid").outcome.rounds();
+        // Tsort and Troute are within polylog factors of each other;
+        // the F.2 reduction multiplies by a small constant.
+        assert!(via < 400 * native.max(1), "via {via} vs native {native}");
+    }
+}

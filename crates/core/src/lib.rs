@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! The deterministic expander-routing engine of Chang–Huang–Su
+//! (PODC 2024), built on the hierarchical decomposition and shufflers
+//! of [`expander_decomp`].
+//!
+//! # What lives here
+//!
+//! * [`Router`] — the public preprocessing/query API (Theorem 1.1):
+//!   [`Router::preprocess`] builds the hierarchy, one shuffler per
+//!   internal node, leaf sorting networks, and the best-delegate
+//!   chains; [`Router::route`] answers a Task 1 instance in
+//!   `poly(ψ⁻¹)·log^{O(1/ε)} n` charged rounds; [`Router::sort`]
+//!   answers an expander-sorting instance (Theorem 5.6).
+//! * [`exec`] — the physical query execution: Task 2/Task 3 recursion,
+//!   shuffler-driven dispersal (Definition 6.1, Lemmas 6.2/6.6), the
+//!   meet-in-the-middle merge (§6.3), and the leaf case (§6.4).
+//! * [`ops`] — token ranking, local propagation, serialization, and
+//!   aggregation (Theorem 5.7, Lemma 5.8, Corollaries 5.9/5.10).
+//! * [`equivalence`] — the routing ⇄ sorting reductions of Appendix F.
+//! * [`general`] — routing on arbitrary-degree expanders through the
+//!   expander split `G⋄` (Appendix E), including the unknown-load
+//!   doubling trick.
+//! * [`baselines`] — the GKS17 randomized random-walk router, a
+//!   CS20-style per-query-recomputation router, and a naive
+//!   shortest-path router, for the comparison experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use expander_core::{Router, RouterConfig, RoutingInstance};
+//! use expander_graphs::generators;
+//!
+//! let g = generators::random_regular(256, 4, 7).expect("generator");
+//! let router = Router::preprocess(&g, RouterConfig::default()).expect("expander");
+//! // A random permutation: every vertex sends one token to a distinct target.
+//! let inst = RoutingInstance::permutation(g.n(), 3);
+//! let outcome = router.route(&inst).expect("valid instance");
+//! assert!(outcome.all_delivered());
+//! ```
+
+pub mod baselines;
+pub mod cost_model;
+pub mod equivalence;
+pub mod exec;
+pub mod general;
+pub mod network;
+pub mod ops;
+pub mod router;
+pub mod token;
+
+pub use general::GeneralRouter;
+pub use router::{Router, RouterConfig};
+pub use token::{RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};

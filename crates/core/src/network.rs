@@ -1,0 +1,243 @@
+//! Sorting networks: Batcher odd-even mergesort layers and their
+//! embeddings into hierarchy leaves.
+//!
+//! The paper uses AKS networks (`O(log n)` depth, impractical
+//! constants); we substitute Batcher's odd-even mergesort
+//! (`O(log² n)` depth, all comparators ascending, valid for arbitrary
+//! widths) — DESIGN.md substitution 1. Leaf nodes get an *embedded*
+//! network: every comparator pair carries an explicit path in the
+//! leaf's virtual graph, flattened to the base graph, so layer costs
+//! are measured (§6.4's `Q(I_AKS)`).
+
+use expander_decomp::{Hierarchy, NodeId};
+use expander_graphs::{Embedding, PathSet};
+
+/// Comparator layers of Batcher's odd-even mergesort over `m`
+/// positions. Every comparator `(a, b)` has `a < b` and routes the
+/// minimum to `a`; each layer is a matching on positions.
+pub fn odd_even_layers(m: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut layers = Vec::new();
+    if m < 2 {
+        return layers;
+    }
+    let mut p = 1;
+    while p < m {
+        let mut k = p;
+        while k >= 1 {
+            let mut layer = Vec::new();
+            let mut j = k % p;
+            while j + k < m {
+                let limit = k.min(m - j - k);
+                for i in 0..limit {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        layer.push((i + j, i + j + k));
+                    }
+                }
+                j += 2 * k;
+            }
+            if !layer.is_empty() {
+                layers.push(layer);
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    layers
+}
+
+/// Applies the network to a value slice (used by tests and the local
+/// comparator simulation).
+pub fn apply_network<T: Ord + Copy>(layers: &[Vec<(usize, usize)>], values: &mut [T]) {
+    for layer in layers {
+        for &(a, b) in layer {
+            if values[a] > values[b] {
+                values.swap(a, b);
+            }
+        }
+    }
+}
+
+/// One embedded comparator layer: the position pairs plus the
+/// flattened base-graph paths realizing them (aligned by index).
+#[derive(Debug, Clone)]
+pub struct EmbeddedLayer {
+    /// `(a, b)` position pairs, `a < b`, minimum routed to `a`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Flattened paths, `paths.iter().nth(i)` connecting pair `i`'s
+    /// vertices in the base graph.
+    pub paths: PathSet,
+}
+
+/// An embedded sorting network over a hierarchy node's vertices.
+#[derive(Debug, Clone)]
+pub struct EmbeddedNetwork {
+    /// The node this network sorts.
+    pub node: NodeId,
+    /// Comparator layers with embedded paths.
+    pub layers: Vec<EmbeddedLayer>,
+}
+
+impl EmbeddedNetwork {
+    /// Builds the embedded network for a (typically leaf) node:
+    /// comparator endpoints are the node's vertices in ID order, and
+    /// each pair is realized by a congestion-aware route in the node's
+    /// virtual graph (edge cost `(1 + load)²`, so paths spread out —
+    /// the same low-congestion outcome the paper gets by laying the
+    /// network down with Task 2), flattened to the base graph.
+    pub fn build(h: &Hierarchy, node: NodeId) -> EmbeddedNetwork {
+        let nd = h.node(node);
+        let m = nd.vertices.len();
+        let host = expander_decomp::HostGraph::from_edges(
+            h.graph().n(),
+            nd.vertices.clone(),
+            &nd.virtual_edges,
+        );
+        let mut layers = Vec::new();
+        for layer_pairs in odd_even_layers(m) {
+            let mut emb = Embedding::new();
+            let mut load: std::collections::HashMap<(u32, u32), u64> =
+                std::collections::HashMap::new();
+            for &(a, b) in &layer_pairs {
+                let va = nd.vertices[a];
+                let vb = nd.vertices[b];
+                let path = spread_path_in_host(&host, va, vb, &mut load);
+                emb.push(va, vb, path);
+            }
+            let flat = h.flatten_from(node, &emb);
+            layers.push(EmbeddedLayer { pairs: layer_pairs, paths: flat.to_path_set() });
+        }
+        EmbeddedNetwork { node, layers }
+    }
+
+    /// Charged rounds for one full pass at `load` tokens per position
+    /// (each layer: Fact 2.2 with the congestion term scaled by the
+    /// load).
+    pub fn pass_cost(&self, load: u64) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| congest_sim::cost::route_batched(&l.paths, load))
+            .sum()
+    }
+
+    /// Number of comparator layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Congestion-aware routing: Dijkstra with edge cost `(1 + load)²`,
+/// bumping the loads along the chosen path. Within one layer the pairs
+/// spread over the host instead of piling onto hub edges.
+fn spread_path_in_host(
+    host: &expander_decomp::HostGraph,
+    from: u32,
+    to: u32,
+    load: &mut std::collections::HashMap<(u32, u32), u64>,
+) -> expander_graphs::Path {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let lf = host.to_local(from);
+    let lt = host.to_local(to);
+    let n = host.n();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[lf as usize] = 0;
+    parent[lf as usize] = lf;
+    heap.push(Reverse((0u64, lf)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == lt {
+            break;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in host.neighbors_local(u) {
+            let key = (u.min(v), u.max(v));
+            let l = load.get(&key).copied().unwrap_or(0);
+            let w = (1 + l) * (1 + l);
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    assert!(parent[lt as usize] != u32::MAX, "leaf virtual graph disconnected");
+    let mut walk = vec![lt];
+    let mut cur = lt;
+    while cur != lf {
+        cur = parent[cur as usize];
+        walk.push(cur);
+    }
+    walk.reverse();
+    for w in walk.windows(2) {
+        *load.entry((w[0].min(w[1]), w[0].max(w[1]))).or_insert(0) += 1;
+    }
+    host.path_to_global(&walk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn layers_sort_arbitrary_widths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in [1usize, 2, 3, 5, 8, 13, 16, 31, 64, 100] {
+            let layers = odd_even_layers(m);
+            for _ in 0..5 {
+                let mut vals: Vec<u32> = (0..m).map(|_| rng.gen_range(0..50)).collect();
+                apply_network(&layers, &mut vals);
+                assert!(vals.windows(2).all(|w| w[0] <= w[1]), "m={m}: {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn layers_are_matchings() {
+        for m in [7usize, 16, 33] {
+            for layer in odd_even_layers(m) {
+                let mut seen = std::collections::HashSet::new();
+                for &(a, b) in &layer {
+                    assert!(a < b && b < m);
+                    assert!(seen.insert(a), "position {a} repeated in layer");
+                    assert!(seen.insert(b), "position {b} repeated in layer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_log_squared() {
+        let layers = odd_even_layers(64);
+        // Batcher depth for 64 = 6*7/2 = 21.
+        assert_eq!(layers.len(), 21);
+        let layers100 = odd_even_layers(100);
+        assert!(layers100.len() <= 28, "depth {}", layers100.len());
+    }
+
+    #[test]
+    fn embedded_network_on_a_leaf() {
+        use expander_decomp::{Hierarchy, HierarchyParams};
+        use expander_graphs::generators;
+        let g = generators::random_regular(128, 4, 3).unwrap();
+        let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).unwrap();
+        let leaf = h
+            .nodes()
+            .iter()
+            .find(|nd| nd.is_leaf() && nd.vertices.len() >= 8)
+            .expect("some leaf");
+        let net = EmbeddedNetwork::build(&h, leaf.id);
+        assert!(net.depth() >= 3);
+        for layer in &net.layers {
+            assert_eq!(layer.pairs.len(), layer.paths.len());
+            assert!(layer.paths.is_valid_in(h.graph()), "flattened layer invalid");
+        }
+        assert!(net.pass_cost(1) > 0);
+        assert!(net.pass_cost(4) >= 4 * net.pass_cost(1) / 2, "cost scales with load");
+    }
+}

@@ -1,0 +1,453 @@
+//! The public preprocessing/query API (Theorem 1.1).
+
+use crate::cost_model::CostModel;
+use crate::exec::Exec;
+use crate::network::EmbeddedNetwork;
+use crate::token::{
+    InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome,
+};
+use congest_sim::{cost, RoundLedger};
+use expander_decomp::{
+    build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, Shuffler, ShufflerParams,
+};
+use expander_graphs::{Embedding, Graph, Path, PathSet, VertexId};
+use std::collections::HashMap;
+
+/// Configuration for [`Router::preprocess`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfig {
+    /// Hierarchy construction parameters (Theorem 3.2).
+    pub hierarchy: HierarchyParams,
+    /// Shuffler construction parameters (Lemma 5.5).
+    pub shuffler: ShufflerParams,
+}
+
+impl RouterConfig {
+    /// A configuration with the given `ε` (preprocessing/query
+    /// tradeoff knob of Theorem 1.1) and defaults elsewhere.
+    pub fn for_epsilon(epsilon: f64) -> Self {
+        RouterConfig {
+            hierarchy: HierarchyParams::for_epsilon(epsilon),
+            shuffler: ShufflerParams::default(),
+        }
+    }
+}
+
+/// The preprocessed deterministic expander router.
+///
+/// Built once per graph by [`Router::preprocess`]
+/// (`n^{O(ε)} + poly·log^{O(1/ε)} n` charged rounds), then each
+/// [`Router::route`] query costs `L·poly(log^{1/ε} n)` charged rounds
+/// (Theorem 1.1). See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Router {
+    pub(crate) graph: Graph,
+    pub(crate) hier: Hierarchy,
+    pub(crate) shufflers: Vec<Option<Shuffler>>,
+    /// Flattened per-iteration shuffler embeddings, by node.
+    pub(crate) rounds_flat: Vec<Vec<Embedding>>,
+    /// Per node, per round: `(i, j) -> indices of matching edges` with
+    /// an endpoint in part `i` and the other in part `j`.
+    pub(crate) portal_index: Vec<Vec<HashMap<(u16, u16), Vec<u32>>>>,
+    /// Per node: dense `global vertex -> part index` (`u16::MAX` when
+    /// absent); empty vec for leaves.
+    pub(crate) part_of: Vec<Vec<u16>>,
+    /// Per node, per part: flattened `M*` embedding plus a
+    /// `bad vertex -> edge index` map.
+    pub(crate) mstar_flat: Vec<Vec<Embedding>>,
+    pub(crate) mstar_lookup: Vec<Vec<HashMap<u32, usize>>>,
+    pub(crate) leaf_nets: Vec<Option<EmbeddedNetwork>>,
+    /// Per graph vertex: its best-node delegate (§1.3, Appendix D).
+    pub(crate) delegate: Vec<VertexId>,
+    /// Per graph vertex: explicit base-graph path `v -> delegate(v)`
+    /// (the `Mroot` leg plus the per-level `M*` legs).
+    pub(crate) chain: Vec<Path>,
+    /// Per graph vertex: rank within the root best set (`u32::MAX` for
+    /// non-best vertices).
+    pub(crate) best_rank: Vec<u32>,
+    /// Per node: prefix counts of best vertices per part
+    /// (`prefix[j] = Σ_{j' < j} |best ∩ X*_{j'}|`, length `t + 1`).
+    pub(crate) best_prefix: Vec<Vec<u32>>,
+    pub(crate) cost: CostModel,
+    pre_ledger: RoundLedger,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Preprocesses `graph` (a constant-degree expander): hierarchy,
+    /// shufflers, leaf networks, delegate chains, cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the graph is disconnected or too small
+    /// (`n < 64`).
+    pub fn preprocess(graph: &Graph, config: RouterConfig) -> Result<Router, BuildError> {
+        if graph.n() < 64 {
+            return Err(BuildError::TooSmall { n: graph.n() });
+        }
+        let hier = Hierarchy::build(graph, config.hierarchy.clone())?;
+        let mut pre_ledger = RoundLedger::new();
+        pre_ledger.merge(hier.ledger());
+
+        let n_nodes = hier.nodes().len();
+        let mut shufflers: Vec<Option<Shuffler>> = vec![None; n_nodes];
+        let mut rounds_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
+        let mut portal_index: Vec<Vec<HashMap<(u16, u16), Vec<u32>>>> =
+            vec![Vec::new(); n_nodes];
+        let mut part_of: Vec<Vec<u16>> = vec![Vec::new(); n_nodes];
+        let mut mstar_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
+        let mut mstar_lookup: Vec<Vec<HashMap<u32, usize>>> = vec![Vec::new(); n_nodes];
+        let mut leaf_nets: Vec<Option<EmbeddedNetwork>> = vec![None; n_nodes];
+        let mut mstar_sq: Vec<u64> = vec![4; n_nodes];
+
+        for id in 0..n_nodes {
+            let nd = hier.node(id);
+            if nd.is_leaf() {
+                let net = EmbeddedNetwork::build(&hier, id);
+                // §6.4 preprocessing: gather the leaf topology and lay
+                // down the routable network.
+                pre_ledger.charge(
+                    "pre/leaf",
+                    cost::diameter_primitive(
+                        nd.vertices.len() as u64 + nd.diameter.min(1 << 16) as u64,
+                        nd.flat_quality as u64,
+                    ) + net.pass_cost(1),
+                );
+                leaf_nets[id] = Some(net);
+                continue;
+            }
+            // Internal: shuffler + part maps + flattened M*.
+            let sh = build_shuffler(&hier, id, &config.shuffler, &mut pre_ledger);
+            let mut po = vec![u16::MAX; graph.n()];
+            for (pi, p) in nd.parts.iter().enumerate() {
+                for &v in &p.all {
+                    po[v as usize] = pi as u16;
+                }
+            }
+            let mut flats = Vec::with_capacity(sh.rounds.len());
+            let mut pidx = Vec::with_capacity(sh.rounds.len());
+            for round in &sh.rounds {
+                let flat = hier.flatten_from(id, &round.embedding);
+                let mut map: HashMap<(u16, u16), Vec<u32>> = HashMap::new();
+                for (ei, &(a, b)) in round.endpoint_parts.iter().enumerate() {
+                    map.entry((a as u16, b as u16)).or_default().push(ei as u32);
+                    map.entry((b as u16, a as u16)).or_default().push(ei as u32);
+                }
+                pidx.push(map);
+                flats.push(flat);
+            }
+            let mut worst_mstar = 4u64;
+            let mut part_embs = Vec::with_capacity(nd.parts.len());
+            let mut part_lookups = Vec::with_capacity(nd.parts.len());
+            for p in &nd.parts {
+                let flat = hier.flatten_from(id, &p.matching_embedding);
+                let q = flat.quality().max(2) as u64;
+                worst_mstar = worst_mstar.max(q * q);
+                let lookup: HashMap<u32, usize> = flat
+                    .virtual_edges()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(b, _))| (b, i))
+                    .collect();
+                part_embs.push(flat);
+                part_lookups.push(lookup);
+            }
+            shufflers[id] = Some(sh);
+            rounds_flat[id] = flats;
+            portal_index[id] = pidx;
+            part_of[id] = po;
+            mstar_flat[id] = part_embs;
+            mstar_lookup[id] = part_lookups;
+            mstar_sq[id] = worst_mstar;
+        }
+
+        // Delegates and chains (Appendix D's all-to-best delegation).
+        let root = hier.root();
+        let root_best = hier.node(root).best.clone();
+        let mut best_rank = vec![u32::MAX; graph.n()];
+        for (r, &b) in root_best.iter().enumerate() {
+            best_rank[b as usize] = r as u32;
+        }
+        let mut delegate = vec![u32::MAX; graph.n()];
+        let mut chain: Vec<Path> = (0..graph.n() as u32).map(Path::trivial).collect();
+        let mroot_map: HashMap<u32, (u32, usize)> = hier
+            .mroot()
+            .iter()
+            .enumerate()
+            .map(|(i, &(o, w))| (o, (w, i)))
+            .collect();
+        for v in 0..graph.n() as u32 {
+            let mut segs: Vec<Path> = Vec::new();
+            let mut cur = v;
+            if let Some(&(w, idx)) = mroot_map.get(&v) {
+                segs.push(hier.mroot_embedding().path(idx).clone());
+                cur = w;
+            }
+            let mut node = root;
+            loop {
+                let nd = hier.node(node);
+                if nd.is_leaf() {
+                    break;
+                }
+                let pi = part_of[node][cur as usize] as usize;
+                let part = &nd.parts[pi];
+                let child = part.child;
+                if hier.node(child).vertices.binary_search(&cur).is_err() {
+                    // Bad vertex: hop to its good mate.
+                    let ei = mstar_lookup[node][pi][&cur];
+                    let p = mstar_flat[node][pi].path(ei).clone();
+                    let mate = p.target();
+                    segs.push(p);
+                    cur = mate;
+                }
+                node = child;
+            }
+            delegate[v as usize] = cur;
+            chain[v as usize] = concat_paths(v, segs);
+        }
+        // Charge the all-to-best preprocessing run (Appendix D): one
+        // token per vertex travels its chain.
+        let chain_set: PathSet = chain.iter().cloned().collect();
+        pre_ledger.charge("pre/all-to-best", cost::route_once(&chain_set));
+
+        // Best-prefix tables for the Task 2 marker rewrite.
+        let mut best_prefix: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        for id in 0..n_nodes {
+            let nd = hier.node(id);
+            if nd.is_leaf() {
+                continue;
+            }
+            let mut prefix = Vec::with_capacity(nd.parts.len() + 1);
+            prefix.push(0u32);
+            for p in &nd.parts {
+                let last = *prefix.last().expect("non-empty");
+                prefix.push(last + hier.node(p.child).best.len() as u32);
+            }
+            best_prefix[id] = prefix;
+        }
+
+        let cost_model = CostModel::build(&hier, &shufflers, &rounds_flat, &leaf_nets, mstar_sq);
+
+        // §6.5 preprocessing recurrences: laying down the routable
+        // sorting networks costs `O(log n)·T₂(X, 1)` per internal node
+        // (Theorem 5.6's `T_pre_sort`), which dominates the
+        // preprocessing alongside the hierarchy/shuffler construction.
+        for id in 0..n_nodes {
+            if !hier.node(id).is_leaf() {
+                pre_ledger.charge(
+                    "pre/routable-networks",
+                    cost_model.c_logn * cost_model.t2_unit[id],
+                );
+            }
+        }
+
+        Ok(Router {
+            graph: graph.clone(),
+            hier,
+            shufflers,
+            rounds_flat,
+            portal_index,
+            part_of,
+            mstar_flat,
+            mstar_lookup,
+            leaf_nets,
+            delegate,
+            chain,
+            best_rank,
+            best_prefix,
+            cost: cost_model,
+            pre_ledger,
+            config,
+        })
+    }
+
+    /// The base graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The shuffler of an internal node, if any.
+    pub fn shuffler(&self, node: NodeId) -> Option<&Shuffler> {
+        self.shufflers[node].as_ref()
+    }
+
+    /// The embedded sorting network of a leaf node, if any.
+    pub fn leaf_network(&self, node: NodeId) -> Option<&EmbeddedNetwork> {
+        self.leaf_nets[node].as_ref()
+    }
+
+    /// Rounds charged during preprocessing (Theorem 1.1's first term).
+    pub fn preprocessing_ledger(&self) -> &RoundLedger {
+        &self.pre_ledger
+    }
+
+    /// The query-time cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The best-node delegate of a vertex (Appendix D).
+    pub fn delegate_of(&self, v: VertexId) -> VertexId {
+        self.delegate[v as usize]
+    }
+
+    /// Answers a Task 1 routing query (Definition 4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token references a vertex outside the
+    /// graph.
+    pub fn route(&self, inst: &RoutingInstance) -> Result<RoutingOutcome, InstanceError> {
+        for t in &inst.tokens {
+            if t.src as usize >= self.graph.n() || t.dst as usize >= self.graph.n() {
+                return Err(InstanceError::new(format!(
+                    "token ({}, {}) outside vertex range",
+                    t.src, t.dst
+                )));
+            }
+        }
+        Ok(Exec::new(self).run_route(inst))
+    }
+
+    /// Answers an expander-sorting query (Theorem 5.6 /
+    /// `ExpanderSorting` of Appendix F).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token references a vertex outside the
+    /// graph.
+    pub fn sort(&self, inst: &SortInstance) -> Result<SortOutcome, InstanceError> {
+        for t in &inst.tokens {
+            if t.src as usize >= self.graph.n() {
+                return Err(InstanceError::new(format!("source {} outside range", t.src)));
+            }
+        }
+        Ok(Exec::new(self).run_sort(inst))
+    }
+}
+
+/// Concatenates path segments starting at `start`, asserting
+/// continuity.
+fn concat_paths(start: VertexId, segs: Vec<Path>) -> Path {
+    let mut verts = vec![start];
+    for s in segs {
+        assert_eq!(
+            s.source(),
+            *verts.last().expect("non-empty"),
+            "chain segments must be contiguous"
+        );
+        verts.extend_from_slice(&s.vertices()[1..]);
+    }
+    Path::new(verts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    fn router(n: usize, seed: u64) -> Router {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    }
+
+    #[test]
+    fn preprocess_builds_all_structures() {
+        let r = router(256, 1);
+        let internal: Vec<_> =
+            r.hierarchy().nodes().iter().filter(|nd| !nd.is_leaf()).collect();
+        assert!(!internal.is_empty());
+        for nd in &internal {
+            assert!(r.shuffler(nd.id).is_some(), "internal node lacks shuffler");
+            assert!(!r.rounds_flat[nd.id].is_empty());
+            assert_eq!(r.best_prefix[nd.id].len(), nd.parts.len() + 1);
+        }
+        for nd in r.hierarchy().nodes() {
+            if nd.is_leaf() {
+                assert!(r.leaf_nets[nd.id].is_some());
+            }
+        }
+        assert!(r.preprocessing_ledger().total() > 0);
+    }
+
+    #[test]
+    fn delegates_are_best_vertices_with_bounded_fan_in() {
+        let r = router(256, 2);
+        let root_best = &r.hierarchy().node(r.hierarchy().root()).best;
+        let mut fan_in = std::collections::HashMap::new();
+        for v in 0..256u32 {
+            let d = r.delegate_of(v);
+            assert!(root_best.binary_search(&d).is_ok(), "delegate {d} not best");
+            *fan_in.entry(d).or_insert(0usize) += 1;
+        }
+        let max_fan = *fan_in.values().max().expect("non-empty");
+        let rho = r.hierarchy().rho_best().ceil() as usize;
+        assert!(
+            max_fan <= 4 * rho.max(1) + 2,
+            "fan-in {max_fan} vs rho {rho}"
+        );
+    }
+
+    #[test]
+    fn chains_connect_vertex_to_delegate() {
+        let r = router(256, 3);
+        for v in 0..256u32 {
+            let c = &r.chain[v as usize];
+            assert_eq!(c.source(), v);
+            assert_eq!(c.target(), r.delegate_of(v));
+            assert!(c.is_valid_in(r.graph()) || c.hops() == 0, "chain invalid for {v}");
+        }
+    }
+
+    #[test]
+    fn best_prefix_sums_match_best_counts() {
+        let r = router(256, 4);
+        for nd in r.hierarchy().nodes() {
+            if nd.is_leaf() {
+                continue;
+            }
+            let prefix = &r.best_prefix[nd.id];
+            assert_eq!(
+                *prefix.last().expect("non-empty") as usize,
+                nd.best.len(),
+                "prefix total mismatches best count"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_units_are_positive_and_monotone() {
+        let r = router(256, 5);
+        let root = r.hierarchy().root();
+        assert!(r.cost_model().t2_unit[root] > 0);
+        assert!(r.cost_model().t3_unit[root] > 0);
+        assert!(r.cost_model().tsort_unit[root] > 0);
+        // Root units dominate child units (costs accumulate upward).
+        for p in &r.hierarchy().node(root).parts {
+            assert!(r.cost_model().t2_unit[root] >= r.cost_model().t2_unit[p.child]);
+        }
+    }
+
+    #[test]
+    fn rejects_small_graphs() {
+        let g = generators::ring(32);
+        assert!(Router::preprocess(&g, RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_tokens() {
+        let r = router(128, 6);
+        let inst = RoutingInstance::from_triples(&[(0, 9999, 0)]);
+        assert!(r.route(&inst).is_err());
+    }
+}

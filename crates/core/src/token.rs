@@ -1,0 +1,420 @@
+//! Routing and sorting instances and their outcomes.
+
+use congest_sim::RoundLedger;
+use expander_graphs::VertexId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// One token of a routing instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteToken {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Opaque user payload.
+    pub payload: u64,
+}
+
+/// A Task 1 instance (Definition 4.1): each vertex is the source and
+/// the destination of at most `L` tokens.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingInstance {
+    /// The tokens to deliver.
+    pub tokens: Vec<RouteToken>,
+}
+
+impl RoutingInstance {
+    /// Builds an instance from `(src, dst, payload)` triples.
+    pub fn from_triples(triples: &[(VertexId, VertexId, u64)]) -> Self {
+        RoutingInstance {
+            tokens: triples
+                .iter()
+                .map(|&(src, dst, payload)| RouteToken { src, dst, payload })
+                .collect(),
+        }
+    }
+
+    /// A seeded random permutation instance: vertex `v` sends one token
+    /// to `π(v)` (load `L = 1`).
+    pub fn permutation(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut targets: Vec<u32> = (0..n as u32).collect();
+        targets.shuffle(&mut rng);
+        RoutingInstance {
+            tokens: (0..n as u32)
+                .map(|v| RouteToken { src: v, dst: targets[v as usize], payload: v as u64 })
+                .collect(),
+        }
+    }
+
+    /// A seeded instance with exactly `l` tokens per source, targets
+    /// chosen as `l` random permutations (so destination load is `l`).
+    pub fn uniform_load(n: usize, l: usize, seed: u64) -> Self {
+        let mut tokens = Vec::with_capacity(n * l);
+        for round in 0..l {
+            let p = RoutingInstance::permutation(n, seed.wrapping_add(round as u64 * 7919));
+            tokens.extend(p.tokens.iter().map(|t| RouteToken {
+                src: t.src,
+                dst: t.dst,
+                payload: t.payload + (round as u64) << 32,
+            }));
+        }
+        RoutingInstance { tokens }
+    }
+
+    /// The classic adversarial bit-reversal permutation: vertex `v`
+    /// sends to the bit-reversal of `v` (requires `n` a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn bit_reversal(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "bit reversal needs a power of two");
+        let bits = n.trailing_zeros();
+        RoutingInstance {
+            tokens: (0..n as u32)
+                .map(|v| RouteToken {
+                    src: v,
+                    dst: v.reverse_bits() >> (32 - bits),
+                    payload: v as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// The matrix-transpose permutation on a `rows × cols` grid of
+    /// vertices: `(r, c) -> (c, r)` (requires `rows == cols` for a
+    /// permutation; the instance covers `rows·cols` vertices).
+    pub fn transpose(side: usize) -> Self {
+        let n = side * side;
+        RoutingInstance {
+            tokens: (0..n as u32)
+                .map(|v| {
+                    let (r, c) = (v as usize / side, v as usize % side);
+                    RouteToken { src: v, dst: (c * side + r) as u32, payload: v as u64 }
+                })
+                .collect(),
+        }
+    }
+
+    /// A cyclic shift: vertex `v` sends to `v + distance (mod n)`.
+    pub fn shift(n: usize, distance: usize) -> Self {
+        RoutingInstance {
+            tokens: (0..n as u32)
+                .map(|v| RouteToken {
+                    src: v,
+                    dst: ((v as usize + distance) % n) as u32,
+                    payload: v as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// A hotspot workload: sources spread over all vertices, targets
+    /// concentrated on `spots` vertices, capped at `cap` tokens per
+    /// target (so the instance load is `max(1, cap)`).
+    pub fn hotspot(n: usize, spots: usize, cap: usize, seed: u64) -> Self {
+        assert!(spots >= 1 && spots <= n, "spot count out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tokens = Vec::new();
+        let mut per_spot = vec![0usize; spots];
+        let mut srcs: Vec<u32> = (0..n as u32).collect();
+        srcs.shuffle(&mut rng);
+        for &src in &srcs {
+            let spot = rng.gen_range(0..spots);
+            if per_spot[spot] < cap {
+                per_spot[spot] += 1;
+                tokens.push(RouteToken {
+                    src,
+                    dst: (spot * (n / spots)) as u32,
+                    payload: src as u64,
+                });
+            }
+        }
+        RoutingInstance { tokens }
+    }
+
+    /// The instance's load `L`: the maximum, over vertices, of tokens
+    /// sourced at or destined to that vertex.
+    pub fn load(&self, n: usize) -> usize {
+        let mut src_load = vec![0usize; n];
+        let mut dst_load = vec![0usize; n];
+        for t in &self.tokens {
+            src_load[t.src as usize] += 1;
+            dst_load[t.dst as usize] += 1;
+        }
+        src_load
+            .iter()
+            .chain(dst_load.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One token of a sorting instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortToken {
+    /// The vertex initially holding the token.
+    pub src: VertexId,
+    /// The (not necessarily unique) sort key.
+    pub key: u64,
+    /// Opaque user payload.
+    pub payload: u64,
+}
+
+/// An expander-sorting instance (Theorem 5.6 / Appendix F): each vertex
+/// holds at most `L` tokens; afterwards keys must be non-decreasing in
+/// vertex-ID order with at most `L` tokens per vertex.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortInstance {
+    /// The tokens to sort.
+    pub tokens: Vec<SortToken>,
+}
+
+impl SortInstance {
+    /// Builds an instance from `(src, key, payload)` triples.
+    pub fn from_triples(triples: &[(VertexId, u64, u64)]) -> Self {
+        SortInstance {
+            tokens: triples
+                .iter()
+                .map(|&(src, key, payload)| SortToken { src, key, payload })
+                .collect(),
+        }
+    }
+
+    /// A seeded instance with `l` tokens of random keys per vertex.
+    pub fn random(n: usize, l: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tokens = Vec::with_capacity(n * l);
+        for v in 0..n as u32 {
+            for i in 0..l {
+                tokens.push(SortToken {
+                    src: v,
+                    key: rng.gen_range(0..1_000_000),
+                    payload: (v as u64) << 8 | i as u64,
+                });
+            }
+        }
+        SortInstance { tokens }
+    }
+
+    /// Maximum tokens per source vertex.
+    pub fn load(&self, n: usize) -> usize {
+        let mut l = vec![0usize; n];
+        for t in &self.tokens {
+            l[t.src as usize] += 1;
+        }
+        l.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Error for malformed instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceError {
+    message: String,
+}
+
+impl InstanceError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        InstanceError { message: message.into() }
+    }
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instance: {}", self.message)
+    }
+}
+
+impl Error for InstanceError {}
+
+/// Statistics collected while executing a query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Maximum per-vertex load observed during dispersal, per shuffler
+    /// iteration (Lemma 6.6's quantity), worst over all Task 3 calls.
+    pub max_load_trace: Vec<usize>,
+    /// Tokens delivered through the small-`n` fallback instead of the
+    /// dummy-escort pairing (DESIGN.md substitution 6). Zero at
+    /// adequate scale.
+    pub fallback_tokens: u64,
+    /// `(i, l)` dispersion-envelope violations observed (Lemma 6.2's
+    /// bound with the `λt` additive term).
+    pub dispersion_violations: u64,
+    /// Dispersion pairs checked.
+    pub dispersion_checked: u64,
+    /// Task 3 invocations.
+    pub task3_calls: u64,
+    /// Expander-sort subcalls charged via the cost model.
+    pub charged_sorts: u64,
+}
+
+/// Outcome of a routing query.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Final position of each token (aligned with the instance).
+    pub positions: Vec<VertexId>,
+    /// Destination of each token (copied from the instance).
+    pub destinations: Vec<VertexId>,
+    /// Charged rounds, by phase.
+    pub ledger: RoundLedger,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl RoutingOutcome {
+    /// Whether every token sits at its destination.
+    pub fn all_delivered(&self) -> bool {
+        self.positions
+            .iter()
+            .zip(&self.destinations)
+            .all(|(p, d)| p == d)
+    }
+
+    /// Total charged rounds for the query.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.total()
+    }
+}
+
+/// Outcome of a sorting query.
+#[derive(Debug, Clone)]
+pub struct SortOutcome {
+    /// Final position of each token (aligned with the instance).
+    pub positions: Vec<VertexId>,
+    /// Charged rounds, by phase.
+    pub ledger: RoundLedger,
+}
+
+impl SortOutcome {
+    /// Total charged rounds.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    /// Verifies the sorting postcondition against the instance: for
+    /// tokens `x` at `u` and `y` at `v` with `ID(u) < ID(v)`,
+    /// `key(x) <= key(y)`, and no vertex holds more than `load` tokens.
+    pub fn is_sorted(&self, inst: &SortInstance, n: usize, load: usize) -> bool {
+        let mut per_vertex: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for (i, &p) in self.positions.iter().enumerate() {
+            per_vertex[p as usize].push(inst.tokens[i].key);
+        }
+        let mut prev_max: Option<u64> = None;
+        for keys in &per_vertex {
+            if keys.len() > load {
+                return false;
+            }
+            if keys.is_empty() {
+                continue;
+            }
+            let lo = *keys.iter().min().expect("non-empty");
+            let hi = *keys.iter().max().expect("non-empty");
+            if let Some(pm) = prev_max {
+                if lo < pm {
+                    return false;
+                }
+            }
+            prev_max = Some(hi);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_has_unit_load() {
+        let inst = RoutingInstance::permutation(64, 1);
+        assert_eq!(inst.tokens.len(), 64);
+        assert_eq!(inst.load(64), 1);
+    }
+
+    #[test]
+    fn uniform_load_is_l() {
+        let inst = RoutingInstance::uniform_load(32, 3, 2);
+        assert_eq!(inst.tokens.len(), 96);
+        assert_eq!(inst.load(32), 3);
+    }
+
+    #[test]
+    fn bit_reversal_is_a_permutation() {
+        let inst = RoutingInstance::bit_reversal(16);
+        let mut dsts: Vec<u32> = inst.tokens.iter().map(|t| t.dst).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, (0..16u32).collect::<Vec<_>>());
+        assert_eq!(inst.tokens[1].dst, 8, "0001 reversed over 4 bits is 1000");
+        assert_eq!(inst.load(16), 1);
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let inst = RoutingInstance::transpose(5);
+        assert_eq!(inst.load(25), 1);
+        for t in &inst.tokens {
+            let (r, c) = (t.src as usize / 5, t.src as usize % 5);
+            assert_eq!(t.dst as usize, c * 5 + r);
+        }
+    }
+
+    #[test]
+    fn shift_wraps_around() {
+        let inst = RoutingInstance::shift(10, 3);
+        assert_eq!(inst.tokens[9].dst, 2);
+        assert_eq!(inst.load(10), 1);
+    }
+
+    #[test]
+    fn hotspot_respects_cap() {
+        let inst = RoutingInstance::hotspot(64, 4, 5, 7);
+        assert!(inst.load(64) <= 5);
+        let dsts: std::collections::HashSet<u32> =
+            inst.tokens.iter().map(|t| t.dst).collect();
+        assert!(dsts.len() <= 4, "at most 4 hotspots");
+    }
+
+    #[test]
+    fn sort_instance_load() {
+        let inst = SortInstance::random(16, 2, 3);
+        assert_eq!(inst.load(16), 2);
+    }
+
+    #[test]
+    fn outcome_delivery_check() {
+        let o = RoutingOutcome {
+            positions: vec![1, 2],
+            destinations: vec![1, 2],
+            ledger: RoundLedger::new(),
+            stats: QueryStats::default(),
+        };
+        assert!(o.all_delivered());
+    }
+
+    #[test]
+    fn sortedness_check_works() {
+        let inst = SortInstance::from_triples(&[(0, 9, 0), (1, 1, 0), (2, 5, 0)]);
+        let good = SortOutcome {
+            positions: vec![2, 0, 1],
+            ledger: RoundLedger::new(),
+        };
+        assert!(good.is_sorted(&inst, 3, 1));
+        let bad = SortOutcome {
+            positions: vec![0, 1, 2],
+            ledger: RoundLedger::new(),
+        };
+        assert!(!bad.is_sorted(&inst, 3, 1));
+        let overloaded = SortOutcome {
+            positions: vec![0, 0, 0],
+            ledger: RoundLedger::new(),
+        };
+        assert!(!overloaded.is_sorted(&inst, 3, 1));
+        assert!(overloaded.is_sorted(&inst, 3, 3));
+    }
+}

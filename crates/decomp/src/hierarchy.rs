@@ -1,0 +1,1052 @@
+//! The one-shot hierarchical decomposition (paper §3, Appendix A).
+//!
+//! Construction summary (DESIGN.md substitution 4 documents how this
+//! differs from the literal CS20 recursion):
+//!
+//! 1. Partition the current node's vertex set into `k ≈ n^ε` ID-ordered
+//!    parts.
+//! 2. Play a cut-matching game *simultaneously* for all parts inside the
+//!    node's virtual graph `H_X` (the root plays inside the base graph
+//!    `G`): each iteration, a seeded-projection cut player picks a
+//!    bisection of each part's matchings-so-far, and the shared-budget
+//!    matching player packs saturating paths. Sources that cannot be
+//!    matched are deactivated.
+//! 3. Surviving vertices `U_i` form the good child `X_i` with virtual
+//!    graph `H_i` = union of its matchings; deactivated/failed vertices
+//!    are matched back into the good children as the bad sets `X'_i`
+//!    (Property 3.1(3)); at the root, stragglers become `V ∖ W`,
+//!    covered by the `Mroot` matching (Lemma 3.5).
+//! 4. Recurse on each good child until the leaf threshold.
+
+use crate::cut_player::{deviation_mass, median_split, probe_vector, replay_walk};
+use crate::host::HostGraph;
+use crate::packing::{pack_matching_with, EscalationConfig, Packer};
+use congest_sim::{cost, RoundLedger};
+use expander_graphs::{metrics, Embedding, Graph, Path, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node inside a [`Hierarchy`].
+pub type NodeId = usize;
+
+/// Tuning knobs for [`Hierarchy::build`].
+#[derive(Debug, Clone)]
+pub struct HierarchyParams {
+    /// The paper's `ε`: nodes split into `k = ⌈n^ε⌉` parts.
+    pub epsilon: f64,
+    /// Cut-matching iterations per part = `⌈lambda_factor · log₂ n⌉`.
+    pub lambda_factor: f64,
+    /// Nodes of at most this size become leaves; `None` picks
+    /// `max(4k, 48)`.
+    pub leaf_size: Option<usize>,
+    /// Parts whose surviving set is smaller than this fail outright.
+    pub min_child: usize,
+    /// Base seed for all derandomized projections.
+    pub seed: u64,
+    /// Safety cap on hierarchy depth.
+    pub max_levels: u32,
+    /// Initial packing caps (escalated geometrically).
+    pub escalation: EscalationConfig,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        HierarchyParams {
+            epsilon: 0.33,
+            lambda_factor: 1.5,
+            leaf_size: None,
+            min_child: 6,
+            seed: 0xE5CA1ADE,
+            max_levels: 8,
+            escalation: EscalationConfig::default(),
+        }
+    }
+}
+
+impl HierarchyParams {
+    /// Parameters with a given `ε`, everything else default.
+    pub fn for_epsilon(epsilon: f64) -> Self {
+        HierarchyParams { epsilon, ..HierarchyParams::default() }
+    }
+}
+
+/// Error from [`Hierarchy::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input graph is disconnected (routing is undefined).
+    Disconnected,
+    /// The input graph is too small for the requested parameters.
+    TooSmall {
+        /// Number of vertices supplied.
+        n: usize,
+    },
+    /// The construction could not cover enough of the graph — either
+    /// the input is too far from an expander or the packing budget
+    /// (escalation caps) is too tight for Lemma 3.5's premise
+    /// `|W| ≥ (2/3)|V|`.
+    RootCoverage {
+        /// Vertices the root covers.
+        covered: usize,
+        /// Vertices left outside and unmatched.
+        unmatched: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Disconnected => write!(f, "input graph is disconnected"),
+            BuildError::TooSmall { n } => write!(f, "input graph too small (n = {n})"),
+            BuildError::RootCoverage { covered, unmatched } => write!(
+                f,
+                "root covers only {covered} vertices; {unmatched} stragglers cannot be \
+                 matched in (weak expander or packing caps too tight)"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// One part `X*_i = X_i ∪ X'_i` of an internal node.
+#[derive(Debug, Clone)]
+pub struct HierarchyPart {
+    /// Node id of the good child `X_i`.
+    pub child: NodeId,
+    /// The bad set `X'_i` (sorted).
+    pub bad: Vec<VertexId>,
+    /// Matching `M*_i`: `(bad vertex, good mate)` pairs.
+    pub matching: Vec<(VertexId, VertexId)>,
+    /// Paths in this node's `H_X` realizing the matching.
+    pub matching_embedding: Embedding,
+    /// All vertices `X*_i` (sorted).
+    pub all: Vec<VertexId>,
+}
+
+/// A node of the hierarchical decomposition.
+#[derive(Debug, Clone)]
+pub struct HierarchyNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Parent id (`None` at the root).
+    pub parent: Option<NodeId>,
+    /// Depth (root = 0).
+    pub level: u32,
+    /// Sorted global vertex ids of `X`.
+    pub vertices: Vec<VertexId>,
+    /// Edges of the virtual graph `H_X` (global ids). At the root this
+    /// is the full base graph (`H_root = G`, identity embedding).
+    pub virtual_edges: Vec<(VertexId, VertexId)>,
+    /// Embedding of `H_X` into the parent's virtual graph (`None` at
+    /// the root: identity).
+    pub embedding_to_parent: Option<Embedding>,
+    /// Flattened embedding `f⁰_X : H_X → G` (Definition 3.3); `None`
+    /// at the root.
+    pub flat: Option<Embedding>,
+    /// `Q(f⁰_X(H_X))`, the flattened quality (2 at the root: identity).
+    pub flat_quality: usize,
+    /// Parts of an internal node (empty for leaves).
+    pub parts: Vec<HierarchyPart>,
+    /// `X_best`: union of good-leaf descendants (sorted).
+    pub best: Vec<VertexId>,
+    /// Diameter estimate of `H_X`.
+    pub diameter: u32,
+    /// Spectral gap of `H_X` (quality witness for the embedding).
+    pub spectral_gap: f64,
+}
+
+impl HierarchyNode {
+    /// Whether this node is a leaf (good terminal node).
+    pub fn is_leaf(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Number of parts `t`.
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// The hierarchical decomposition of a constant-degree expander,
+/// satisfying (a relaxed-constant form of) Property 3.1.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    graph: Graph,
+    k: usize,
+    lambda: u32,
+    nodes: Vec<HierarchyNode>,
+    root: NodeId,
+    outside: Vec<VertexId>,
+    mroot: Vec<(VertexId, VertexId)>,
+    mroot_embedding: Embedding,
+    rho_best: f64,
+    ledger: RoundLedger,
+    params: HierarchyParams,
+}
+
+impl Hierarchy {
+    /// Builds the decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the graph is disconnected or has fewer
+    /// than 16 vertices.
+    pub fn build(graph: &Graph, params: HierarchyParams) -> Result<Hierarchy, BuildError> {
+        let n = graph.n();
+        if n < 16 {
+            return Err(BuildError::TooSmall { n });
+        }
+        if !graph.is_connected() {
+            return Err(BuildError::Disconnected);
+        }
+        let k = (n as f64).powf(params.epsilon).ceil() as usize;
+        let k = k.clamp(3, 96);
+        let leaf_size = params.leaf_size.unwrap_or_else(|| (4 * k).max(48));
+        let lambda = ((n as f64).log2() * params.lambda_factor).ceil().max(6.0) as u32;
+
+        let mut builder = Builder {
+            graph,
+            k,
+            leaf_size,
+            lambda,
+            params: params.clone(),
+            nodes: Vec::new(),
+            ledger: RoundLedger::new(),
+        };
+
+        // Top-level game inside G itself.
+        let root_host = HostGraph::from_graph(graph);
+        let all: Vec<VertexId> = (0..n as u32).collect();
+        let outcome = builder.partition_game(&root_host, &all, 0, 2);
+        if outcome.parts.len() < 2 {
+            return Err(BuildError::RootCoverage { covered: 0, unmatched: n });
+        }
+
+        let root_id = builder.nodes.len();
+        let root_edges: Vec<(u32, u32)> = graph.edges().collect();
+        builder.nodes.push(HierarchyNode {
+            id: root_id,
+            parent: None,
+            level: 0,
+            vertices: Vec::new(), // filled below
+            virtual_edges: root_edges,
+            embedding_to_parent: None,
+            flat: None,
+            flat_quality: 2,
+            parts: Vec::new(),
+            best: Vec::new(),
+            diameter: graph.diameter_estimate(),
+            spectral_gap: metrics::spectral_gap(graph, params.seed),
+        });
+
+        let (parts, outside, mroot, mroot_embedding) =
+            builder.attach_parts(root_id, &root_host, outcome, true)?;
+        let mut root_vertices: Vec<VertexId> = Vec::new();
+        for p in &parts {
+            root_vertices.extend_from_slice(&p.all);
+        }
+        root_vertices.sort_unstable();
+        builder.nodes[root_id].vertices = root_vertices;
+        builder.nodes[root_id].parts = parts;
+
+        // Best sets, bottom-up.
+        let mut best_cache: Vec<Option<Vec<VertexId>>> = vec![None; builder.nodes.len()];
+        let root_best = builder.compute_best(root_id, &mut best_cache);
+        for (id, best) in best_cache.into_iter().enumerate() {
+            builder.nodes[id].best = best.unwrap_or_default();
+        }
+        builder.nodes[root_id].best = root_best;
+
+        let rho_best = builder
+            .nodes
+            .iter()
+            .filter(|nd| !nd.best.is_empty())
+            .map(|nd| nd.vertices.len() as f64 / nd.best.len() as f64)
+            .fold(1.0f64, f64::max);
+
+        Ok(Hierarchy {
+            graph: graph.clone(),
+            k,
+            lambda,
+            nodes: builder.nodes,
+            root: root_id,
+            outside,
+            mroot,
+            mroot_embedding,
+            rho_best,
+            ledger: builder.ledger,
+            params,
+        })
+    }
+
+    /// The base graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The paper's `k = ⌈n^ε⌉` (clamped).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Cut-matching iterations per part used during construction.
+    pub fn lambda(&self) -> u32 {
+        self.lambda
+    }
+
+    /// Parameters the hierarchy was built with.
+    pub fn params(&self) -> &HierarchyParams {
+        &self.params
+    }
+
+    /// All nodes (index = [`NodeId`]).
+    pub fn nodes(&self) -> &[HierarchyNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &HierarchyNode {
+        &self.nodes[id]
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Vertices outside the root (`V ∖ W`), each matched into `W` by
+    /// [`Hierarchy::mroot`].
+    pub fn outside(&self) -> &[VertexId] {
+        &self.outside
+    }
+
+    /// The `Mroot` matching `(outside vertex, root mate)` (Lemma 3.5).
+    pub fn mroot(&self) -> &[(VertexId, VertexId)] {
+        &self.mroot
+    }
+
+    /// Paths in `G` realizing [`Hierarchy::mroot`].
+    pub fn mroot_embedding(&self) -> &Embedding {
+        &self.mroot_embedding
+    }
+
+    /// `ρ_best = max_X |X| / |X_best|` (Definition 3.7).
+    pub fn rho_best(&self) -> f64 {
+        self.rho_best
+    }
+
+    /// Rounds charged during construction (Theorem 3.2's preprocessing).
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|nd| nd.level).max().unwrap_or(0)
+    }
+
+    /// Flattens an embedding whose paths live in `node`'s virtual graph
+    /// down to paths in `G` (Definition 3.3 / Corollary 3.4).
+    pub fn flatten_from(&self, node: NodeId, emb: &Embedding) -> Embedding {
+        match &self.nodes[node].flat {
+            None => emb.clone(),
+            Some(flat) => flat.compose_after(emb),
+        }
+    }
+
+    /// The part index of `v` within internal node `node`, if any.
+    pub fn part_of(&self, node: NodeId, v: VertexId) -> Option<usize> {
+        self.nodes[node].parts.iter().position(|p| p.all.binary_search(&v).is_ok())
+    }
+
+    /// Checks the Property 3.1 invariants (with relaxed constants
+    /// suitable for laptop-scale `n`); returns human-readable
+    /// violations, empty when all hold.
+    pub fn validate(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let n = self.graph.n();
+        // Root coverage (Property 3.1 root: |W| >= (2/3)|V|).
+        let w = self.nodes[self.root].vertices.len();
+        if (w as f64) < 0.66 * n as f64 {
+            issues.push(format!("root covers {w}/{n} < 2/3"));
+        }
+        if self.outside.len() != self.mroot.len() {
+            issues.push("Mroot does not saturate V \\ W".to_owned());
+        }
+        for nd in &self.nodes {
+            if nd.is_leaf() {
+                if nd.best != nd.vertices {
+                    issues.push(format!("leaf {} best != vertices", nd.id));
+                }
+                continue;
+            }
+            // Children partition the node.
+            let mut union: Vec<VertexId> = Vec::new();
+            for p in &nd.parts {
+                union.extend_from_slice(&p.all);
+            }
+            union.sort_unstable();
+            if union != nd.vertices {
+                issues.push(format!("node {}: parts do not partition X", nd.id));
+            }
+            // Good children are ID-ordered.
+            let mut last_max = None;
+            for p in &nd.parts {
+                let child = &self.nodes[p.child];
+                let lo = *child.vertices.first().expect("non-empty child");
+                let hi = *child.vertices.last().expect("non-empty child");
+                if let Some(lm) = last_max {
+                    if lo < lm {
+                        issues.push(format!("node {}: good children not ID-ordered", nd.id));
+                    }
+                }
+                last_max = Some(hi);
+                // |X'_i| <= |X_i| and matching saturates the bad set.
+                if p.bad.len() > child.vertices.len() {
+                    issues.push(format!("node {}: |X'| > |X| in a part", nd.id));
+                }
+                if p.matching.len() != p.bad.len() {
+                    issues.push(format!("node {}: matching does not saturate X'", nd.id));
+                }
+                let mut mates: Vec<VertexId> = p.matching.iter().map(|&(_, g)| g).collect();
+                mates.sort_unstable();
+                let pre_dedup = mates.len();
+                mates.dedup();
+                if mates.len() != pre_dedup {
+                    issues.push(format!("node {}: M* is not a matching", nd.id));
+                }
+                for &(b, g) in &p.matching {
+                    if child.vertices.binary_search(&g).is_err() {
+                        issues.push(format!("node {}: mate {g} outside good child", nd.id));
+                    }
+                    if p.bad.binary_search(&b).is_err() {
+                        issues.push(format!("node {}: matched vertex {b} not in X'", nd.id));
+                    }
+                }
+            }
+            // Good coverage >= 1/2 (Property 3.1(3) consequence).
+            let good: usize = nd.parts.iter().map(|p| self.nodes[p.child].vertices.len()).sum();
+            if 2 * good < nd.vertices.len() {
+                issues.push(format!("node {}: good cover {}/{}", nd.id, good, nd.vertices.len()));
+            }
+            // Part size balance (relaxed 3.1(1)).
+            let t = nd.parts.len();
+            if t >= 2 {
+                let max = nd.parts.iter().map(|p| p.all.len()).max().expect("non-empty");
+                let min = nd.parts.iter().map(|p| p.all.len()).min().expect("non-empty");
+                if max > 8 * min.max(1) {
+                    issues.push(format!("node {}: part sizes {min}..{max} unbalanced", nd.id));
+                }
+            }
+        }
+        issues
+    }
+}
+
+struct Builder<'g> {
+    graph: &'g Graph,
+    k: usize,
+    leaf_size: usize,
+    lambda: u32,
+    params: HierarchyParams,
+    nodes: Vec<HierarchyNode>,
+    ledger: RoundLedger,
+}
+
+/// Raw result of the simultaneous per-part cut-matching game.
+struct GameOutcome {
+    /// Per surviving part: (U_i, H_i edges, H_i embedding paths-in-host).
+    parts: Vec<GamePart>,
+    /// Vertices not covered by any surviving part.
+    leftover: Vec<VertexId>,
+}
+
+struct GamePart {
+    survivors: Vec<VertexId>,
+    edges: Vec<(VertexId, VertexId)>,
+    embedding: Embedding,
+}
+
+impl<'g> Builder<'g> {
+    /// Plays the simultaneous cut-matching game over `vertices` inside
+    /// `host`, charging construction rounds at flattened quality
+    /// `flat_quality`.
+    fn partition_game(
+        &mut self,
+        host: &HostGraph,
+        vertices: &[VertexId],
+        level: u32,
+        flat_quality: usize,
+    ) -> GameOutcome {
+        let k = self.k;
+        let n_part = vertices.len().div_ceil(k);
+        let parts: Vec<Vec<VertexId>> =
+            vertices.chunks(n_part.max(1)).map(<[VertexId]>::to_vec).collect();
+        let t = parts.len();
+        let host_diam = host.diameter_estimate().min(host.n() as u32) as u64;
+
+        // Per-part state.
+        let mut active: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|p| p.iter().map(|&v| host.to_local(v)).collect())
+            .collect();
+        let mut history: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); t]; // local pairs
+        let mut embeddings: Vec<Embedding> = vec![Embedding::new(); t];
+        let mut mixed = vec![false; t];
+
+        for iter in 0..self.lambda {
+            let mut packer = Packer::new(host);
+            let mut progress = false;
+            for pi_raw in 0..t {
+                // Rotate processing order so no part always packs last.
+                let pi = (pi_raw + iter as usize) % t;
+                if mixed[pi] || active[pi].len() < 4 {
+                    continue;
+                }
+                // Fresh probe, replayed through this part's history
+                // (exactly R_{i-1}·r, see cut_player docs).
+                let seed = self
+                    .params
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(iter as u64 + 1))
+                    .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(pi as u64 + 1))
+                    .wrapping_add((level as u64) << 48);
+                let mut probe = vec![0.0f64; host.n()];
+                let fresh = probe_vector(parts[pi].len(), seed);
+                for (i, &v) in parts[pi].iter().enumerate() {
+                    probe[host.to_local(v) as usize] = fresh[i];
+                }
+                replay_walk(&history[pi], &mut probe);
+                let mass = deviation_mass(&probe, &active[pi]);
+                if mass < 1e-12 {
+                    mixed[pi] = true;
+                    continue;
+                }
+                let mu: Vec<f64> = active[pi].iter().map(|&l| probe[l as usize]).collect();
+                let sep = median_split(&mu);
+                let sources: Vec<u32> = sep.al.iter().map(|&i| active[pi][i]).collect();
+                let sinks: Vec<u32> = sep.ar.iter().map(|&i| active[pi][i]).collect();
+                let mut sink_cap = vec![0u32; host.n()];
+                for &s in &sinks {
+                    sink_cap[s as usize] = 1;
+                }
+                let mut cfg = self.params.escalation;
+                cfg.dilation_cap = cfg.dilation_cap.max(2 * host_diam as u32 + 2);
+                let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
+                // Charge: cut player replays `iter` matchings (one H_X
+                // round each) plus a diameter-bounded selection, then
+                // the matching player's BFS phases and the path test.
+                self.ledger.charge(
+                    "pre/hierarchy/cut-player",
+                    cost::virtual_rounds(flat_quality as u64, iter as u64 + 1)
+                        + cost::diameter_primitive(host_diam, flat_quality as u64),
+                );
+                self.ledger.charge(
+                    "pre/hierarchy/matching-player",
+                    cost::virtual_rounds(
+                        flat_quality as u64,
+                        m.phases as u64 * m.final_dilation_cap as u64,
+                    ) + cost::route_once(&m.embedding.to_path_set())
+                        * (flat_quality as u64).pow(2),
+                );
+                if !m.pairs.is_empty() {
+                    progress = true;
+                }
+                let local_pairs: Vec<(u32, u32)> = m
+                    .pairs
+                    .iter()
+                    .map(|&(a, b)| (host.to_local(a), host.to_local(b)))
+                    .collect();
+                history[pi].push(local_pairs);
+                for (a, b, p) in m.embedding.iter() {
+                    embeddings[pi].push(a, b, p.clone());
+                }
+                // Deactivate unmatched sources (sparse-cut side).
+                if !m.unmatched.is_empty() {
+                    let dead: Vec<u32> = m.unmatched.iter().map(|&v| host.to_local(v)).collect();
+                    active[pi].retain(|l| !dead.contains(l));
+                }
+            }
+            if !progress && mixed.iter().all(|&m| m) {
+                break;
+            }
+        }
+
+        // Collect survivors and the leftover pool.
+        let mut out_parts = Vec::new();
+        let mut leftover: Vec<VertexId> = Vec::new();
+        for pi in 0..t {
+            let survivors: Vec<VertexId> = {
+                let mut s: Vec<VertexId> =
+                    active[pi].iter().map(|&l| host.to_global(l)).collect();
+                s.sort_unstable();
+                s
+            };
+            let failed = survivors.len() < (2 * parts[pi].len()).div_ceil(3)
+                || survivors.len() < self.params.min_child;
+            if failed {
+                leftover.extend_from_slice(&parts[pi]);
+                continue;
+            }
+            leftover.extend(parts[pi].iter().filter(|v| survivors.binary_search(v).is_err()));
+            // H_i restricted to survivors.
+            let mut edges = Vec::new();
+            let mut embedding = Embedding::new();
+            for (a, b, p) in embeddings[pi].iter() {
+                if survivors.binary_search(&a).is_ok() && survivors.binary_search(&b).is_ok() {
+                    edges.push((a, b));
+                    embedding.push(a, b, p.clone());
+                }
+            }
+            out_parts.push(GamePart { survivors, edges, embedding });
+        }
+        leftover.sort_unstable();
+        GameOutcome { parts: out_parts, leftover }
+    }
+
+    /// Matches the leftover pool into the surviving parts, builds the
+    /// [`HierarchyPart`]s (recursing into children), and returns the
+    /// root-only unmatched set plus its `Mroot` embedding.
+    #[allow(clippy::type_complexity)]
+    fn attach_parts(
+        &mut self,
+        node_id: NodeId,
+        host: &HostGraph,
+        outcome: GameOutcome,
+        is_root: bool,
+    ) -> Result<
+        (Vec<HierarchyPart>, Vec<VertexId>, Vec<(VertexId, VertexId)>, Embedding),
+        BuildError,
+    > {
+        let GameOutcome { parts: game_parts, leftover } = outcome;
+        // Sink capacity 1 on every survivor: M* must be a matching.
+        let mut sink_cap = vec![0u32; host.n()];
+        let mut part_of_survivor: Vec<usize> = vec![usize::MAX; host.n()];
+        for (pi, gp) in game_parts.iter().enumerate() {
+            for &v in &gp.survivors {
+                let l = host.to_local(v) as usize;
+                sink_cap[l] = 1;
+                part_of_survivor[l] = pi;
+            }
+        }
+        let sources: Vec<u32> = leftover.iter().map(|&v| host.to_local(v)).collect();
+        let mut packer = Packer::new(host);
+        let mut cfg = self.params.escalation;
+        cfg.max_escalations += 4; // leftover matching must try hard
+        let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
+        self.ledger.charge(
+            "pre/hierarchy/leftover",
+            cost::route_once(&m.embedding.to_path_set()),
+        );
+
+        let mut bad_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); game_parts.len()];
+        let mut matching_per_part: Vec<Vec<(VertexId, VertexId)>> =
+            vec![Vec::new(); game_parts.len()];
+        let mut paths_per_part: Vec<Embedding> = vec![Embedding::new(); game_parts.len()];
+        for (i, &(b, g)) in m.pairs.iter().enumerate() {
+            let pi = part_of_survivor[host.to_local(g) as usize];
+            bad_per_part[pi].push(b);
+            matching_per_part[pi].push((b, g));
+            let p = m.embedding.path(i);
+            paths_per_part[pi].push(b, g, p.clone());
+        }
+
+        let (outside, mroot, mroot_embedding) = if is_root {
+            // Stragglers live outside W; Lemma 3.5 matches them in.
+            let mut outside = m.unmatched.clone();
+            outside.sort_unstable();
+            let mut pairs = Vec::new();
+            let mut emb = Embedding::new();
+            // Re-pack against all survivors (capacity refreshed): the
+            // earlier failure was under shared caps; Mroot gets its own.
+            if !outside.is_empty() {
+                let mut cap2 = vec![0u32; host.n()];
+                for gp in &game_parts {
+                    for &v in &gp.survivors {
+                        let l = host.to_local(v) as usize;
+                        if sink_cap[l] > 0 {
+                            cap2[l] = 1;
+                        }
+                    }
+                }
+                let mut p2 = Packer::new(host);
+                let src2: Vec<u32> = outside.iter().map(|&v| host.to_local(v)).collect();
+                let mut cfg2 = self.params.escalation;
+                cfg2.max_escalations += 6;
+                let m2 = pack_matching_with(&mut p2, &src2, &mut cap2, cfg2);
+                self.ledger
+                    .charge("pre/hierarchy/mroot", cost::route_once(&m2.embedding.to_path_set()));
+                for (i, &(s, t)) in m2.pairs.iter().enumerate() {
+                    pairs.push((s, t));
+                    emb.push(s, t, m2.embedding.path(i).clone());
+                }
+                if !m2.unmatched.is_empty() {
+                    // Lemma 3.5's premise failed: W is too small to
+                    // absorb the stragglers as a matching.
+                    return Err(BuildError::RootCoverage {
+                        covered: host.n() - outside.len(),
+                        unmatched: m2.unmatched.len(),
+                    });
+                }
+            }
+            (outside, pairs, emb)
+        } else {
+            // Internal nodes must cover X exactly (Property 3.1(1));
+            // force-attach stragglers via shortest paths (DESIGN.md
+            // substitution 5).
+            for &v in &m.unmatched {
+                let l = host.to_local(v);
+                let dist = host.bfs_local(&[l]);
+                let target = (0..host.n())
+                    .filter(|&u| sink_cap[u] > 0 && dist[u] != u32::MAX)
+                    .min_by_key(|&u| dist[u]);
+                let Some(target) = target else {
+                    // Totally unreachable: drop into part 0 with a
+                    // trivial path (connectivity guards make this rare).
+                    bad_per_part[0].push(v);
+                    let g = game_parts[0].survivors[0];
+                    matching_per_part[0].push((v, g));
+                    paths_per_part[0].push(v, g, shortest_in_host(host, v, g));
+                    continue;
+                };
+                sink_cap[target] -= 1;
+                let g = host.to_global(target as u32);
+                let pi = part_of_survivor[target];
+                bad_per_part[pi].push(v);
+                matching_per_part[pi].push((v, g));
+                paths_per_part[pi].push(v, g, shortest_in_host(host, v, g));
+            }
+            (Vec::new(), Vec::new(), Embedding::new())
+        };
+
+        // Recurse into children and assemble the parts.
+        let level = self.nodes[node_id].level;
+        let mut parts = Vec::new();
+        for (pi, gp) in game_parts.into_iter().enumerate() {
+            let child = self.build_subtree(node_id, gp, level + 1);
+            let mut bad = std::mem::take(&mut bad_per_part[pi]);
+            bad.sort_unstable();
+            let mut all = self.nodes[child].vertices.clone();
+            all.extend_from_slice(&bad);
+            all.sort_unstable();
+            parts.push(HierarchyPart {
+                child,
+                bad,
+                matching: std::mem::take(&mut matching_per_part[pi]),
+                matching_embedding: std::mem::take(&mut paths_per_part[pi]),
+                all,
+            });
+        }
+        Ok((parts, outside, mroot, mroot_embedding))
+    }
+
+    fn build_subtree(&mut self, parent: NodeId, gp: GamePart, level: u32) -> NodeId {
+        let id = self.nodes.len();
+        let mut embedding_to_parent = gp.embedding;
+        let vertices = gp.survivors;
+        let virtual_edges = gp.edges;
+
+        // Flatten through the parent.
+        let flat = match &self.nodes[parent].flat {
+            None => embedding_to_parent.clone(),
+            Some(parent_flat) => parent_flat.compose_after(&embedding_to_parent),
+        };
+        let flat_quality = flat.quality().max(2);
+
+        // Diameter + gap of H_X.
+        let host = HostGraph::from_edges(self.graph.n(), vertices.clone(), &virtual_edges);
+        let diameter = host.diameter_estimate();
+        let spectral_gap = gap_of_virtual(&host);
+
+        // Normalize the parent-embedding direction (u, v, path u->v).
+        embedding_to_parent = normalize_embedding(embedding_to_parent);
+
+        self.nodes.push(HierarchyNode {
+            id,
+            parent: Some(parent),
+            level,
+            vertices,
+            virtual_edges,
+            embedding_to_parent: Some(embedding_to_parent),
+            flat: Some(flat),
+            flat_quality,
+            parts: Vec::new(),
+            best: Vec::new(),
+            diameter,
+            spectral_gap,
+        });
+
+        let n_here = self.nodes[id].vertices.len();
+        let splittable = n_here > self.leaf_size
+            && level < self.params.max_levels
+            && n_here / self.k >= self.params.min_child.max(4)
+            && diameter != u32::MAX;
+        if splittable {
+            let vertices = self.nodes[id].vertices.clone();
+            let edges = self.nodes[id].virtual_edges.clone();
+            let host = HostGraph::from_edges(self.graph.n(), vertices.clone(), &edges);
+            let fq = self.nodes[id].flat_quality;
+            let outcome = self.partition_game(&host, &vertices, level, fq);
+            if outcome.parts.len() >= 2 {
+                let (parts, _, _, _) = self
+                    .attach_parts(id, &host, outcome, false)
+                    .expect("only the root attach can fail");
+                self.nodes[id].parts = parts;
+            }
+        }
+        id
+    }
+
+    fn compute_best(
+        &self,
+        id: NodeId,
+        cache: &mut Vec<Option<Vec<VertexId>>>,
+    ) -> Vec<VertexId> {
+        let nd = &self.nodes[id];
+        let best = if nd.is_leaf() {
+            nd.vertices.clone()
+        } else {
+            let mut b: Vec<VertexId> = Vec::new();
+            for p in &nd.parts {
+                let child_best = self.compute_best(p.child, cache);
+                b.extend_from_slice(&child_best);
+            }
+            b.sort_unstable();
+            b
+        };
+        cache[id] = Some(best.clone());
+        best
+    }
+}
+
+fn shortest_in_host(host: &HostGraph, from: VertexId, to: VertexId) -> Path {
+    let lf = host.to_local(from);
+    let lt = host.to_local(to);
+    // BFS with parents.
+    let n = host.n();
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::from([lf]);
+    parent[lf as usize] = lf;
+    while let Some(u) = queue.pop_front() {
+        if u == lt {
+            break;
+        }
+        for &v in host.neighbors_local(u) {
+            if parent[v as usize] == u32::MAX {
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    assert!(parent[lt as usize] != u32::MAX, "host disconnected in shortest_in_host");
+    let mut walk = vec![lt];
+    let mut cur = lt;
+    while cur != lf {
+        cur = parent[cur as usize];
+        walk.push(cur);
+    }
+    walk.reverse();
+    host.path_to_global(&walk)
+}
+
+fn gap_of_virtual(host: &HostGraph) -> f64 {
+    if host.n() < 2 || host.m() == 0 {
+        return 0.0;
+    }
+    // Re-index to a dense local graph; isolated vertices get a self
+    // countweight via a star fallback to keep the estimate defined.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(host.m());
+    for l in 0..host.n() as u32 {
+        for &u in host.neighbors_local(l) {
+            if l < u {
+                edges.push((l, u));
+            }
+        }
+    }
+    let g = Graph::from_edges(host.n(), &edges);
+    if (0..g.n() as u32).any(|v| g.degree(v) == 0) {
+        return 0.0;
+    }
+    metrics::spectral_gap(&g, 7)
+}
+
+/// Ensures every embedded path runs `u -> v` for its stored pair.
+fn normalize_embedding(e: Embedding) -> Embedding {
+    // Embedding::push enforces the invariant at insertion; packing
+    // already produces source->sink order. Kept for clarity.
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    fn build(n: usize, eps: f64, seed: u64) -> Hierarchy {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        let params = HierarchyParams { epsilon: eps, seed, ..HierarchyParams::default() };
+        Hierarchy::build(&g, params).expect("hierarchy")
+    }
+
+    #[test]
+    fn small_expander_hierarchy_is_valid() {
+        let h = build(256, 0.4, 1);
+        let issues = h.validate();
+        assert!(issues.is_empty(), "violations: {issues:?}");
+        assert!(h.depth() >= 1, "must split at least once");
+    }
+
+    #[test]
+    fn root_covers_most_vertices() {
+        let h = build(256, 0.4, 2);
+        let w = h.node(h.root()).vertices.len();
+        assert!(w * 3 >= 2 * 256, "root covers {w}/256");
+        assert_eq!(w + h.outside().len(), 256);
+    }
+
+    #[test]
+    fn mroot_saturates_outside() {
+        let h = build(256, 0.4, 3);
+        assert_eq!(h.outside().len(), h.mroot().len());
+        for (i, &(o, w)) in h.mroot().iter().enumerate() {
+            assert!(h.outside().binary_search(&o).is_ok());
+            assert!(h.node(h.root()).vertices.binary_search(&w).is_ok());
+            let p = h.mroot_embedding().path(i);
+            assert!(p.is_valid_in(h.graph()), "Mroot path invalid in G");
+        }
+    }
+
+    #[test]
+    fn children_embeddings_live_in_parent() {
+        let h = build(256, 0.4, 4);
+        for nd in h.nodes() {
+            let Some(parent) = nd.parent else { continue };
+            let parent_host = HostGraph::from_edges(
+                h.graph().n(),
+                if parent == h.root() {
+                    (0..h.graph().n() as u32).collect()
+                } else {
+                    h.node(parent).vertices.clone()
+                },
+                &h.node(parent).virtual_edges,
+            );
+            let emb = nd.embedding_to_parent.as_ref().expect("non-root");
+            for (u, v, p) in emb.iter() {
+                assert_eq!(p.source(), u);
+                assert_eq!(p.target(), v);
+                for w in p.vertices().windows(2) {
+                    let a = parent_host.to_local(w[0]);
+                    assert!(
+                        parent_host.neighbors_local(a).contains(&parent_host.to_local(w[1])),
+                        "embedding path hop not in parent H_X"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_paths_are_valid_in_g() {
+        let h = build(256, 0.4, 5);
+        for nd in h.nodes() {
+            if let Some(flat) = &nd.flat {
+                for (_, _, p) in flat.iter() {
+                    assert!(p.is_valid_in(h.graph()), "flattened path invalid in G");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_graphs_are_expanders() {
+        let h = build(512, 0.4, 6);
+        for nd in h.nodes() {
+            if nd.parent.is_some() && nd.vertices.len() >= 24 {
+                assert!(
+                    nd.spectral_gap > 0.01,
+                    "node {} (|X|={}) gap {}",
+                    nd.id,
+                    nd.vertices.len(),
+                    nd.spectral_gap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_sets_and_rho() {
+        let h = build(256, 0.4, 7);
+        let root = h.node(h.root());
+        assert!(!root.best.is_empty());
+        for &b in &root.best {
+            assert!(root.vertices.binary_search(&b).is_ok());
+        }
+        assert!(h.rho_best() >= 1.0);
+        assert!(h.rho_best() < 8.0, "rho_best {} too lossy", h.rho_best());
+    }
+
+    #[test]
+    fn leaves_hold_all_best_vertices() {
+        let h = build(256, 0.4, 8);
+        let mut from_leaves: Vec<VertexId> = h
+            .nodes()
+            .iter()
+            .filter(|nd| nd.is_leaf() && is_descendant_of_root(&h, nd.id))
+            .flat_map(|nd| nd.vertices.clone())
+            .collect();
+        from_leaves.sort_unstable();
+        assert_eq!(from_leaves, h.node(h.root()).best);
+    }
+
+    fn is_descendant_of_root(h: &Hierarchy, mut id: NodeId) -> bool {
+        loop {
+            if id == h.root() {
+                return true;
+            }
+            match h.node(id).parent {
+                Some(p) => id = p,
+                None => return false,
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_disconnected_and_tiny_graphs() {
+        let g = Graph::from_edges(20, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            Hierarchy::build(&g, HierarchyParams::default()).unwrap_err(),
+            BuildError::Disconnected
+        );
+        let g2 = generators::ring(8);
+        assert!(matches!(
+            Hierarchy::build(&g2, HierarchyParams::default()).unwrap_err(),
+            BuildError::TooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn hierarchy_is_deterministic() {
+        let a = build(128, 0.4, 9);
+        let b = build(128, 0.4, 9);
+        assert_eq!(a.nodes().len(), b.nodes().len());
+        for (x, y) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(x.vertices, y.vertices);
+            assert_eq!(x.virtual_edges, y.virtual_edges);
+        }
+    }
+
+    #[test]
+    fn preprocessing_ledger_is_populated() {
+        let h = build(128, 0.4, 10);
+        assert!(h.ledger().total() > 0);
+        assert!(h.ledger().phase("pre/hierarchy/matching-player") > 0);
+    }
+
+    #[test]
+    fn margulis_also_decomposes() {
+        let g = generators::margulis(16); // 256 vertices, 8-regular
+        let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy");
+        let issues = h.validate();
+        assert!(issues.is_empty(), "violations: {issues:?}");
+    }
+}

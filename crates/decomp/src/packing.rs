@@ -1,0 +1,360 @@
+//! The matching player: bounded-congestion path packing.
+//!
+//! The paper's matching player (Lemma 2.3, Appendix B.2) embeds a
+//! matching between a source set `S` and a sink set `T` saturating `S`,
+//! as a set of low-congestion low-dilation paths in the host graph. The
+//! reference algorithm is the parallel-DFS maximal-path packing of
+//! [CS20, GPV93]; we substitute a capacitated multi-source BFS blocking
+//! packing (DESIGN.md substitution 3) with geometric cap escalation.
+//! The achieved congestion/dilation is *measured* and flows into every
+//! downstream round charge.
+
+use crate::host::HostGraph;
+use expander_graphs::{Embedding, VertexId};
+use std::collections::HashMap;
+
+/// Result of one packing call, in host-local indices.
+#[derive(Debug, Clone, Default)]
+pub struct PackResult {
+    /// Extracted paths, each from a source to a sink.
+    pub paths: Vec<Vec<u32>>,
+    /// Sources that could not be matched under the caps.
+    pub unmatched: Vec<u32>,
+    /// BFS phases executed (used for round accounting).
+    pub phases: u32,
+}
+
+/// A path packer with congestion state that persists across calls, so
+/// several per-part packings within one cut-matching iteration share
+/// the host's edge budget (the games run "simultaneously" in the paper).
+#[derive(Debug)]
+pub struct Packer<'h> {
+    host: &'h HostGraph,
+    edge_load: HashMap<(u32, u32), u32>,
+}
+
+impl<'h> Packer<'h> {
+    /// A packer with no edges loaded.
+    pub fn new(host: &'h HostGraph) -> Self {
+        Packer { host, edge_load: HashMap::new() }
+    }
+
+    /// Current maximum per-edge load.
+    pub fn congestion(&self) -> u32 {
+        self.edge_load.values().copied().max().unwrap_or(0)
+    }
+
+    fn load(&self, a: u32, b: u32) -> u32 {
+        self.edge_load.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, a: u32, b: u32) {
+        *self.edge_load.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+    }
+
+    /// Packs one path per source towards any sink with remaining
+    /// capacity, under a per-edge congestion cap and a BFS depth cap.
+    ///
+    /// `sink_cap` is indexed by host-local id and is decremented as
+    /// sinks absorb paths; sources must have `sink_cap == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source has sink capacity (the sets must be disjoint).
+    pub fn pack(
+        &mut self,
+        sources: &[u32],
+        sink_cap: &mut [u32],
+        congestion_cap: u32,
+        dilation_cap: u32,
+    ) -> PackResult {
+        let n = self.host.n();
+        assert_eq!(sink_cap.len(), n, "sink capacity indexed by host-local id");
+        for &s in sources {
+            assert_eq!(sink_cap[s as usize], 0, "source {s} doubles as sink");
+        }
+        let mut result = PackResult::default();
+        let mut remaining: Vec<u32> = sources.to_vec();
+        let mut parent = vec![u32::MAX; n];
+        let mut depth = vec![u32::MAX; n];
+        let mut is_source = vec![false; n];
+
+        loop {
+            if remaining.is_empty() {
+                break;
+            }
+            result.phases += 1;
+            // Multi-source BFS through edges with residual capacity.
+            for v in 0..n {
+                parent[v] = u32::MAX;
+                depth[v] = u32::MAX;
+                is_source[v] = false;
+            }
+            let mut queue: Vec<u32> = Vec::with_capacity(remaining.len());
+            for &s in &remaining {
+                parent[s as usize] = s;
+                depth[s as usize] = 0;
+                is_source[s as usize] = true;
+                queue.push(s);
+            }
+            let mut reached_sinks: Vec<u32> = Vec::new();
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let du = depth[u as usize];
+                if du >= dilation_cap {
+                    continue;
+                }
+                for &v in self.host.neighbors_local(u) {
+                    if parent[v as usize] != u32::MAX {
+                        continue;
+                    }
+                    if self.load(u, v) >= congestion_cap {
+                        continue;
+                    }
+                    parent[v as usize] = u;
+                    depth[v as usize] = du + 1;
+                    if sink_cap[v as usize] > 0 {
+                        reached_sinks.push(v);
+                    }
+                    queue.push(v);
+                }
+            }
+            // Claim sinks greedily in BFS (shortest-first) order.
+            let mut progress = false;
+            let mut claimed_source = vec![false; n];
+            for &sink in &reached_sinks {
+                if sink_cap[sink as usize] == 0 {
+                    continue;
+                }
+                // Walk back to the root source, checking residuals that
+                // earlier claims in this phase may have consumed.
+                let mut walk = vec![sink];
+                let mut ok = true;
+                let mut cur = sink;
+                while !is_source[cur as usize] {
+                    let p = parent[cur as usize];
+                    if self.load(p, cur) >= congestion_cap {
+                        ok = false;
+                        break;
+                    }
+                    walk.push(p);
+                    cur = p;
+                }
+                if !ok || claimed_source[cur as usize] {
+                    continue;
+                }
+                claimed_source[cur as usize] = true;
+                walk.reverse(); // source .. sink
+                for w in walk.windows(2) {
+                    self.bump(w[0], w[1]);
+                }
+                sink_cap[sink as usize] -= 1;
+                remaining.retain(|&s| s != cur);
+                result.paths.push(walk);
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        result.unmatched = remaining;
+        result
+    }
+}
+
+/// A matching of global-id sources to sinks together with its embedding.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingPacking {
+    /// `(source, sink)` pairs in global ids.
+    pub pairs: Vec<(VertexId, VertexId)>,
+    /// Paths realizing the pairs (global ids, valid in the host).
+    pub embedding: Embedding,
+    /// Sources left unmatched after all escalations.
+    pub unmatched: Vec<VertexId>,
+    /// Total BFS phases across all escalations.
+    pub phases: u32,
+    /// The congestion cap in force when packing finished.
+    pub final_congestion_cap: u32,
+    /// The dilation cap in force when packing finished.
+    pub final_dilation_cap: u32,
+}
+
+/// Escalation policy for [`pack_matching`]: caps double until the
+/// sources saturate or the budget runs out.
+#[derive(Debug, Clone, Copy)]
+pub struct EscalationConfig {
+    /// Starting per-edge congestion cap.
+    pub congestion_cap: u32,
+    /// Starting BFS depth cap.
+    pub dilation_cap: u32,
+    /// Number of doublings allowed.
+    pub max_escalations: u32,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig { congestion_cap: 4, dilation_cap: 16, max_escalations: 6 }
+    }
+}
+
+/// Embeds a matching between `sources` and `sinks` (global ids, each
+/// sink used at most `sink_multiplicity` times) saturating the sources
+/// if the escalation budget allows — the Lemma 2.3 interface.
+pub fn pack_matching(
+    host: &HostGraph,
+    sources: &[VertexId],
+    sinks: &[VertexId],
+    sink_multiplicity: u32,
+    cfg: EscalationConfig,
+) -> MatchingPacking {
+    let mut packer = Packer::new(host);
+    let mut sink_cap = vec![0u32; host.n()];
+    for &t in sinks {
+        sink_cap[host.to_local(t) as usize] = sink_multiplicity;
+    }
+    let local_sources: Vec<u32> = sources.iter().map(|&s| host.to_local(s)).collect();
+    pack_matching_with(&mut packer, &local_sources, &mut sink_cap, cfg)
+}
+
+/// Like [`pack_matching`] but with caller-managed shared congestion
+/// state and sink capacities (local ids), used when several packings
+/// must share the host's bandwidth.
+pub fn pack_matching_with(
+    packer: &mut Packer<'_>,
+    local_sources: &[u32],
+    sink_cap: &mut [u32],
+    cfg: EscalationConfig,
+) -> MatchingPacking {
+    let host = packer.host;
+    let mut out = MatchingPacking::default();
+    let mut remaining: Vec<u32> = local_sources.to_vec();
+    let mut c_cap = cfg.congestion_cap.max(1);
+    let mut d_cap = cfg.dilation_cap.max(2);
+    for escalation in 0..=cfg.max_escalations {
+        if remaining.is_empty() {
+            break;
+        }
+        let r = packer.pack(&remaining, sink_cap, c_cap, d_cap);
+        out.phases += r.phases;
+        for p in r.paths {
+            let path = host.path_to_global(&p);
+            let (src, dst) = (path.source(), path.target());
+            out.pairs.push((src, dst));
+            out.embedding.push(src, dst, path);
+        }
+        remaining = r.unmatched;
+        if escalation < cfg.max_escalations {
+            c_cap *= 2;
+            d_cap *= 2;
+        }
+    }
+    out.unmatched = remaining.iter().map(|&l| host.to_global(l)).collect();
+    out.final_congestion_cap = c_cap;
+    out.final_dilation_cap = d_cap;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    fn host_of(g: &expander_graphs::Graph) -> HostGraph {
+        HostGraph::from_graph(g)
+    }
+
+    #[test]
+    fn saturates_sources_on_expander() {
+        let g = generators::random_regular(128, 4, 3).unwrap();
+        let host = host_of(&g);
+        let sources: Vec<u32> = (0..32).collect();
+        let sinks: Vec<u32> = (64..128).collect();
+        let m = pack_matching(&host, &sources, &sinks, 1, EscalationConfig::default());
+        assert!(m.unmatched.is_empty(), "unmatched: {:?}", m.unmatched);
+        assert_eq!(m.pairs.len(), 32);
+        // Each path really connects its pair inside the host.
+        for (i, &(s, t)) in m.pairs.iter().enumerate() {
+            let p = m.embedding.path(i);
+            assert_eq!(p.source(), s);
+            assert_eq!(p.target(), t);
+            assert!(p.is_valid_in(&g));
+            assert!(sources.contains(&s));
+            assert!(sinks.contains(&t));
+        }
+        // A matching: every sink used at most once.
+        let mut used: Vec<u32> = m.pairs.iter().map(|&(_, t)| t).collect();
+        used.sort_unstable();
+        let before = used.len();
+        used.dedup();
+        assert_eq!(before, used.len(), "sink used twice");
+    }
+
+    #[test]
+    fn respects_congestion_cap_without_escalation() {
+        let g = generators::ring(16);
+        let host = host_of(&g);
+        // All sources on one side must cross the two ring "bridges";
+        // with cap 1 and no escalation only ~2 can match.
+        let mut packer = Packer::new(&host);
+        let mut sink_cap = vec![0u32; host.n()];
+        for t in 8..12u32 {
+            sink_cap[host.to_local(t) as usize] = 1;
+        }
+        let sources: Vec<u32> = (0..4).map(|s| host.to_local(s)).collect();
+        let cfg = EscalationConfig { congestion_cap: 1, dilation_cap: 16, max_escalations: 0 };
+        let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
+        assert!(packer.congestion() <= 1);
+        assert!(m.pairs.len() <= 2, "ring admits only 2 edge-disjoint crossings");
+    }
+
+    #[test]
+    fn escalation_eventually_saturates() {
+        let g = generators::ring(16);
+        let host = host_of(&g);
+        let sources: Vec<u32> = (0..4).collect();
+        let sinks: Vec<u32> = (8..12).collect();
+        let cfg = EscalationConfig { congestion_cap: 1, dilation_cap: 16, max_escalations: 4 };
+        let m = pack_matching(&host, &sources, &sinks, 1, cfg);
+        assert!(m.unmatched.is_empty());
+    }
+
+    #[test]
+    fn dilation_cap_limits_reach() {
+        let g = generators::path(10);
+        let host = host_of(&g);
+        let cfg = EscalationConfig { congestion_cap: 8, dilation_cap: 3, max_escalations: 0 };
+        let m = pack_matching(&host, &[0], &[9], 1, cfg);
+        assert_eq!(m.pairs.len(), 0, "sink is 9 hops away, cap is 3");
+        assert_eq!(m.unmatched, vec![0]);
+    }
+
+    #[test]
+    fn sink_multiplicity_allows_many_to_one() {
+        let g = generators::complete(8);
+        let host = host_of(&g);
+        let m = pack_matching(&host, &[0, 1, 2], &[7], 3, EscalationConfig::default());
+        assert!(m.unmatched.is_empty());
+        assert!(m.pairs.iter().all(|&(_, t)| t == 7));
+    }
+
+    #[test]
+    fn shared_packer_accumulates_congestion() {
+        let g = generators::ring(12);
+        let host = host_of(&g);
+        let mut packer = Packer::new(&host);
+        let cfg = EscalationConfig { congestion_cap: 2, dilation_cap: 12, max_escalations: 0 };
+        let mut cap1 = vec![0u32; host.n()];
+        cap1[host.to_local(6) as usize] = 1;
+        let m1 = pack_matching_with(&mut packer, &[host.to_local(0)], &mut cap1, cfg);
+        assert_eq!(m1.pairs.len(), 1);
+        let c_after_first = packer.congestion();
+        assert!(c_after_first >= 1);
+        let mut cap2 = vec![0u32; host.n()];
+        cap2[host.to_local(7) as usize] = 1;
+        let m2 = pack_matching_with(&mut packer, &[host.to_local(1)], &mut cap2, cfg);
+        assert_eq!(m2.pairs.len(), 1);
+        assert!(packer.congestion() <= 2, "shared cap respected");
+    }
+}

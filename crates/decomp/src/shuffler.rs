@@ -1,0 +1,514 @@
+//! Shufflers (paper §5.1, Appendix B): the cut-matching game on the
+//! cluster graph `Y`, played with the cut player on `Y` and the
+//! matching player on `X`.
+//!
+//! A shuffler is a sequence of matching embeddings
+//! `M_X = ((M¹_X, f¹), …, (M^λ_X, f^λ))` whose *natural fractional
+//! matchings* on `Y` (Definition 5.1) induce a lazy random walk that
+//! mixes: the potential `Π(i) = Σ_y ‖R_i[y] − 1/|Y|‖²` (Definition 5.3)
+//! is driven below `1/(9n³)` in `λ = O(log n)` iterations (Lemma B.5).
+//! The exact `t × t` walk matrix is maintained throughout, so the decay
+//! is *verified*, not assumed.
+
+use crate::cut_player::{median_split, probe_vector, rst_separation};
+use crate::hierarchy::{Hierarchy, NodeId};
+use crate::host::HostGraph;
+use crate::packing::{pack_matching_with, EscalationConfig, Packer};
+use congest_sim::{cost, RoundLedger};
+use expander_graphs::{Embedding, PathSet, VertexId};
+
+/// Cut-player strategy, exposed for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutStrategy {
+    /// Alternate balanced KRV bisections with RST separations — the
+    /// default (fast bulk mixing + straggler targeting).
+    #[default]
+    Alternate,
+    /// Balanced bisections only.
+    MedianOnly,
+    /// RST separations only (median fallback when degenerate).
+    RstOnly,
+}
+
+/// Tuning knobs for [`build_shuffler`].
+#[derive(Debug, Clone)]
+pub struct ShufflerParams {
+    /// Seed for the derandomized projections.
+    pub seed: u64,
+    /// Hard cap on iterations (`O(log n)` with a generous constant).
+    pub max_iterations: u32,
+    /// Target potential; `None` uses the paper's `1/(9n³)`.
+    pub target_potential: Option<f64>,
+    /// Packing caps for the matching player.
+    pub escalation: EscalationConfig,
+    /// Cut-player strategy (ablation knob).
+    pub cut_strategy: CutStrategy,
+    /// Use the paper's literal normalizer `n' = 6|X|/k` instead of the
+    /// tight `max_i |X*_i|` (ablation knob; see DESIGN.md
+    /// substitution 6 — the literal constant mixes ~6× slower).
+    pub paper_normalizer: bool,
+}
+
+impl Default for ShufflerParams {
+    fn default() -> Self {
+        ShufflerParams {
+            seed: 0x5EEDED,
+            max_iterations: 0, // resolved against n at build time
+            target_potential: None,
+            escalation: EscalationConfig::default(),
+            cut_strategy: CutStrategy::Alternate,
+            paper_normalizer: false,
+        }
+    }
+}
+
+/// One iteration of the shuffler: the matching on `X`, its embedding
+/// into `H_X`, and the induced fractional matching on `Y`.
+#[derive(Debug, Clone)]
+pub struct ShufflerRound {
+    /// `M^q_X` as `(u, v)` global-id pairs.
+    pub matching: Vec<(VertexId, VertexId)>,
+    /// Paths in `H_X` realizing the matching.
+    pub embedding: Embedding,
+    /// The natural fractional matching `{x_ab}` on `Y` (symmetric,
+    /// `t × t`, zero diagonal).
+    pub fractional: Vec<Vec<f64>>,
+    /// Part index of each matching endpoint: `(part(u), part(v))`.
+    pub endpoint_parts: Vec<(usize, usize)>,
+}
+
+/// A shuffler for one internal hierarchy node (Definition 5.4).
+#[derive(Debug, Clone)]
+pub struct Shuffler {
+    /// The node this shuffler mixes.
+    pub node: NodeId,
+    /// The matching sequence.
+    pub rounds: Vec<ShufflerRound>,
+    /// `Π(0), Π(1), …` — the verified potential trace.
+    pub potential_trace: Vec<f64>,
+    /// Quality of the union of embeddings, measured in `H_X`
+    /// (Definition 5.4's `Q(M_X)`).
+    pub quality_hx: usize,
+    /// Quality of the union after flattening to `G`.
+    pub quality_flat: usize,
+    /// Flattened quality of each round's embedding on its own. The
+    /// rounds run in *separate iterations*, so per-iteration round
+    /// charges use these (the union quality over-counts congestion of
+    /// matchings that never share a round).
+    pub round_qualities_flat: Vec<usize>,
+    /// `|X*_i|` for each part.
+    pub part_sizes: Vec<usize>,
+    /// The normalizer `n'` of Definition 5.1.
+    pub normalizer: f64,
+}
+
+impl Shuffler {
+    /// Number of iterations `λ`.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the shuffler is empty (degenerate node).
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Final potential `Π(λ)`.
+    pub fn final_potential(&self) -> f64 {
+        *self.potential_trace.last().expect("trace has Π(0)")
+    }
+}
+
+/// Builds the shuffler of internal node `node`, charging preprocessing
+/// rounds to `ledger`.
+///
+/// # Panics
+///
+/// Panics if `node` is a leaf or has fewer than 2 parts.
+pub fn build_shuffler(
+    h: &Hierarchy,
+    node: NodeId,
+    params: &ShufflerParams,
+    ledger: &mut RoundLedger,
+) -> Shuffler {
+    let nd = h.node(node);
+    let t = nd.part_count();
+    assert!(t >= 2, "shuffler needs an internal node with >= 2 parts");
+    let n = h.graph().n() as f64;
+    let target = params.target_potential.unwrap_or(1.0 / (9.0 * n * n * n));
+    let max_iters = if params.max_iterations > 0 {
+        params.max_iterations
+    } else {
+        8 * (n.log2().ceil() as u32) + 16
+    };
+
+    let part_sizes: Vec<usize> = nd.parts.iter().map(|p| p.all.len()).collect();
+    let max_part = *part_sizes.iter().max().expect("non-empty");
+    // Definition 5.1 uses n' = 6|X|/k, an upper bound on every |X*_i|
+    // that keeps fractional degrees <= 1. We use the tight bound
+    // max_i |X*_i| instead: the degree constraint still holds and the
+    // induced walk moves up to 6x more mass per iteration, which at
+    // laptop-scale n is the difference between mixing inside the
+    // O(log n) budget and not (DESIGN.md substitution 6). The literal
+    // constant is kept behind `paper_normalizer` for the ablation.
+    let normalizer = if params.paper_normalizer {
+        ((6 * nd.vertices.len()) as f64 / h.k() as f64).max(max_part as f64)
+    } else {
+        max_part as f64
+    };
+
+    // part id of each global vertex (dense map).
+    let mut part_of = vec![usize::MAX; h.graph().n()];
+    for (pi, p) in nd.parts.iter().enumerate() {
+        for &v in &p.all {
+            part_of[v as usize] = pi;
+        }
+    }
+
+    let host = HostGraph::from_edges(h.graph().n(), nd.vertices.clone(), &nd.virtual_edges);
+    let host_diam = host.diameter_estimate().min(host.n() as u32) as u64;
+    let q_flat = nd.flat_quality as u64;
+
+    // Exact walk matrix R (t × t), starting at identity.
+    let mut r_mat: Vec<Vec<f64>> = (0..t)
+        .map(|a| (0..t).map(|b| if a == b { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let mut potential = potential_of(&r_mat);
+    let mut trace = vec![potential];
+    let mut rounds: Vec<ShufflerRound> = Vec::new();
+
+    for iter in 0..max_iters {
+        if potential <= target {
+            break;
+        }
+        // Cut player on Y: project the walk matrix on a seeded probe.
+        // Even iterations take the balanced KRV bisection (large
+        // matchings, fast bulk mixing); odd iterations take the RST
+        // separation (targets the far-from-uniform stragglers that
+        // drive the Lemma B.5 potential argument).
+        let r_probe = probe_vector(t, params.seed.wrapping_add(iter as u64 * 0x9E37_79B9));
+        let mu: Vec<f64> = (0..t)
+            .map(|a| (0..t).map(|b| r_mat[a][b] * r_probe[b]).sum())
+            .collect();
+        let sep = match params.cut_strategy {
+            CutStrategy::Alternate => {
+                if iter % 2 == 1 {
+                    rst_separation(&mu).unwrap_or_else(|| median_split(&mu))
+                } else {
+                    median_split(&mu)
+                }
+            }
+            CutStrategy::MedianOnly => median_split(&mu),
+            CutStrategy::RstOnly => {
+                rst_separation(&mu).unwrap_or_else(|| median_split(&mu))
+            }
+        };
+        let (mut s, s_prime) = (sep.al, sep.ar);
+        // Property B.1(1): |S_X| < |S'_X| — shrink S if needed.
+        let size_of = |set: &[usize]| set.iter().map(|&i| part_sizes[i]).sum::<usize>();
+        while !s.is_empty() && size_of(&s) >= size_of(&s_prime) {
+            let (drop_pos, _) = s
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &i)| part_sizes[i])
+                .expect("non-empty");
+            s.remove(drop_pos);
+        }
+        if s.is_empty() {
+            // Degenerate projection; try again with another probe.
+            continue;
+        }
+        ledger.charge(
+            "pre/shuffler/cut-player",
+            cost::diameter_primitive(host_diam + (t * t) as u64, q_flat),
+        );
+
+        // Matching player on X: saturate S_X into S'_X.
+        let mut in_s = vec![false; t];
+        for &i in &s {
+            in_s[i] = true;
+        }
+        let mut in_sp = vec![false; t];
+        for &i in &s_prime {
+            in_sp[i] = true;
+        }
+        let mut sources: Vec<u32> = Vec::new();
+        let mut sink_cap = vec![0u32; host.n()];
+        for (pi, p) in nd.parts.iter().enumerate() {
+            if in_s[pi] {
+                sources.extend(p.all.iter().map(|&v| host.to_local(v)));
+            } else if in_sp[pi] {
+                for &v in &p.all {
+                    sink_cap[host.to_local(v) as usize] = 1;
+                }
+            }
+        }
+        let mut packer = Packer::new(&host);
+        let mut cfg = params.escalation;
+        cfg.dilation_cap = cfg.dilation_cap.max(2 * host_diam as u32 + 2);
+        let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
+        ledger.charge(
+            "pre/shuffler/matching-player",
+            cost::virtual_rounds(q_flat, m.phases as u64 * m.final_dilation_cap as u64)
+                + cost::route_once(&m.embedding.to_path_set()) * q_flat * q_flat,
+        );
+        if m.pairs.is_empty() {
+            continue;
+        }
+
+        // Natural fractional matching on Y (Definition 5.1).
+        let mut fractional = vec![vec![0.0f64; t]; t];
+        let mut endpoint_parts = Vec::with_capacity(m.pairs.len());
+        for &(u, v) in &m.pairs {
+            let (a, b) = (part_of[u as usize], part_of[v as usize]);
+            debug_assert!(a != b, "matching edge inside one part");
+            fractional[a][b] += 1.0 / normalizer;
+            fractional[b][a] += 1.0 / normalizer;
+            endpoint_parts.push((a, b));
+        }
+
+        // R ← R_M · R  (Definition 5.2).
+        r_mat = apply_fractional(&r_mat, &fractional);
+        let new_potential = potential_of(&r_mat);
+        debug_assert!(
+            new_potential <= potential + 1e-9,
+            "potential increased: {potential} -> {new_potential}"
+        );
+        potential = new_potential;
+        trace.push(potential);
+        rounds.push(ShufflerRound {
+            matching: m.pairs,
+            embedding: m.embedding,
+            fractional,
+            endpoint_parts,
+        });
+    }
+
+    // Quality of the union of all matchings' paths (Definition 5.4),
+    // plus the per-round flattened qualities used by round charges.
+    let mut union = PathSet::new();
+    for r in &rounds {
+        union.extend_from(&r.embedding.to_path_set());
+    }
+    let quality_hx = union.quality().max(2);
+    let mut union_emb = Embedding::new();
+    let mut round_qualities_flat = Vec::with_capacity(rounds.len());
+    for r in &rounds {
+        for (u, v, p) in r.embedding.iter() {
+            union_emb.push(u, v, p.clone());
+        }
+        let flat_round = h.flatten_from(node, &r.embedding);
+        round_qualities_flat.push(flat_round.quality().max(2));
+    }
+    let flat = h.flatten_from(node, &union_emb);
+    let quality_flat = flat.quality().max(2);
+
+    Shuffler {
+        node,
+        rounds,
+        potential_trace: trace,
+        quality_hx,
+        quality_flat,
+        round_qualities_flat,
+        part_sizes,
+        normalizer,
+    }
+}
+
+/// `R_M · R` with `R_M[i,i] = 1/2 + (1 − Σ_{k≠i} x_ik)/2`,
+/// `R_M[i,j] = x_ij/2` (Definition 5.2).
+pub fn apply_fractional(r_mat: &[Vec<f64>], x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let t = r_mat.len();
+    let mut out = vec![vec![0.0f64; t]; t];
+    for i in 0..t {
+        let off_sum: f64 = (0..t).filter(|&j| j != i).map(|j| x[i][j]).sum();
+        let stay = 0.5 + 0.5 * (1.0 - off_sum);
+        for c in 0..t {
+            let mut acc = stay * r_mat[i][c];
+            for j in 0..t {
+                if j != i {
+                    acc += 0.5 * x[i][j] * r_mat[j][c];
+                }
+            }
+            out[i][c] = acc;
+        }
+    }
+    out
+}
+
+/// `Π = Σ_y ‖R[y] − 1/t‖²` (Definition 5.3).
+pub fn potential_of(r_mat: &[Vec<f64>]) -> f64 {
+    let t = r_mat.len();
+    let uniform = 1.0 / t as f64;
+    r_mat
+        .iter()
+        .map(|row| row.iter().map(|&x| (x - uniform) * (x - uniform)).sum::<f64>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyParams;
+    use expander_graphs::generators;
+
+    fn hierarchy(n: usize, seed: u64) -> Hierarchy {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Hierarchy::build(&g, HierarchyParams { epsilon: 0.4, seed, ..Default::default() })
+            .expect("hierarchy")
+    }
+
+    #[test]
+    fn walk_rows_stay_stochastic() {
+        let h = hierarchy(256, 1);
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        // Rebuild R from the recorded fractional matchings.
+        let t = sh.part_sizes.len();
+        let mut r: Vec<Vec<f64>> =
+            (0..t).map(|a| (0..t).map(|b| f64::from(u8::from(a == b))).collect()).collect();
+        for round in &sh.rounds {
+            r = apply_fractional(&r, &round.fractional);
+            for row in &r {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "row sum {sum}");
+                assert!(row.iter().all(|&x| x >= -1e-12), "negative entry");
+            }
+        }
+    }
+
+    #[test]
+    fn potential_decays_to_target() {
+        let h = hierarchy(256, 2);
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        let n = 256f64;
+        assert!(
+            sh.final_potential() <= 1.0 / (9.0 * n * n * n),
+            "final potential {}",
+            sh.final_potential()
+        );
+        // Monotone decay.
+        for w in sh.potential_trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "potential increased");
+        }
+        // λ = O(log n) with a mild constant.
+        assert!(
+            sh.len() as f64 <= 12.0 * n.log2(),
+            "λ = {} too large for n = {n}",
+            sh.len()
+        );
+    }
+
+    #[test]
+    fn matchings_cross_parts_and_embed_validly(){
+        let h = hierarchy(256, 3);
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        let nd = h.node(h.root());
+        for round in &sh.rounds {
+            for (i, &(u, v)) in round.matching.iter().enumerate() {
+                let pu = h.part_of(h.root(), u).expect("in some part");
+                let pv = h.part_of(h.root(), v).expect("in some part");
+                assert_ne!(pu, pv, "matching edge within a part");
+                assert_eq!(round.endpoint_parts[i], (pu, pv));
+                let p = round.embedding.path(i);
+                assert_eq!(p.source(), u);
+                assert_eq!(p.target(), v);
+            }
+            // Fractional degree <= 1 (Definition 5.1).
+            for a in 0..nd.part_count() {
+                let deg: f64 = round.fractional[a].iter().sum();
+                assert!(deg <= 1.0 + 1e-9, "fractional degree {deg}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixing_makes_walk_nearly_uniform() {
+        let h = hierarchy(256, 4);
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        let t = sh.part_sizes.len();
+        let mut r: Vec<Vec<f64>> =
+            (0..t).map(|a| (0..t).map(|b| f64::from(u8::from(a == b))).collect()).collect();
+        for round in &sh.rounds {
+            r = apply_fractional(&r, &round.fractional);
+        }
+        let uniform = 1.0 / t as f64;
+        for row in &r {
+            for &x in row {
+                assert!((x - uniform).abs() < 1e-3, "entry {x} vs uniform {uniform}");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_knobs_change_behavior_not_correctness() {
+        let h = hierarchy(256, 7);
+        for (strategy, paper_norm) in [
+            (CutStrategy::Alternate, false),
+            (CutStrategy::MedianOnly, false),
+            (CutStrategy::RstOnly, false),
+            (CutStrategy::Alternate, true),
+        ] {
+            let params = ShufflerParams {
+                cut_strategy: strategy,
+                paper_normalizer: paper_norm,
+                max_iterations: 400,
+                ..ShufflerParams::default()
+            };
+            let mut ledger = RoundLedger::new();
+            let sh = build_shuffler(&h, h.root(), &params, &mut ledger);
+            // Correctness invariants hold under every configuration.
+            for w in sh.potential_trace.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{strategy:?}: potential increased");
+            }
+            for round in &sh.rounds {
+                for row in &round.fractional {
+                    assert!(row.iter().sum::<f64>() <= 1.0 + 1e-9);
+                }
+            }
+        }
+        // The paper normalizer mixes strictly slower (more iterations
+        // for the same target).
+        let mut l1 = RoundLedger::new();
+        let tight = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut l1);
+        let mut l2 = RoundLedger::new();
+        let paper = build_shuffler(
+            &h,
+            h.root(),
+            &ShufflerParams {
+                paper_normalizer: true,
+                max_iterations: 600,
+                ..ShufflerParams::default()
+            },
+            &mut l2,
+        );
+        assert!(
+            paper.len() > tight.len(),
+            "paper normalizer {} vs tight {}",
+            paper.len(),
+            tight.len()
+        );
+    }
+
+    #[test]
+    fn preprocessing_cost_is_charged() {
+        let h = hierarchy(128, 5);
+        let mut ledger = RoundLedger::new();
+        let _ = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        assert!(ledger.phase("pre/shuffler/matching-player") > 0);
+        assert!(ledger.phase("pre/shuffler/cut-player") > 0);
+    }
+
+    #[test]
+    fn quality_is_measured_and_finite() {
+        let h = hierarchy(128, 6);
+        let mut ledger = RoundLedger::new();
+        let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);
+        assert!(sh.quality_hx >= 2);
+        assert!(sh.quality_flat >= sh.quality_hx.min(4) / 2);
+        assert!(!sh.is_empty());
+    }
+}

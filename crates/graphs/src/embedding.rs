@@ -1,0 +1,286 @@
+//! Virtual-graph embeddings: mapping virtual edges to host paths.
+//!
+//! §2 of the paper: an embedding of `H₁` into `H₂` (with
+//! `V(H₁) ⊆ V(H₂)`) maps each edge of `H₁` to a path of `H₂`. Embeddings
+//! compose (`g ∘ f` embeds `H₁` into `H₃` when `f : H₁ → H₂`,
+//! `g : H₂ → H₃`) and union (`f ∪ g` for disjoint virtual vertex sets).
+//! The hierarchical decomposition's *flatten embedding* `f⁰_X`
+//! (Definition 3.3) is an iterated composition down to the base graph.
+
+use crate::graph::VertexId;
+use crate::paths::{Path, PathSet};
+use std::collections::HashMap;
+
+/// An embedding of a virtual graph into a host graph.
+///
+/// Entry `i` maps the virtual edge `edges()[i] = (u, v)` to a host path
+/// from `u` to `v`. Virtual vertex ids live in the same id space as host
+/// vertex ids (the paper always has `V(H₁) ⊆ V(H₂)`).
+///
+/// Parallel virtual edges are allowed (virtual graphs here are unions of
+/// matchings, which may repeat a pair); composition distributes uses
+/// over the parallel copies round-robin to avoid artificial congestion.
+///
+/// # Example
+///
+/// ```
+/// use expander_graphs::{Embedding, Path};
+///
+/// let mut f = Embedding::new();
+/// f.push(0, 2, Path::new(vec![0, 1, 2]));
+/// assert_eq!(f.len(), 1);
+/// assert_eq!(f.quality(), 3); // congestion 1 + dilation 2
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Embedding {
+    edges: Vec<(VertexId, VertexId)>,
+    paths: Vec<Path>,
+}
+
+impl Embedding {
+    /// Creates an empty embedding.
+    pub fn new() -> Self {
+        Embedding { edges: Vec::new(), paths: Vec::new() }
+    }
+
+    /// Adds a virtual edge `(u, v)` realized by `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path endpoints are not `{u, v}` in order.
+    pub fn push(&mut self, u: VertexId, v: VertexId, path: Path) {
+        assert_eq!(path.source(), u, "path must start at u");
+        assert_eq!(path.target(), v, "path must end at v");
+        self.edges.push((u, v));
+        self.paths.push(path);
+    }
+
+    /// Number of embedded virtual edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the embedding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The virtual edges, in insertion order.
+    pub fn virtual_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Host path realizing virtual edge `i`.
+    pub fn path(&self, i: usize) -> &Path {
+        &self.paths[i]
+    }
+
+    /// Iterates over `(u, v, path)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, &Path)> {
+        self.edges.iter().zip(&self.paths).map(|(&(u, v), p)| (u, v, p))
+    }
+
+    /// All host paths as a [`PathSet`] (cloned).
+    pub fn to_path_set(&self) -> PathSet {
+        PathSet::from_paths(self.paths.clone())
+    }
+
+    /// Quality `Q(f)` of the embedding: the quality of its path set.
+    pub fn quality(&self) -> usize {
+        self.to_path_set().quality()
+    }
+
+    /// Union of two embeddings (paper's `f ∪ g`). The virtual edge sets
+    /// are concatenated; callers are responsible for vertex-set
+    /// disjointness where the paper requires it.
+    pub fn union(mut self, other: Embedding) -> Embedding {
+        self.edges.extend(other.edges);
+        self.paths.extend(other.paths);
+        self
+    }
+
+    /// Routes an arbitrary host walk `walk` (a vertex sequence in this
+    /// embedding's *virtual* graph) down to the host graph, splicing the
+    /// embedded path of every virtual hop. Consecutive duplicate
+    /// vertices are skipped. Returns `None` if some hop has no embedded
+    /// edge.
+    ///
+    /// `cursor` distributes parallel-edge uses round-robin; pass a fresh
+    /// [`ComposeCursor`] per logical batch.
+    pub fn map_walk(&self, walk: &[VertexId], cursor: &mut ComposeCursor) -> Option<Path> {
+        let index = cursor.index_for(self);
+        let mut out: Vec<VertexId> = vec![walk[0]];
+        for w in walk.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a == b {
+                continue;
+            }
+            let (i, rev) = index.lookup(a, b, &mut cursor.uses)?;
+            let p = &self.paths[i];
+            let verts = p.vertices();
+            if rev {
+                out.extend(verts.iter().rev().skip(1));
+            } else {
+                out.extend(verts.iter().skip(1));
+            }
+        }
+        Some(Path::new(out))
+    }
+
+    /// Composition `self ∘ f`: embeds `f`'s virtual graph into this
+    /// embedding's host graph (`f : H₁ → H₂`, `self : H₂ → H₃`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some edge used by `f`'s paths has no embedding in
+    /// `self` — that indicates a broken hierarchy.
+    pub fn compose_after(&self, f: &Embedding) -> Embedding {
+        let mut cursor = ComposeCursor::default();
+        let mut out = Embedding::new();
+        for (u, v, p) in f.iter() {
+            let mapped = self
+                .map_walk(p.vertices(), &mut cursor)
+                .expect("inner embedding uses an edge missing from the outer embedding");
+            out.push(u, v, mapped);
+        }
+        out
+    }
+}
+
+/// Round-robin cursor over parallel virtual edges, used by
+/// [`Embedding::map_walk`] to spread composed congestion across
+/// parallel copies.
+#[derive(Debug, Default)]
+pub struct ComposeCursor {
+    uses: HashMap<(VertexId, VertexId), usize>,
+}
+
+impl ComposeCursor {
+    fn index_for<'a>(&mut self, e: &'a Embedding) -> EdgeIndex<'a> {
+        EdgeIndex::build(e)
+    }
+}
+
+struct EdgeIndex<'a> {
+    by_pair: HashMap<(VertexId, VertexId), Vec<(usize, bool)>>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> EdgeIndex<'a> {
+    fn build(e: &'a Embedding) -> Self {
+        let mut by_pair: HashMap<(VertexId, VertexId), Vec<(usize, bool)>> = HashMap::new();
+        for (i, &(u, v)) in e.edges.iter().enumerate() {
+            let key = (u.min(v), u.max(v));
+            let reversed_in_key = u > v;
+            by_pair.entry(key).or_default().push((i, reversed_in_key));
+        }
+        EdgeIndex { by_pair, _marker: std::marker::PhantomData }
+    }
+
+    /// Finds an embedded copy for virtual hop `a -> b`; returns
+    /// `(index, traverse_reversed)`.
+    fn lookup(
+        &self,
+        a: VertexId,
+        b: VertexId,
+        uses: &mut HashMap<(VertexId, VertexId), usize>,
+    ) -> Option<(usize, bool)> {
+        let key = (a.min(b), a.max(b));
+        let copies = self.by_pair.get(&key)?;
+        let slot = uses.entry(key).or_insert(0);
+        let (idx, stored_rev) = copies[*slot % copies.len()];
+        *slot += 1;
+        // stored_rev: the stored path runs max->min. We need a->b.
+        let need_rev = a > b;
+        Some((idx, stored_rev != need_rev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> Path {
+        Path::new(v.to_vec())
+    }
+
+    #[test]
+    fn push_validates_endpoints() {
+        let mut f = Embedding::new();
+        f.push(1, 3, path(&[1, 2, 3]));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "path must end at v")]
+    fn push_rejects_bad_target() {
+        let mut f = Embedding::new();
+        f.push(1, 3, path(&[1, 2]));
+    }
+
+    #[test]
+    fn compose_splices_paths() {
+        // H1 edge (0,4) -> H2 path 0-2-4; H2 edges embed into H3.
+        let mut inner = Embedding::new();
+        inner.push(0, 4, path(&[0, 2, 4]));
+        let mut outer = Embedding::new();
+        outer.push(0, 2, path(&[0, 1, 2]));
+        outer.push(2, 4, path(&[2, 3, 4]));
+        let composed = outer.compose_after(&inner);
+        assert_eq!(composed.len(), 1);
+        assert_eq!(composed.path(0).vertices(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn compose_handles_reversed_traversal() {
+        let mut inner = Embedding::new();
+        inner.push(4, 0, path(&[4, 2, 0]));
+        let mut outer = Embedding::new();
+        outer.push(0, 2, path(&[0, 1, 2]));
+        outer.push(2, 4, path(&[2, 3, 4]));
+        let composed = outer.compose_after(&inner);
+        assert_eq!(composed.path(0).vertices(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn compose_spreads_parallel_copies() {
+        let mut outer = Embedding::new();
+        outer.push(0, 1, path(&[0, 5, 1]));
+        outer.push(0, 1, path(&[0, 6, 1]));
+        let mut inner = Embedding::new();
+        inner.push(0, 1, path(&[0, 1]));
+        inner.push(0, 1, path(&[0, 1]));
+        let composed = outer.compose_after(&inner);
+        let mids: Vec<u32> =
+            (0..2).map(|i| composed.path(i).vertices()[1]).collect();
+        assert_eq!(mids, vec![5, 6], "round-robin over parallel copies");
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let mut f = Embedding::new();
+        f.push(0, 1, path(&[0, 1]));
+        let mut g = Embedding::new();
+        g.push(2, 3, path(&[2, 3]));
+        let u = f.union(g);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.virtual_edges(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn quality_reflects_paths() {
+        let mut f = Embedding::new();
+        f.push(0, 2, path(&[0, 1, 2]));
+        f.push(3, 2, path(&[3, 1, 2]));
+        assert_eq!(f.quality(), 2 + 2);
+    }
+
+    #[test]
+    fn trivial_hops_are_skipped_in_map_walk() {
+        let mut outer = Embedding::new();
+        outer.push(0, 1, path(&[0, 1]));
+        let mut cursor = ComposeCursor::default();
+        let p = outer.map_walk(&[0, 0, 1, 1], &mut cursor).expect("mapped");
+        assert_eq!(p.vertices(), &[0, 1]);
+    }
+}

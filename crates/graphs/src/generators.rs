@@ -1,0 +1,414 @@
+//! Seeded graph generators: expander families and negative controls.
+//!
+//! All generators are deterministic given their seed, so every experiment
+//! in this workspace is reproducible bit-for-bit.
+
+use crate::graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a generator cannot realize the requested graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    message: String,
+}
+
+impl GenerateError {
+    fn new(message: impl Into<String>) -> Self {
+        GenerateError { message: message.into() }
+    }
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph generation failed: {}", self.message)
+    }
+}
+
+impl Error for GenerateError {}
+
+/// Random `d`-regular simple graph on `n` vertices (configuration model
+/// with local repair), connected with overwhelming probability for
+/// `d >= 3`.
+///
+/// # Errors
+///
+/// Returns an error if `n * d` is odd, `d >= n`, or the pairing cannot be
+/// repaired into a simple connected graph after many attempts.
+///
+/// # Example
+///
+/// ```
+/// let g = expander_graphs::generators::random_regular(64, 3, 1).unwrap();
+/// assert!((0..64).all(|v| g.degree(v) == 3));
+/// ```
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenerateError> {
+    if n * d % 2 != 0 {
+        return Err(GenerateError::new("n * d must be even"));
+    }
+    if d >= n {
+        return Err(GenerateError::new("degree must be < n"));
+    }
+    if d == 0 {
+        return Err(GenerateError::new("degree must be positive"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _attempt in 0..64 {
+        if let Some(edges) = try_pairing(n, d, &mut rng) {
+            let g = Graph::from_edges(n, &edges);
+            if d >= 2 && !g.is_connected() {
+                continue;
+            }
+            return Ok(g);
+        }
+    }
+    Err(GenerateError::new(format!("could not realize simple {d}-regular graph on {n} vertices")))
+}
+
+/// One configuration-model attempt with edge-swap repair.
+fn try_pairing(n: usize, d: usize, rng: &mut StdRng) -> Option<Vec<(VertexId, VertexId)>> {
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(rng);
+    let mut edges: Vec<(u32, u32)> = stubs
+        .chunks_exact(2)
+        .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+        .collect();
+    // Repair loop: replace self-loops / duplicate edges by random swaps.
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+    for _ in 0..200 {
+        seen.clear();
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            if e.0 == e.1 || !seen.insert(e) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            return Some(edges);
+        }
+        for &i in &bad {
+            let j = rng.gen_range(0..edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, dd) = edges[j];
+            // Swap endpoints: (a,b),(c,d) -> (a,c),(b,d).
+            edges[i] = (a.min(c), a.max(c));
+            edges[j] = (b.min(dd), b.max(dd));
+        }
+    }
+    None
+}
+
+/// The `dim`-dimensional hypercube: `2^dim` vertices of degree `dim`.
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim as usize / 2);
+    for v in 0..n as u32 {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle on `n >= 3` vertices (a classic low-conductance control:
+/// `Φ = Θ(1/n)`).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Path on `n >= 2` vertices.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2, "path needs at least 2 vertices");
+    let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// 2D torus `w × h` (4-regular, conductance `Θ(1/min(w, h))`).
+pub fn torus2d(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus sides must be >= 3");
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::with_capacity(2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            edges.push((id(x, y), id((x + 1) % w, y)));
+            edges.push((id(x, y), id(x, (y + 1) % h)));
+        }
+    }
+    Graph::from_edges(w * h, &edges)
+}
+
+/// Erdős–Rényi `G(n, p)` with a fixed seed.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Margulis–Gabber–Galil 8-regular expander on `m × m` vertices over
+/// `Z_m × Z_m`: each `(x, y)` connects to `(x + 2y, y)`, `(x + 2y + 1, y)`,
+/// `(x, y + 2x)`, `(x, y + 2x + 1)` (as a multigraph; with the implied
+/// reverse edges the degree is exactly 8).
+///
+/// This family has constant spectral gap; it is the deterministic
+/// expander used where seeded randomness is undesirable.
+pub fn margulis(m: usize) -> Graph {
+    assert!(m >= 2, "margulis needs m >= 2");
+    let n = m * m;
+    let id = |x: usize, y: usize| (y * m + x) as u32;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..m {
+        for x in 0..m {
+            let v = id(x, y);
+            // The identity images (e.g. x + 2y ≡ x when y = 0) would be
+            // self-loops; they are dropped, so degrees are 7–8.
+            for u in [
+                id((x + 2 * y) % m, y),
+                id((x + 2 * y + 1) % m, y),
+                id(x, (y + 2 * x) % m),
+                id(x, (y + 2 * x + 1) % m),
+            ] {
+                if u != v {
+                    edges.push((v, u));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Two cliques of size `k` joined by a single edge — the canonical
+/// worst case for conductance (`Φ = Θ(1/k²)`).
+pub fn barbell(k: usize) -> Graph {
+    assert!(k >= 2, "barbell needs cliques of size >= 2");
+    let mut edges = Vec::new();
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            edges.push((u, v));
+            edges.push((u + k as u32, v + k as u32));
+        }
+    }
+    edges.push((0, k as u32));
+    Graph::from_edges(2 * k, &edges)
+}
+
+/// `c` cliques of size `s` arranged on a ring, consecutive cliques joined
+/// by one edge. Conductance `Θ(1/(c·s²))`-ish; a clustered control used
+/// by the expander-decomposition experiments.
+pub fn ring_of_cliques(c: usize, s: usize) -> Graph {
+    assert!(c >= 3 && s >= 2, "need >= 3 cliques of size >= 2");
+    let mut edges = Vec::new();
+    for i in 0..c {
+        let base = (i * s) as u32;
+        for u in 0..s as u32 {
+            for v in (u + 1)..s as u32 {
+                edges.push((base + u, base + v));
+            }
+        }
+        let next = ((i + 1) % c * s) as u32;
+        edges.push((base, next + 1 % s as u32));
+    }
+    Graph::from_edges(c * s, &edges)
+}
+
+/// A non-constant-degree expander: a random 4-regular base plus `hubs`
+/// high-degree vertices each adjacent to `n / hubs`-ish spread-out
+/// vertices. Used to exercise the Appendix E reduction (expander split).
+///
+/// # Errors
+///
+/// Propagates [`random_regular`] failures.
+pub fn hub_expander(n: usize, hubs: usize, seed: u64) -> Result<Graph, GenerateError> {
+    assert!(hubs >= 1 && hubs < n / 4, "hub count out of range");
+    let base = random_regular(n, 4, seed)?;
+    let mut edges: Vec<(u32, u32)> = base.edges().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let spokes = (n / hubs).max(8);
+    for h in 0..hubs as u32 {
+        let mut attached = HashSet::new();
+        for _ in 0..spokes {
+            let t = rng.gen_range(0..n as u32);
+            if t != h && attached.insert(t) {
+                edges.push((h.min(t), h.max(t)));
+            }
+        }
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// A planted-partition graph: `blocks` random `d`-regular communities
+/// of `per` vertices each, joined by `bridges` random inter-community
+/// edges per adjacent pair (arranged on a ring of blocks). The natural
+/// input for expander-decomposition experiments: each block is an
+/// expander, the bridges are the ε-fraction to cut.
+///
+/// # Errors
+///
+/// Propagates [`random_regular`] failures.
+pub fn planted_partition(
+    blocks: usize,
+    per: usize,
+    d: usize,
+    bridges: usize,
+    seed: u64,
+) -> Result<Graph, GenerateError> {
+    assert!(blocks >= 2, "need at least two blocks");
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for b in 0..blocks {
+        let base = (b * per) as u32;
+        let block = random_regular(per, d, seed.wrapping_add(b as u64 * 101))?;
+        edges.extend(block.edges().map(|(u, v)| (base + u, base + v)));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C);
+    for b in 0..blocks {
+        let base_a = (b * per) as u32;
+        let base_b = ((b + 1) % blocks * per) as u32;
+        let mut used = HashSet::new();
+        for _ in 0..bridges {
+            let u = base_a + rng.gen_range(0..per as u32);
+            let v = base_b + rng.gen_range(0..per as u32);
+            if used.insert((u, v)) {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+    }
+    Ok(Graph::from_edges(blocks * per, &edges))
+}
+
+/// A weighted edge list over a graph, used by the MST application.
+///
+/// Weights are distinct (ties broken by edge id) so the MST is unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedEdges {
+    /// `(u, v, w)` triples, one per undirected edge.
+    pub edges: Vec<(VertexId, VertexId, u64)>,
+}
+
+/// Assigns distinct pseudo-random weights to every edge of `g`.
+pub fn random_weights(g: &Graph, seed: u64) -> WeightedEdges {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32, u64)> = g
+        .edges()
+        .enumerate()
+        .map(|(i, (u, v))| (u, v, (rng.gen::<u64>() << 20) | i as u64))
+        .collect();
+    edges.sort_unstable_by_key(|&(_, _, w)| w);
+    WeightedEdges { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn random_regular_degrees_and_simplicity() {
+        for &(n, d) in &[(16usize, 3usize), (64, 4), (128, 6)] {
+            let g = random_regular(n, d, 42).expect("generator");
+            assert_eq!(g.n(), n);
+            for v in 0..n as u32 {
+                assert_eq!(g.degree(v), d, "vertex {v}");
+                let mut nb = g.neighbors(v).to_vec();
+                nb.sort_unstable();
+                nb.dedup();
+                assert_eq!(nb.len(), d, "parallel edge at {v}");
+                assert!(!nb.contains(&v), "self loop at {v}");
+            }
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_odd_total() {
+        assert!(random_regular(5, 3, 0).is_err());
+        assert!(random_regular(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn random_regular_is_deterministic() {
+        let a = random_regular(64, 4, 9).unwrap();
+        let b = random_regular(64, 4, 9).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), 4);
+    }
+
+    #[test]
+    fn margulis_is_expander() {
+        let g = margulis(12);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 8);
+        let gap = metrics::spectral_gap(&g, 3);
+        assert!(gap > 0.05, "margulis gap {gap}");
+    }
+
+    #[test]
+    fn barbell_has_tiny_conductance() {
+        let g = barbell(6);
+        let phi = metrics::conductance_exact(&g);
+        assert!(phi < 0.04, "barbell conductance {phi}");
+    }
+
+    #[test]
+    fn torus_and_ring_connected() {
+        assert!(torus2d(4, 5).is_connected());
+        assert!(ring(9).is_connected());
+        assert!(path(5).is_connected());
+        assert!(ring_of_cliques(4, 5).is_connected());
+    }
+
+    #[test]
+    fn hub_expander_has_varying_degrees() {
+        let g = hub_expander(256, 4, 5).expect("generator");
+        assert!(g.is_connected());
+        assert!(g.max_degree() > 16, "hubs should have high degree");
+    }
+
+    #[test]
+    fn random_weights_are_distinct() {
+        let g = hypercube(3);
+        let w = random_weights(&g, 3);
+        let mut ws: Vec<u64> = w.edges.iter().map(|&(_, _, x)| x).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        assert_eq!(ws.len(), g.m());
+    }
+}

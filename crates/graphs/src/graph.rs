@@ -1,0 +1,375 @@
+//! Compact undirected (multi)graph in CSR form, plus BFS utilities.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a vertex inside a [`Graph`]; always in `0..n`.
+pub type VertexId = u32;
+
+/// An undirected (multi)graph stored in compressed sparse row form.
+///
+/// Vertices are `0..n`. Parallel edges and self-loops are representable
+/// (generators in this workspace avoid self-loops). Each undirected edge
+/// `{u, v}` appears once in `u`'s adjacency and once in `v`'s.
+///
+/// # Example
+///
+/// ```
+/// use expander_graphs::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    m: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m)
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::from_edges(0, &[])
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    /// Parallel edges are allowed; self-loops are not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut deg = vec![0u32; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(u != v, "self-loops are not supported");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &deg {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; 2 * edges.len()];
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Graph { offsets, targets, m: edges.len() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `v` (counting parallel edges).
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree over all vertices; 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees of the vertices in `set`.
+    pub fn volume(&self, set: &[VertexId]) -> usize {
+        set.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Neighbors of `v` (with multiplicity, in insertion order).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with
+    /// `u < v`. For parallel edges, each copy is yielded.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n() as u32).flat_map(move |u| {
+            self.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v))
+        })
+    }
+
+    /// Whether `{u, v}` is an edge (linear scan of the smaller adjacency).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).contains(&b)
+    }
+
+    /// BFS distances from `src`; unreachable vertices map to `u32::MAX`.
+    pub fn bfs_distances(&self, src: VertexId) -> Vec<u32> {
+        self.bfs_distances_multi(&[src])
+    }
+
+    /// BFS distances from the nearest of several sources.
+    pub fn bfs_distances_multi(&self, sources: &[VertexId]) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n()];
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if dist[s as usize] == u32::MAX {
+                dist[s as usize] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// A shortest path from `src` to `dst` as a vertex sequence, or
+    /// `None` if `dst` is unreachable.
+    pub fn shortest_path(&self, src: VertexId, dst: VertexId) -> Option<Vec<VertexId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut parent = vec![u32::MAX; self.n()];
+        let mut queue = VecDeque::new();
+        parent[src as usize] = src;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    if v == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while cur != src {
+                            cur = parent[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return true;
+        }
+        let dist = self.bfs_distances(0);
+        dist.iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Eccentricity of `v`: the maximum BFS distance to any vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn eccentricity(&self, v: VertexId) -> u32 {
+        let dist = self.bfs_distances(v);
+        let max = dist.iter().copied().max().unwrap_or(0);
+        assert!(max != u32::MAX, "eccentricity of a disconnected graph");
+        max
+    }
+
+    /// Exact diameter via all-pairs BFS. Intended for small graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or empty.
+    pub fn diameter_exact(&self) -> u32 {
+        assert!(self.n() > 0, "diameter of the empty graph");
+        (0..self.n() as u32).map(|v| self.eccentricity(v)).max().expect("non-empty")
+    }
+
+    /// Diameter estimate in `[D/2, D]` via a double BFS sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or empty.
+    pub fn diameter_estimate(&self) -> u32 {
+        assert!(self.n() > 0, "diameter of the empty graph");
+        let d0 = self.bfs_distances(0);
+        let (far, _) = d0
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| *d)
+            .expect("non-empty");
+        self.eccentricity(far as VertexId)
+    }
+
+    /// Induced subgraph on `keep` (which need not be sorted).
+    ///
+    /// Returns the subgraph together with the map `new id -> old id`
+    /// (i.e. `mapping[new]` is the original vertex).
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut new_id = vec![u32::MAX; self.n()];
+        let mut mapping = keep.to_vec();
+        mapping.sort_unstable();
+        mapping.dedup();
+        for (i, &v) in mapping.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &u in &mapping {
+            for &v in self.neighbors(u) {
+                if u < v && new_id[v as usize] != u32::MAX {
+                    edges.push((new_id[u as usize], new_id[v as usize]));
+                }
+            }
+        }
+        (Graph::from_edges(mapping.len(), &edges), mapping)
+    }
+
+    /// Connected components; returns `component[v]` in `0..count` and the
+    /// number of components.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n()];
+        let mut count = 0u32;
+        for s in 0..self.n() as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = count;
+            let mut queue = VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &v in self.neighbors(u) {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = count;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = cycle(5);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = cycle(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = cycle(8);
+        let p = g.shortest_path(0, 3).expect("connected");
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&3));
+        assert_eq!(p.len(), 4);
+        assert_eq!(g.shortest_path(2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = cycle(10);
+        assert_eq!(g.diameter_exact(), 5);
+        let est = g.diameter_estimate();
+        assert!(est >= 3 && est <= 5, "estimate {est} out of [D/2, D]");
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let (comp, count) = g.components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let g = cycle(6);
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2, 3]);
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.m(), 3); // path 0-1-2-3; edge (3,0) of the cycle is cut
+        assert_eq!(map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = cycle(8);
+        let d = g.bfs_distances_multi(&[0, 4]);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[6], 2);
+        assert_eq!(d[3], 1);
+    }
+
+    #[test]
+    fn volume_sums_degrees() {
+        let g = cycle(5);
+        assert_eq!(g.volume(&[0, 1]), 4);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the deterministic expander-routing reproduction.
+//!
+//! This crate provides everything the routing engine needs to talk about
+//! graphs:
+//!
+//! * [`Graph`] — a compact CSR undirected (multi)graph with BFS helpers.
+//! * [`generators`] — seeded generators for expander families (random
+//!   regular, hypercube, Margulis) and low-conductance negative controls
+//!   (ring, torus, barbell).
+//! * [`metrics`] — conductance/sparsity, exact for tiny graphs, spectral
+//!   (Cheeger) estimates for large ones.
+//! * [`Path`], [`PathSet`] — path collections with the paper's
+//!   congestion/dilation/quality accounting (§2, "Quality of Paths").
+//! * [`Embedding`] — virtual-edge-to-host-path embeddings with
+//!   composition and union (§2, "Embeddings"), used to flatten the
+//!   hierarchical decomposition (Definition 3.3).
+//! * [`split`] — the expander split `G⋄` (Preliminaries + Appendix E)
+//!   reducing arbitrary-degree expanders to constant degree.
+//!
+//! # Example
+//!
+//! ```
+//! use expander_graphs::{generators, metrics};
+//!
+//! let g = generators::random_regular(256, 4, 7).expect("generator");
+//! assert!(g.is_connected());
+//! let gap = metrics::spectral_gap(&g, 11);
+//! assert!(gap > 0.05, "random 4-regular graphs are expanders");
+//! ```
+
+pub mod embedding;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod paths;
+pub mod split;
+pub mod union_find;
+
+pub use embedding::Embedding;
+pub use graph::{Graph, VertexId};
+pub use paths::{Path, PathSet};
+pub use split::SplitGraph;
+pub use union_find::UnionFind;

@@ -1,0 +1,367 @@
+//! Conductance, sparsity, and spectral estimates.
+//!
+//! The paper (§2) defines conductance `Φ` and sparsity `Ψ` of cuts and
+//! graphs. Exact values are computable only for tiny graphs (subset
+//! enumeration); at experiment scale we use the spectral gap of the
+//! normalized adjacency matrix together with Cheeger's inequality
+//! `gap/2 ≤ Φ ≤ √(2·gap)`, plus sweep cuts for explicit certificates.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Conductance `Φ(S) = |δ(S)| / min(vol(S), vol(V∖S))` of the cut whose
+/// side is marked `true` in `side`.
+///
+/// Returns `f64::INFINITY` for the trivial cuts (`S = ∅` or `S = V`).
+pub fn cut_conductance(g: &Graph, side: &[bool]) -> f64 {
+    let (boundary, vol_s, vol_rest) = cut_profile(g, side);
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        return f64::INFINITY;
+    }
+    boundary as f64 / denom as f64
+}
+
+/// Sparsity (edge expansion) `Ψ(S) = |δ(S)| / min(|S|, |V∖S|)`.
+///
+/// Returns `f64::INFINITY` for the trivial cuts.
+pub fn cut_sparsity(g: &Graph, side: &[bool]) -> f64 {
+    let (boundary, _, _) = cut_profile(g, side);
+    let s: usize = side.iter().filter(|&&b| b).count();
+    let denom = s.min(g.n() - s);
+    if denom == 0 {
+        return f64::INFINITY;
+    }
+    boundary as f64 / denom as f64
+}
+
+fn cut_profile(g: &Graph, side: &[bool]) -> (usize, usize, usize) {
+    assert_eq!(side.len(), g.n(), "side marker length mismatch");
+    let mut boundary = 0usize;
+    let mut vol_s = 0usize;
+    let mut vol_rest = 0usize;
+    for v in 0..g.n() as u32 {
+        let d = g.degree(v);
+        if side[v as usize] {
+            vol_s += d;
+        } else {
+            vol_rest += d;
+        }
+        for &u in g.neighbors(v) {
+            if v < u && side[v as usize] != side[u as usize] {
+                boundary += 1;
+            }
+        }
+    }
+    (boundary, vol_s, vol_rest)
+}
+
+/// Exact conductance `Φ(G)` by enumerating all cuts.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (the enumeration would be astronomically slow) or
+/// `n < 2`.
+pub fn conductance_exact(g: &Graph) -> f64 {
+    exact_over_cuts(g, cut_conductance)
+}
+
+/// Exact sparsity `Ψ(G)` by enumerating all cuts.
+///
+/// # Panics
+///
+/// Panics if `n > 24` or `n < 2`.
+pub fn sparsity_exact(g: &Graph) -> f64 {
+    exact_over_cuts(g, cut_sparsity)
+}
+
+fn exact_over_cuts(g: &Graph, f: impl Fn(&Graph, &[bool]) -> f64) -> f64 {
+    let n = g.n();
+    assert!((2..=24).contains(&n), "exact cut enumeration needs 2 <= n <= 24");
+    let mut best = f64::INFINITY;
+    let mut side = vec![false; n];
+    // Fix vertex n-1 outside S to enumerate each cut once.
+    for mask in 1u64..(1u64 << (n - 1)) {
+        for (v, s) in side.iter_mut().enumerate().take(n - 1) {
+            *s = mask >> v & 1 == 1;
+        }
+        let val = f(g, &side);
+        if val < best {
+            best = val;
+        }
+    }
+    best
+}
+
+/// Result of the spectral analysis of a graph: the gap and the
+/// (approximate) second eigenvector, usable for sweep cuts.
+#[derive(Debug, Clone)]
+pub struct Spectral {
+    /// `1 − λ₂(N)` where `N = D^{-1/2} A D^{-1/2}`.
+    pub gap: f64,
+    /// Approximate eigenvector of `λ₂`, pulled back through `D^{-1/2}`
+    /// (i.e. an approximate eigenvector of the random-walk matrix).
+    pub vector: Vec<f64>,
+}
+
+/// Power-iteration estimate of the spectral gap and second eigenvector.
+///
+/// Runs on `M = (I + N)/2` (so eigenvalues are nonnegative and bipartite
+/// components cannot flip signs) and deflates the known top eigenvector
+/// `D^{1/2}·1`. Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or has an isolated vertex.
+pub fn spectral(g: &Graph, seed: u64) -> Spectral {
+    let n = g.n();
+    assert!(n >= 2, "spectral analysis needs >= 2 vertices");
+    let inv_sqrt_deg: Vec<f64> = (0..n as u32)
+        .map(|v| {
+            let d = g.degree(v);
+            assert!(d > 0, "vertex {v} is isolated");
+            1.0 / (d as f64).sqrt()
+        })
+        .collect();
+    // Top eigenvector of N is proportional to sqrt(deg).
+    let mut top: Vec<f64> = (0..n as u32).map(|v| (g.degree(v) as f64).sqrt()).collect();
+    normalize(&mut top);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    orthogonalize(&mut x, &top);
+    normalize(&mut x);
+
+    let iters = 200 + 60 * (usize::BITS - n.leading_zeros()) as usize;
+    let mut mu = 0.0;
+    let mut y = vec![0.0f64; n];
+    for it in 0..iters {
+        // y = M x = (x + N x) / 2
+        for yv in y.iter_mut() {
+            *yv = 0.0;
+        }
+        for v in 0..n as u32 {
+            let xv = x[v as usize] * inv_sqrt_deg[v as usize];
+            for &u in g.neighbors(v) {
+                y[u as usize] += xv * inv_sqrt_deg[u as usize];
+            }
+        }
+        for v in 0..n {
+            y[v] = 0.5 * (x[v] + y[v]);
+        }
+        orthogonalize(&mut y, &top);
+        let norm = dot(&y, &y).sqrt();
+        if norm < 1e-300 {
+            // x was (numerically) in the span of the top eigenvector:
+            // graph is complete-like; gap is as large as possible.
+            return Spectral { gap: 1.0, vector: vec![0.0; n] };
+        }
+        let new_mu = dot(&x, &y);
+        for v in 0..n {
+            x[v] = y[v] / norm;
+        }
+        if it > 32 && (new_mu - mu).abs() < 1e-12 {
+            mu = new_mu;
+            break;
+        }
+        mu = new_mu;
+    }
+    // mu ≈ (1 + λ₂)/2  =>  gap = 1 − λ₂ = 2(1 − mu).
+    let gap = (2.0 * (1.0 - mu)).clamp(0.0, 2.0);
+    let vector: Vec<f64> = (0..n).map(|v| x[v] * inv_sqrt_deg[v]).collect();
+    Spectral { gap, vector }
+}
+
+/// Spectral gap `1 − λ₂` of the normalized adjacency matrix.
+pub fn spectral_gap(g: &Graph, seed: u64) -> f64 {
+    spectral(g, seed).gap
+}
+
+/// Cheeger lower bound on conductance: `Φ(G) ≥ gap/2`.
+pub fn conductance_lower_bound(g: &Graph, seed: u64) -> f64 {
+    spectral_gap(g, seed) / 2.0
+}
+
+/// Mixing-time estimate of the lazy random walk: the number of steps
+/// after which every starting distribution is within total-variation
+/// distance `eps` of stationary, `τ(ε) ≈ ln(n/ε) / gap`.
+///
+/// This is the `τ_mix` that the randomized GKS17 routing pays per
+/// dispersal phase; the deterministic shuffler's `λ` plays the same
+/// role (compare experiment E5 with the baseline in E2).
+pub fn mixing_time(g: &Graph, eps: f64, seed: u64) -> u64 {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    let gap = spectral_gap(g, seed).max(1e-9);
+    ((g.n() as f64 / eps).ln() / gap).ceil() as u64
+}
+
+/// A sweep cut along the approximate second eigenvector: the best
+/// prefix cut by conductance. Returns `(side, conductance)`.
+///
+/// This is the constructive upper-bound half of Cheeger's inequality
+/// (`Φ ≤ √(2·gap)` is met by one of these prefixes up to approximation
+/// error) and doubles as a practical sparse-cut oracle in tests.
+pub fn sweep_cut(g: &Graph, seed: u64) -> (Vec<bool>, f64) {
+    let n = g.n();
+    let spec = spectral(g, seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        spec.vector[a as usize]
+            .partial_cmp(&spec.vector[b as usize])
+            .expect("eigenvector entries are finite")
+    });
+    let total_vol = 2 * g.m();
+    let mut in_s = vec![false; n];
+    let mut boundary = 0i64;
+    let mut vol_s = 0usize;
+    let mut best = (vec![false; n], f64::INFINITY);
+    for (idx, &v) in order.iter().enumerate().take(n - 1) {
+        for &u in g.neighbors(v) {
+            if in_s[u as usize] {
+                boundary -= 1;
+            } else {
+                boundary += 1;
+            }
+        }
+        in_s[v as usize] = true;
+        vol_s += g.degree(v);
+        let denom = vol_s.min(total_vol - vol_s);
+        if denom == 0 {
+            continue;
+        }
+        let phi = boundary as f64 / denom as f64;
+        if phi < best.1 {
+            best = (in_s.clone(), phi);
+        }
+        let _ = idx;
+    }
+    best
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], against: &[f64]) {
+    let proj = dot(v, against);
+    for (x, a) in v.iter_mut().zip(against) {
+        *x -= proj * a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn conductance_of_two_triangles_bridge() {
+        // Two triangles joined by one edge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]);
+        let phi = conductance_exact(&g);
+        // Best cut separates the triangles: |δ| = 1, min vol = 7.
+        assert!((phi - 1.0 / 7.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn sparsity_of_two_triangles_bridge() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]);
+        let psi = sparsity_exact(&g);
+        assert!((psi - 1.0 / 3.0).abs() < 1e-12, "psi = {psi}");
+    }
+
+    #[test]
+    fn hypercube_gap_matches_theory() {
+        // λ₂(N) = 1 − 2/dim for the hypercube, so gap = 2/dim.
+        for dim in [3u32, 4, 5] {
+            let g = generators::hypercube(dim);
+            let gap = spectral_gap(&g, 1);
+            let expect = 2.0 / dim as f64;
+            assert!((gap - expect).abs() < 0.02, "dim {dim}: gap {gap} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn ring_gap_is_small() {
+        let g = generators::ring(64);
+        let gap = spectral_gap(&g, 1);
+        let expect = 1.0 - (2.0 * std::f64::consts::PI / 64.0).cos();
+        assert!((gap - expect).abs() < 0.01, "gap {gap} vs {expect}");
+    }
+
+    #[test]
+    fn complete_graph_gap_is_large() {
+        let g = generators::complete(16);
+        let gap = spectral_gap(&g, 1);
+        assert!(gap > 0.9, "gap {gap}");
+    }
+
+    #[test]
+    fn cheeger_sandwich_on_small_graphs() {
+        for (name, g) in [
+            ("ring12", generators::ring(12)),
+            ("cube3", generators::hypercube(3)),
+            ("barbell5", generators::barbell(5)),
+        ] {
+            let phi = conductance_exact(&g);
+            let gap = spectral_gap(&g, 2);
+            assert!(phi >= gap / 2.0 - 1e-9, "{name}: Φ {phi} < gap/2 {}", gap / 2.0);
+            assert!(phi <= (2.0 * gap).sqrt() + 1e-9, "{name}: Φ {phi} > √(2gap)");
+        }
+    }
+
+    #[test]
+    fn sweep_cut_finds_barbell_bottleneck() {
+        let g = generators::barbell(8);
+        let (side, phi) = sweep_cut(&g, 3);
+        let exact = conductance_exact(&g);
+        assert!(phi <= exact * 1.5 + 1e-9, "sweep {phi} vs exact {exact}");
+        let s: usize = side.iter().filter(|&&b| b).count();
+        assert_eq!(s, 8, "sweep should isolate one clique");
+    }
+
+    #[test]
+    fn sweep_cut_conductance_is_consistent() {
+        let g = generators::torus2d(5, 5);
+        let (side, phi) = sweep_cut(&g, 4);
+        assert!((cut_conductance(&g, &side) - phi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_regular_has_constant_gap() {
+        // Alon–Boppana: λ₂ ≈ 2√(d−1)/d = 0.866 for d = 4, so the gap
+        // concentrates near 0.134.
+        let g = generators::random_regular(512, 4, 11).unwrap();
+        let gap = spectral_gap(&g, 5);
+        assert!(gap > 0.09, "gap {gap}");
+    }
+
+    #[test]
+    fn mixing_time_orders_graph_families() {
+        // Expanders mix in O(log n); rings need Θ(n²) — the estimate
+        // must order them accordingly.
+        let expander = generators::random_regular(256, 4, 3).unwrap();
+        let ring = generators::ring(256);
+        let t_exp = mixing_time(&expander, 0.01, 1);
+        let t_ring = mixing_time(&ring, 0.01, 1);
+        assert!(t_exp < 200, "expander mixing {t_exp}");
+        assert!(t_ring > 50 * t_exp, "ring {t_ring} vs expander {t_exp}");
+    }
+
+    #[test]
+    fn trivial_cut_is_infinite() {
+        let g = generators::ring(5);
+        assert_eq!(cut_conductance(&g, &[false; 5]), f64::INFINITY);
+        assert_eq!(cut_sparsity(&g, &[true; 5]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,250 @@
+//! Paths and path collections with the paper's quality accounting.
+//!
+//! §2 of the paper: for a set of paths `P`, the *congestion* is the
+//! maximum number of paths using any single edge, the *dilation* is the
+//! maximum path length, and the *quality* `Q(P)` is their sum. Fact 2.2:
+//! one token per path can be routed deterministically in
+//! `congestion × dilation ≤ Q(P)²` rounds.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// A walk in a host graph, stored as its vertex sequence.
+///
+/// A single-vertex path is the *trivial* path (zero hops), used when a
+/// virtual edge's endpoints coincide in the host.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    vertices: Vec<VertexId>,
+}
+
+impl Path {
+    /// Creates a path from its vertex sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is empty.
+    pub fn new(vertices: Vec<VertexId>) -> Self {
+        assert!(!vertices.is_empty(), "a path has at least one vertex");
+        Path { vertices }
+    }
+
+    /// The trivial path sitting at `v`.
+    pub fn trivial(v: VertexId) -> Self {
+        Path { vertices: vec![v] }
+    }
+
+    /// Vertex sequence of the path.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of edges traversed.
+    pub fn hops(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// First vertex.
+    pub fn source(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    pub fn target(&self) -> VertexId {
+        *self.vertices.last().expect("non-empty")
+    }
+
+    /// The same path traversed backwards.
+    pub fn reversed(&self) -> Path {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Path { vertices: v }
+    }
+
+    /// Iterates over traversed edges as unordered pairs `(min, max)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices.windows(2).map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+    }
+
+    /// Checks that every hop is an edge of `g`.
+    pub fn is_valid_in(&self, g: &Graph) -> bool {
+        self.vertices.windows(2).all(|w| w[0] != w[1] && g.has_edge(w[0], w[1]))
+    }
+}
+
+/// A collection of paths with congestion/dilation/quality accounting.
+///
+/// # Example
+///
+/// ```
+/// use expander_graphs::{Path, PathSet};
+///
+/// let mut ps = PathSet::new();
+/// ps.push(Path::new(vec![0, 1, 2]));
+/// ps.push(Path::new(vec![3, 1, 2]));
+/// assert_eq!(ps.congestion(), 2); // edge (1,2) carries both paths
+/// assert_eq!(ps.dilation(), 2);
+/// assert_eq!(ps.quality(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// Creates an empty path set.
+    pub fn new() -> Self {
+        PathSet { paths: Vec::new() }
+    }
+
+    /// Creates a path set from a vector of paths.
+    pub fn from_paths(paths: Vec<Path>) -> Self {
+        PathSet { paths }
+    }
+
+    /// Adds a path.
+    pub fn push(&mut self, p: Path) {
+        self.paths.push(p);
+    }
+
+    /// Appends all paths of `other`.
+    pub fn extend_from(&mut self, other: &PathSet) {
+        self.paths.extend(other.paths.iter().cloned());
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the set has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates over the paths.
+    pub fn iter(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter()
+    }
+
+    /// Maximum number of paths over any single edge (0 when empty).
+    pub fn congestion(&self) -> usize {
+        let mut load: HashMap<(u32, u32), usize> = HashMap::new();
+        for p in &self.paths {
+            for e in p.edges() {
+                *load.entry(e).or_insert(0) += 1;
+            }
+        }
+        load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum path length in hops (0 when empty).
+    pub fn dilation(&self) -> usize {
+        self.paths.iter().map(Path::hops).max().unwrap_or(0)
+    }
+
+    /// Quality `Q(P) = congestion + dilation` (§2).
+    pub fn quality(&self) -> usize {
+        let c = self.congestion();
+        let d = self.dilation();
+        if c == 0 && d == 0 {
+            0
+        } else {
+            c + d
+        }
+    }
+
+    /// Total number of hops across all paths (bandwidth proxy).
+    pub fn total_hops(&self) -> usize {
+        self.paths.iter().map(Path::hops).sum()
+    }
+
+    /// Checks every path against `g`.
+    pub fn is_valid_in(&self, g: &Graph) -> bool {
+        self.paths.iter().all(|p| p.is_valid_in(g))
+    }
+}
+
+impl FromIterator<Path> for PathSet {
+    fn from_iter<T: IntoIterator<Item = Path>>(iter: T) -> Self {
+        PathSet { paths: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Path> for PathSet {
+    fn extend<T: IntoIterator<Item = Path>>(&mut self, iter: T) {
+        self.paths.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a Path;
+    type IntoIter = std::slice::Iter<'a, Path>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trivial_path_has_zero_hops() {
+        let p = Path::trivial(7);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), 7);
+        assert_eq!(p.target(), 7);
+        assert_eq!(p.edges().count(), 0);
+    }
+
+    #[test]
+    fn path_edges_are_normalized() {
+        let p = Path::new(vec![3, 1, 2]);
+        let es: Vec<_> = p.edges().collect();
+        assert_eq!(es, vec![(1, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let p = Path::new(vec![0, 5, 9]);
+        let r = p.reversed();
+        assert_eq!(r.source(), 9);
+        assert_eq!(r.target(), 0);
+        assert_eq!(r.hops(), p.hops());
+    }
+
+    #[test]
+    fn quality_of_empty_set_is_zero() {
+        assert_eq!(PathSet::new().quality(), 0);
+    }
+
+    #[test]
+    fn congestion_counts_overlaps() {
+        let mut ps = PathSet::new();
+        ps.push(Path::new(vec![0, 1, 2, 3]));
+        ps.push(Path::new(vec![4, 2, 1]));
+        ps.push(Path::new(vec![1, 2]));
+        assert_eq!(ps.congestion(), 3); // (1,2) used by all three
+        assert_eq!(ps.dilation(), 3);
+        assert_eq!(ps.quality(), 6);
+        assert_eq!(ps.total_hops(), 6);
+    }
+
+    #[test]
+    fn validity_check_against_graph() {
+        let g = generators::ring(6);
+        assert!(Path::new(vec![0, 1, 2]).is_valid_in(&g));
+        assert!(!Path::new(vec![0, 2]).is_valid_in(&g));
+        assert!(!Path::new(vec![0, 0]).is_valid_in(&g));
+    }
+
+    #[test]
+    fn collect_into_path_set() {
+        let ps: PathSet = (0..3).map(|i| Path::new(vec![i, i + 1])).collect();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.congestion(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! The expander split `G⋄` (paper §2 and Appendix E).
+//!
+//! Every vertex `v` of the base graph becomes a little constant-degree
+//! expander `X_v` on `deg(v)` *port* vertices; each base edge `uv`
+//! connects the corresponding ports of `X_u` and `X_v`. The key
+//! property: `Ψ(G⋄) = Θ(Φ(G))`, which reduces routing on arbitrary
+//! expanders to routing on constant-degree expanders.
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The expander split of a base graph, with the port bookkeeping needed
+/// to translate routing instances back and forth (Appendix E).
+///
+/// # Example
+///
+/// ```
+/// use expander_graphs::{generators, SplitGraph};
+///
+/// let g = generators::hypercube(3);
+/// let split = SplitGraph::build(&g, 1);
+/// assert_eq!(split.graph().n(), 2 * g.m()); // one port per edge endpoint
+/// assert!(split.graph().max_degree() <= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitGraph {
+    graph: Graph,
+    owner: Vec<VertexId>,
+    base_offset: Vec<u32>,
+    base_n: usize,
+}
+
+impl SplitGraph {
+    /// Builds `G⋄`. Internal gadgets `X_v` are complete graphs for tiny
+    /// degrees and verified cycle-plus-matching expanders otherwise;
+    /// `seed` only affects gadget wiring (deterministic per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a self-loop or an isolated vertex.
+    pub fn build(g: &Graph, seed: u64) -> SplitGraph {
+        let n = g.n();
+        let mut base_offset = Vec::with_capacity(n + 1);
+        base_offset.push(0u32);
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            assert!(d > 0, "expander split of a graph with isolated vertex {v}");
+            let last = *base_offset.last().expect("non-empty");
+            base_offset.push(last + d as u32);
+        }
+        let total = *base_offset.last().expect("non-empty") as usize;
+        let mut owner = vec![0u32; total];
+        for v in 0..n as u32 {
+            for s in base_offset[v as usize]..base_offset[v as usize + 1] {
+                owner[s as usize] = v;
+            }
+        }
+
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(total * 2);
+        // Internal gadgets.
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            let base = base_offset[v as usize];
+            for (a, b) in gadget_edges(d, seed ^ (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+                edges.push((base + a, base + b));
+            }
+        }
+        // Port edges: pair up adjacency slots of the two endpoints.
+        let mut pending: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for u in 0..n as u32 {
+            for (slot, &v) in g.neighbors(u).iter().enumerate() {
+                assert!(u != v, "expander split of a graph with a self-loop at {u}");
+                let my_port = base_offset[u as usize] + slot as u32;
+                if u < v {
+                    pending.entry((u, v)).or_default().push(my_port);
+                } else {
+                    let q = pending
+                        .get_mut(&(v, u))
+                        .expect("slot of the smaller endpoint seen first");
+                    let other = q.pop().expect("matching slot exists");
+                    edges.push((other, my_port));
+                }
+            }
+        }
+        debug_assert!(pending.values().all(Vec::is_empty));
+
+        SplitGraph { graph: Graph::from_edges(total, &edges), owner, base_offset, base_n: n }
+    }
+
+    /// The split graph `G⋄` itself.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices of the base graph.
+    pub fn base_n(&self) -> usize {
+        self.base_n
+    }
+
+    /// The base vertex owning split vertex `sv`.
+    pub fn owner(&self, sv: VertexId) -> VertexId {
+        self.owner[sv as usize]
+    }
+
+    /// The port rank of split vertex `sv` within its owner.
+    pub fn port(&self, sv: VertexId) -> u32 {
+        sv - self.base_offset[self.owner[sv as usize] as usize]
+    }
+
+    /// The split vertex for base vertex `v`, port `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= deg(v)`.
+    pub fn port_vertex(&self, v: VertexId, rank: u32) -> VertexId {
+        let base = self.base_offset[v as usize];
+        let next = self.base_offset[v as usize + 1];
+        assert!(base + rank < next, "port rank out of range");
+        base + rank
+    }
+
+    /// Degree of base vertex `v` (= number of its ports).
+    pub fn base_degree(&self, v: VertexId) -> u32 {
+        self.base_offset[v as usize + 1] - self.base_offset[v as usize]
+    }
+}
+
+/// Edges of the internal gadget on `d` vertices `0..d`: complete graph
+/// for `d <= 4`, otherwise a cycle plus a seeded matching, re-seeded
+/// until the spectral gap clears a constant threshold.
+fn gadget_edges(d: usize, seed: u64) -> Vec<(u32, u32)> {
+    match d {
+        0 => unreachable!("isolated vertices rejected earlier"),
+        1 => Vec::new(),
+        2 => vec![(0, 1)],
+        3 => vec![(0, 1), (1, 2), (2, 0)],
+        4 => vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)],
+        _ => {
+            for attempt in 0..64u64 {
+                let mut edges: Vec<(u32, u32)> =
+                    (0..d as u32).map(|i| (i, (i + 1) % d as u32)).collect();
+                let mut order: Vec<u32> = (0..d as u32).collect();
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+                order.shuffle(&mut rng);
+                for pair in order.chunks_exact(2) {
+                    let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                    // Avoid duplicating a cycle edge (keeps the gadget simple).
+                    if (b - a) % d as u32 != 1 && (a + d as u32 - b) % d as u32 != 1 {
+                        edges.push((a, b));
+                    }
+                }
+                let gadget = Graph::from_edges(d, &edges);
+                if metrics::spectral_gap(&gadget, seed.wrapping_add(attempt)) > 0.05 {
+                    return edges;
+                }
+            }
+            // Fall back to the bare cycle: still connected, degree 2.
+            (0..d as u32).map(|i| (i, (i + 1) % d as u32)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn split_sizes_and_degrees() {
+        let g = generators::hypercube(4);
+        let s = SplitGraph::build(&g, 7);
+        assert_eq!(s.graph().n(), 2 * g.m());
+        assert!(s.graph().max_degree() <= 4, "max degree {}", s.graph().max_degree());
+        assert!(s.graph().is_connected());
+    }
+
+    #[test]
+    fn owner_and_port_roundtrip() {
+        let g = generators::ring(8);
+        let s = SplitGraph::build(&g, 1);
+        for sv in 0..s.graph().n() as u32 {
+            let v = s.owner(sv);
+            let p = s.port(sv);
+            assert_eq!(s.port_vertex(v, p), sv);
+            assert!(p < s.base_degree(v));
+        }
+    }
+
+    #[test]
+    fn every_base_edge_has_a_port_edge() {
+        let g = generators::hypercube(3);
+        let s = SplitGraph::build(&g, 3);
+        // Count split edges whose endpoints belong to different owners.
+        let cross = s
+            .graph()
+            .edges()
+            .filter(|&(a, b)| s.owner(a) != s.owner(b))
+            .count();
+        assert_eq!(cross, g.m());
+    }
+
+    #[test]
+    fn split_sparsity_tracks_base_conductance() {
+        // Two triangles + bridge: Φ(G) = 1/7; the split is small enough
+        // for exact sparsity.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]);
+        let phi = metrics::conductance_exact(&g);
+        let s = SplitGraph::build(&g, 2);
+        assert!(s.graph().n() <= 24);
+        let psi = metrics::sparsity_exact(s.graph());
+        // Θ-relationship with mild constants at this scale.
+        assert!(psi >= phi / 4.0, "psi {psi} vs phi {phi}");
+        assert!(psi <= 6.0 * phi + 1e-9, "psi {psi} vs phi {phi}");
+    }
+
+    #[test]
+    fn high_degree_gadgets_are_expanders() {
+        let g = generators::hub_expander(128, 2, 5).unwrap();
+        let s = SplitGraph::build(&g, 11);
+        assert!(s.graph().is_connected());
+        assert!(s.graph().max_degree() <= 4);
+        // The split of an expander should still have a visible gap.
+        let gap = metrics::spectral_gap(s.graph(), 1);
+        assert!(gap > 0.005, "split gap {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated vertex")]
+    fn rejects_isolated_vertices() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        SplitGraph::build(&g, 0);
+    }
+}

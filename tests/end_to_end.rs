@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full preprocess → query pipeline
+//! on several graph families, loads, and ε settings.
+
+use expander_apps::{cliques, mst, summarize};
+use expander_core::equivalence::{route_via_sorting, sort_via_routing};
+use expander_core::{GeneralRouter, Router, RouterConfig, RoutingInstance, SortInstance};
+use expander_graphs::generators;
+
+fn routed_ok(router: &Router, inst: &RoutingInstance) {
+    let out = router.route(inst).expect("valid instance");
+    assert!(out.all_delivered(), "undelivered tokens");
+    assert!(out.rounds() > 0);
+}
+
+#[test]
+fn routing_works_across_graph_families() {
+    let families: Vec<(&str, expander_graphs::Graph)> = vec![
+        ("random-4-regular", generators::random_regular(256, 4, 1).unwrap()),
+        ("random-6-regular", generators::random_regular(256, 6, 2).unwrap()),
+        ("margulis-16", generators::margulis(16)),
+        ("hypercube-8", generators::hypercube(8)),
+    ];
+    for (name, g) in families {
+        let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inst = RoutingInstance::permutation(g.n(), 3);
+        routed_ok(&router, &inst);
+    }
+}
+
+#[test]
+fn routing_works_across_epsilon() {
+    let g = generators::random_regular(512, 4, 3).unwrap();
+    for eps in [0.3, 0.4, 0.5] {
+        let router = Router::preprocess(&g, RouterConfig::for_epsilon(eps)).expect("router");
+        routed_ok(&router, &RoutingInstance::permutation(512, 7));
+    }
+}
+
+#[test]
+fn routing_works_across_loads() {
+    let g = generators::random_regular(256, 4, 4).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    for l in [1usize, 2, 4, 8] {
+        let inst = RoutingInstance::uniform_load(256, l, 5);
+        routed_ok(&router, &inst);
+    }
+}
+
+#[test]
+fn adversarial_workloads_are_delivered() {
+    let g = generators::random_regular(256, 4, 17).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let workloads = vec![
+        ("bit-reversal", RoutingInstance::bit_reversal(256)),
+        ("transpose", RoutingInstance::transpose(16)),
+        ("shift-1", RoutingInstance::shift(256, 1)),
+        ("shift-half", RoutingInstance::shift(256, 128)),
+        ("hotspot", RoutingInstance::hotspot(256, 4, 6, 19)),
+        ("self-loops", RoutingInstance::from_triples(
+            &(0..256u32).map(|v| (v, v, v as u64)).collect::<Vec<_>>(),
+        )),
+        ("single-token", RoutingInstance::from_triples(&[(3, 250, 9)])),
+        ("empty", RoutingInstance::default()),
+    ];
+    for (name, inst) in workloads {
+        let out = router.route(&inst).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.all_delivered(), "{name}: delivery failed");
+    }
+}
+
+#[test]
+fn query_cost_grows_linearly_with_load() {
+    let g = generators::random_regular(256, 4, 5).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let r1 = router.route(&RoutingInstance::uniform_load(256, 1, 6)).unwrap().rounds();
+    let r8 = router.route(&RoutingInstance::uniform_load(256, 8, 6)).unwrap().rounds();
+    // Theorem 6.9: T2 = L · poly — linear in L up to log factors.
+    assert!(r8 >= r1, "higher load cannot be cheaper");
+    assert!(r8 <= 64 * r1, "load-8 query should be within ~8x of load-1 (up to logs): {r1} vs {r8}");
+}
+
+#[test]
+fn repeated_queries_amortize_preprocessing() {
+    let g = generators::random_regular(512, 4, 6).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let pre = router.preprocessing_ledger().total();
+    let q: u64 = (0..4)
+        .map(|s| router.route(&RoutingInstance::permutation(512, s)).unwrap().rounds())
+        .sum();
+    // Four queries together stay below ~the preprocessing cost; with
+    // CS20 every one of them would pay the construction again.
+    assert!(q / 4 < pre, "avg query {} vs preprocessing {pre}", q / 4);
+}
+
+#[test]
+fn sorting_and_routing_compose() {
+    let g = generators::random_regular(256, 4, 7).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    // Sort, then route the sorted tokens somewhere else.
+    let sort_inst = SortInstance::random(256, 2, 8);
+    let sorted = router.sort(&sort_inst).expect("valid");
+    assert!(sorted.is_sorted(&sort_inst, 256, 2));
+    let triples: Vec<(u32, u32, u64)> = sorted
+        .positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, (i % 256) as u32, i as u64))
+        .collect();
+    routed_ok(&router, &RoutingInstance::from_triples(&triples));
+}
+
+#[test]
+fn general_router_handles_hub_graphs() {
+    let g = generators::hub_expander(128, 2, 8).unwrap();
+    let gr = GeneralRouter::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let inst = RoutingInstance::permutation(128, 9);
+    let out = gr.route(&inst).expect("valid");
+    assert!(out.all_delivered());
+}
+
+#[test]
+fn equivalence_reductions_round_trip() {
+    let g = generators::random_regular(128, 4, 9).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    // Sort via routing, then route via sorting — both must be exact.
+    let s = SortInstance::random(128, 1, 10);
+    let f1 = sort_via_routing(&router, &s).expect("valid");
+    assert!(f1.outcome.is_sorted(&s, 128, 1));
+    let rt = RoutingInstance::permutation(128, 11);
+    let f2 = route_via_sorting(&router, &rt).expect("valid");
+    assert!(f2.outcome.all_delivered());
+    assert!(f2.sort_calls <= 5);
+}
+
+#[test]
+fn applications_agree_with_references() {
+    let g = generators::random_regular(128, 6, 10).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+
+    let weights = generators::random_weights(&g, 11);
+    let tree = mst::minimum_spanning_tree(&router, &weights).expect("valid");
+    assert_eq!(tree.edges, mst::kruskal_reference(128, &weights));
+
+    let tri = cliques::enumerate_cliques(&router, 3).expect("valid");
+    assert_eq!(tri.count, cliques::count_cliques_reference(&g, 3));
+
+    let inst = SortInstance::from_triples(
+        &(0..128u32).map(|v| (v, (v % 5) as u64, 0)).collect::<Vec<_>>(),
+    );
+    let top = summarize::top_k_frequent(&router, &inst, 5).expect("valid");
+    assert_eq!(top.items.len(), 5);
+    // 128 = 5*25 + 3: keys 0,1,2 appear 26 times; 3,4 appear 25.
+    assert!(top.items.iter().all(|&(_, c)| c == 25 || c == 26));
+}
+
+#[test]
+fn deterministic_across_router_rebuilds() {
+    let g = generators::random_regular(256, 4, 12).unwrap();
+    let a = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let b = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let inst = RoutingInstance::permutation(256, 13);
+    let ra = a.route(&inst).unwrap();
+    let rb = b.route(&inst).unwrap();
+    assert_eq!(ra.rounds(), rb.rounds());
+    assert_eq!(ra.positions, rb.positions);
+    assert_eq!(
+        a.preprocessing_ledger().total(),
+        b.preprocessing_ledger().total()
+    );
+}

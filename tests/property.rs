@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) over routing/sorting invariants.
+//!
+//! A single router is built once per process (preprocessing is the
+//! expensive part) and arbitrary instances are thrown at it.
+
+use expander_core::ops;
+use expander_core::{Router, RouterConfig, RoutingInstance, SortInstance};
+use expander_graphs::{generators, Path, PathSet};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const N: usize = 128;
+
+fn shared_router() -> &'static Router {
+    static ROUTER: OnceLock<Router> = OnceLock::new();
+    ROUTER.get_or_init(|| {
+        let g = generators::random_regular(N, 4, 77).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    })
+}
+
+/// An arbitrary routing instance with load at most `max_l`.
+fn routing_instance(max_l: usize) -> impl Strategy<Value = RoutingInstance> {
+    proptest::collection::vec((0..N as u32, 0..N as u32), 0..(N * max_l / 2)).prop_map(
+        move |mut pairs| {
+            // Enforce the Task 1 load constraint by dropping overflow.
+            let mut src = vec![0usize; N];
+            let mut dst = vec![0usize; N];
+            pairs.retain(|&(s, d)| {
+                if src[s as usize] < max_l && dst[d as usize] < max_l {
+                    src[s as usize] += 1;
+                    dst[d as usize] += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            RoutingInstance::from_triples(
+                &pairs.iter().map(|&(s, d)| (s, d, 0u64)).collect::<Vec<_>>(),
+            )
+        },
+    )
+}
+
+fn sort_instance(max_l: usize) -> impl Strategy<Value = SortInstance> {
+    proptest::collection::vec((0..N as u32, 0..50u64), 0..(N * max_l / 2)).prop_map(
+        move |mut triples| {
+            let mut src = vec![0usize; N];
+            triples.retain(|&(s, _)| {
+                if src[s as usize] < max_l {
+                    src[s as usize] += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            SortInstance::from_triples(
+                &triples.iter().map(|&(s, k)| (s, k, 0u64)).collect::<Vec<_>>(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn routing_always_delivers(inst in routing_instance(3)) {
+        let r = shared_router();
+        let out = r.route(&inst).expect("valid instance");
+        prop_assert!(out.all_delivered());
+    }
+
+    #[test]
+    fn sorting_always_sorts(inst in sort_instance(3)) {
+        let r = shared_router();
+        let load = inst.load(N).max(1);
+        let out = r.sort(&inst).expect("valid instance");
+        prop_assert!(out.is_sorted(&inst, N, load));
+    }
+
+    #[test]
+    fn ranking_is_order_isomorphic(inst in sort_instance(2)) {
+        let r = shared_router();
+        let out = ops::token_ranking(r, &inst).expect("valid");
+        for (i, a) in inst.tokens.iter().enumerate() {
+            for (j, b) in inst.tokens.iter().enumerate() {
+                if a.key < b.key {
+                    prop_assert!(out.values[i] < out.values[j]);
+                } else if a.key == b.key {
+                    prop_assert_eq!(out.values[i], out.values[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_is_bijective_per_key(inst in sort_instance(2)) {
+        let r = shared_router();
+        let out = ops::local_serialization(r, &inst).expect("valid");
+        let mut seen = std::collections::HashSet::new();
+        let mut count = std::collections::HashMap::new();
+        for t in &inst.tokens {
+            *count.entry(t.key).or_insert(0u64) += 1;
+        }
+        for (i, t) in inst.tokens.iter().enumerate() {
+            prop_assert!(out.values[i] < count[&t.key]);
+            prop_assert!(seen.insert((t.key, out.values[i])));
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_multiplicity(inst in sort_instance(2)) {
+        let r = shared_router();
+        let out = ops::local_aggregation(r, &inst).expect("valid");
+        let mut count = std::collections::HashMap::new();
+        for t in &inst.tokens {
+            *count.entry(t.key).or_insert(0u64) += 1;
+        }
+        for (i, t) in inst.tokens.iter().enumerate() {
+            prop_assert_eq!(out.values[i], count[&t.key]);
+        }
+    }
+
+    #[test]
+    fn query_rounds_are_monotone_in_instance(inst in routing_instance(2)) {
+        // Adding tokens never reduces charged rounds.
+        let r = shared_router();
+        if inst.tokens.len() < 2 {
+            return Ok(());
+        }
+        let half = RoutingInstance {
+            tokens: inst.tokens[..inst.tokens.len() / 2].to_vec(),
+        };
+        let full = r.route(&inst).expect("valid").rounds();
+        let part = r.route(&half).expect("valid").rounds();
+        // Not strictly monotone (dispersal rounding), but within slack.
+        prop_assert!(part <= full + full / 2 + 1000,
+            "half {part} vs full {full}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn path_set_quality_bounds(paths in proptest::collection::vec(
+        proptest::collection::vec(0..64u32, 1..8), 0..12)) {
+        // Quality = congestion + dilation; both bounded by total hops.
+        let ps: PathSet = paths
+            .into_iter()
+            .map(|mut vs| {
+                vs.dedup();
+                Path::new(vs)
+            })
+            .collect();
+        let c = ps.congestion();
+        let d = ps.dilation();
+        prop_assert!(c <= ps.total_hops().max(1));
+        prop_assert!(d <= ps.total_hops().max(1));
+        if ps.total_hops() == 0 {
+            prop_assert_eq!(ps.quality(), 0);
+        } else {
+            prop_assert_eq!(ps.quality(), c + d);
+        }
+    }
+
+    #[test]
+    fn instance_load_is_max_of_src_dst(pairs in proptest::collection::vec(
+        (0..32u32, 0..32u32), 0..64)) {
+        let inst = RoutingInstance::from_triples(
+            &pairs.iter().map(|&(s, d)| (s, d, 0u64)).collect::<Vec<_>>(),
+        );
+        let mut src = vec![0usize; 32];
+        let mut dst = vec![0usize; 32];
+        for &(s, d) in &pairs {
+            src[s as usize] += 1;
+            dst[d as usize] += 1;
+        }
+        let expect = src.iter().chain(dst.iter()).copied().max().unwrap_or(0);
+        prop_assert_eq!(inst.load(32), expect);
+    }
+}
