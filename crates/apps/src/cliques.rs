@@ -48,11 +48,8 @@ pub fn enumerate_cliques(r: &Router, k: usize) -> Result<CliqueOutcome, Instance
     // Canonical k-multisets of group ids, assigned round-robin to
     // vertices.
     let multisets = multisets_of(s, k);
-    let responsible: HashMap<Vec<usize>, u32> = multisets
-        .iter()
-        .enumerate()
-        .map(|(i, m)| (m.clone(), (i % n) as u32))
-        .collect();
+    let responsible: HashMap<Vec<usize>, u32> =
+        multisets.iter().enumerate().map(|(i, m)| (m.clone(), (i % n) as u32)).collect();
 
     // Ship every edge to each responsible vertex of a multiset
     // containing both endpoint groups.
@@ -141,33 +138,39 @@ fn count_cliques_for_multiset(
     verts.sort_unstable();
     let mut count = 0u64;
     let mut stack: Vec<u32> = Vec::with_capacity(k);
-    fn extend(
-        verts: &[u32],
-        adj: &HashMap<u32, HashSet<u32>>,
-        stack: &mut Vec<u32>,
+    /// The recursion's invariant context, bundled so the walk only
+    /// threads its mutable state (stack, start, count).
+    struct Ctx<'a, F> {
+        verts: &'a [u32],
+        adj: &'a HashMap<u32, HashSet<u32>>,
         k: usize,
+        m: &'a [usize],
+        group_of: &'a F,
+    }
+    fn extend<F: Fn(u32) -> usize>(
+        cx: &Ctx<'_, F>,
+        stack: &mut Vec<u32>,
         start: usize,
-        m: &[usize],
-        group_of: &impl Fn(u32) -> usize,
         count: &mut u64,
     ) {
-        if stack.len() == k {
-            let mut groups: Vec<usize> = stack.iter().map(|&v| group_of(v)).collect();
+        if stack.len() == cx.k {
+            let mut groups: Vec<usize> = stack.iter().map(|&v| (cx.group_of)(v)).collect();
             groups.sort_unstable();
-            if groups == m {
+            if groups == cx.m {
                 *count += 1;
             }
             return;
         }
-        for (i, &v) in verts.iter().enumerate().skip(start) {
-            if stack.iter().all(|&u| adj.get(&u).is_some_and(|s| s.contains(&v))) {
+        for (i, &v) in cx.verts.iter().enumerate().skip(start) {
+            if stack.iter().all(|&u| cx.adj.get(&u).is_some_and(|s| s.contains(&v))) {
                 stack.push(v);
-                extend(verts, adj, stack, k, i + 1, m, group_of, count);
+                extend(cx, stack, i + 1, count);
                 stack.pop();
             }
         }
     }
-    extend(&verts, &adj, &mut stack, k, 0, m, group_of, &mut count);
+    let cx = Ctx { verts: &verts, adj: &adj, k, m, group_of };
+    extend(&cx, &mut stack, 0, &mut count);
     count
 }
 
@@ -213,10 +216,9 @@ pub fn enumerate_triangles_general(
         let (sub, _map) = g.induced_subgraph(cluster);
         let routable = sub.n() >= 64 && sub.is_connected();
         if routable {
-            if let Ok(router) = Router::preprocess(
-                &sub,
-                expander_core::RouterConfig::for_epsilon(0.4),
-            ) {
+            if let Ok(router) =
+                Router::preprocess(&sub, expander_core::RouterConfig::for_epsilon(0.4))
+            {
                 preprocessing_rounds += router.preprocessing_ledger().total();
                 let out = enumerate_cliques(&router, 3)?;
                 count += out.count;
@@ -310,10 +312,10 @@ mod tests {
     #[test]
     fn multisets_enumeration_is_complete() {
         let ms = multisets_of(3, 2);
-        assert_eq!(ms, vec![
-            vec![0, 0], vec![0, 1], vec![0, 2],
-            vec![1, 1], vec![1, 2], vec![2, 2],
-        ]);
+        assert_eq!(
+            ms,
+            vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2], vec![2, 2],]
+        );
         assert_eq!(multisets_of(4, 3).len(), 20); // C(4+3-1, 3)
     }
 

@@ -54,7 +54,7 @@ pub fn minimum_spanning_tree(
             }
             for &x in &[u, v] {
                 let cur = &mut best_at[x as usize];
-                if cur.map_or(true, |c| weights.edges[c].2 > w) {
+                if cur.is_none_or(|c| weights.edges[c].2 > w) {
                     *cur = Some(ei);
                 }
             }
@@ -65,12 +65,9 @@ pub fn minimum_spanning_tree(
         let tokens: Vec<SortToken> = (0..n as u32)
             .map(|v| SortToken { src: v, key: uf.find(v) as u64, payload: v as u64 })
             .collect();
-        let tags: Vec<u64> = (0..n)
-            .map(|v| best_at[v].map_or(u64::MAX, |ei| weights.edges[ei].2))
-            .collect();
-        let vars: Vec<u64> = (0..n)
-            .map(|v| best_at[v].map_or(u64::MAX, |ei| ei as u64))
-            .collect();
+        let tags: Vec<u64> =
+            (0..n).map(|v| best_at[v].map_or(u64::MAX, |ei| weights.edges[ei].2)).collect();
+        let vars: Vec<u64> = (0..n).map(|v| best_at[v].map_or(u64::MAX, |ei| ei as u64)).collect();
         let inst = SortInstance { tokens };
         let prop = local_propagation(r, &inst, &tags, &vars)?;
         rounds += prop.rounds;
@@ -95,8 +92,7 @@ pub fn minimum_spanning_tree(
         }
     }
 
-    let mut edges: Vec<(u32, u32, u64)> =
-        chosen.into_iter().map(|ei| weights.edges[ei]).collect();
+    let mut edges: Vec<(u32, u32, u64)> = chosen.into_iter().map(|ei| weights.edges[ei]).collect();
     edges.sort_unstable_by_key(|&(_, _, w)| w);
     Ok(MstOutcome { edges, rounds, phases })
 }

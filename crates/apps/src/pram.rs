@@ -13,7 +13,7 @@
 use expander_core::ops::local_propagation;
 use expander_core::token::{InstanceError, SortInstance, SortToken};
 use expander_core::{Router, RoutingInstance};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One processor's operation in a PRAM step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,9 @@ impl<'r> PramMachine<'r> {
         self.steps += 1;
 
         // --- Reads: combine duplicates, fetch once per distinct cell.
-        let mut readers: HashMap<u64, Vec<usize>> = HashMap::new();
+        // BTreeMap: token order feeds the router's dispersal, so map
+        // iteration order must be deterministic.
+        let mut readers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
         for (p, op) in ops.iter().enumerate() {
             if let PramOp::Read(c) = op {
                 assert!((*c as usize) < self.memory.len(), "cell out of range");
@@ -93,6 +95,7 @@ impl<'r> PramMachine<'r> {
             let req_inst = RoutingInstance::from_triples(&request);
             let out = self.router.route(&req_inst)?;
             self.rounds += 2 * out.rounds(); // request + reply
+
             // Fan the fetched value out to all duplicate readers:
             // local propagation keyed by cell (Lemma 5.8).
             let prop_tokens: Vec<SortToken> = readers
@@ -106,8 +109,7 @@ impl<'r> PramMachine<'r> {
                 })
                 .collect();
             let tags: Vec<u64> = prop_tokens.iter().map(|t| t.payload).collect();
-            let vars: Vec<u64> =
-                prop_tokens.iter().map(|t| self.memory[t.key as usize]).collect();
+            let vars: Vec<u64> = prop_tokens.iter().map(|t| self.memory[t.key as usize]).collect();
             let prop = local_propagation(
                 self.router,
                 &SortInstance { tokens: prop_tokens.clone() },
@@ -117,12 +119,11 @@ impl<'r> PramMachine<'r> {
             self.rounds += prop.rounds;
             for (i, t) in prop_tokens.iter().enumerate() {
                 results[t.payload as usize] = prop.values[i];
-                let _ = t;
             }
         }
 
         // --- Writes: CRCW-arbitrary, min processor id wins per cell.
-        let mut winners: HashMap<u64, (usize, u64)> = HashMap::new();
+        let mut winners: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
         for (p, op) in ops.iter().enumerate() {
             if let PramOp::Write(c, v) = op {
                 assert!((*c as usize) < self.memory.len(), "cell out of range");
@@ -135,10 +136,8 @@ impl<'r> PramMachine<'r> {
         if !winners.is_empty() {
             // Conflict resolution = one sort (min id per cell), then one
             // routing instance carries the winning writes to owners.
-            let write_tokens: Vec<(u32, u32, u64)> = winners
-                .iter()
-                .map(|(&cell, &(p, _))| (p as u32, self.owner(cell), cell))
-                .collect();
+            let write_tokens: Vec<(u32, u32, u64)> =
+                winners.iter().map(|(&cell, &(p, _))| (p as u32, self.owner(cell), cell)).collect();
             let sort_probe = SortInstance {
                 tokens: write_tokens
                     .iter()

@@ -70,7 +70,13 @@ mod tests {
         // unique.
         let triples: Vec<(u32, u64, u64)> = (0..128u32)
             .map(|v| {
-                let key = if v < 64 { 7 } else if v < 96 { 3 } else { 1000 + v as u64 };
+                let key = if v < 64 {
+                    7
+                } else if v < 96 {
+                    3
+                } else {
+                    1000 + v as u64
+                };
                 (v, key, 0)
             })
             .collect();

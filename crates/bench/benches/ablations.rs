@@ -23,7 +23,10 @@ fn main() {
 /// vs the tight `max |X*_i|` (DESIGN.md substitution 6).
 fn a1_normalizer() {
     section("A1  shuffler normalizer: paper 6|X|/k vs tight max|X*_i|");
-    println!("{:>6} {:>12} {:>8} {:>12} {:>14}", "n", "normalizer", "lambda", "final Π", "quality(HX)");
+    println!(
+        "{:>6} {:>12} {:>8} {:>12} {:>14}",
+        "n", "normalizer", "lambda", "final Π", "quality(HX)"
+    );
     for &n in &[256usize, 512] {
         let g = generators::random_regular(n, 4, 5).expect("generator");
         let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy");
@@ -112,7 +115,10 @@ fn a3_escalation() {
 /// the leaf networks.
 fn a4_leaf_size() {
     section("A4  leaf size: recursion depth vs leaf network cost");
-    println!("{:>6} {:>8} {:>8} {:>10} {:>14} {:>12}", "n", "leaf", "depth", "nodes", "preprocess", "query");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>14} {:>12}",
+        "n", "leaf", "depth", "nodes", "preprocess", "query"
+    );
     // ε = 0.3 gives k = 8 and parts of 128 at n = 1024, so the three
     // leaf thresholds below genuinely change the recursion depth.
     let g = generators::random_regular(1024, 4, 13).expect("generator");

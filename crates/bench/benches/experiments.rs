@@ -64,7 +64,9 @@ fn e1_tradeoff() {
         }
     }
     println!("expect: query stays flat-ish in n (polylog) while preprocessing grows;");
-    println!("        larger eps => shallower hierarchy => cheaper queries, costlier preprocessing.");
+    println!(
+        "        larger eps => shallower hierarchy => cheaper queries, costlier preprocessing."
+    );
 }
 
 /// E2 (Corollary 1.2): one-shot routing vs the baselines.
@@ -136,8 +138,7 @@ fn e4_cliques() {
         let mut pts = Vec::new();
         for &n in &[128usize, 256, 512] {
             let g = generators::random_regular(n, d, 17).expect("generator");
-            let router =
-                Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+            let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
             let out = cliques::enumerate_cliques(&router, k).expect("valid");
             let reference = cliques::count_cliques_reference(&g, k);
             println!(
@@ -216,11 +217,8 @@ fn e6_hierarchy() {
     match Router::preprocess(&g, cfg) {
         Ok(r) => {
             let h = r.hierarchy();
-            let bad: usize = h
-                .nodes()
-                .iter()
-                .flat_map(|nd| nd.parts.iter().map(|p| p.bad.len()))
-                .sum();
+            let bad: usize =
+                h.nodes().iter().flat_map(|nd| nd.parts.iter().map(|p| p.bad.len())).sum();
             let out = r.route(&RoutingInstance::permutation(256, 25)).expect("valid");
             println!(
                 "trimming stress: |W|/n = {:.3}, rho = {:.2}, bad = {bad}, outside = {}, delivered = {}",
@@ -245,7 +243,9 @@ fn e7_dispersion() {
         let out = b.router.route(&inst).expect("valid");
         println!(
             "{:>6} {l:>3} {:>10} {:>12} {:>10}",
-            512, out.stats.dispersion_checked, out.stats.dispersion_violations,
+            512,
+            out.stats.dispersion_checked,
+            out.stats.dispersion_violations,
             out.stats.fallback_tokens
         );
     }
@@ -300,10 +300,7 @@ fn e9_sorting() {
         );
         pts.push((l as f64, out.rounds() as f64));
     }
-    println!(
-        "fitted exponent in L: {:.3} (theory: linear, 1.0)",
-        fitted_exponent(&pts)
-    );
+    println!("fitted exponent in L: {:.3} (theory: linear, 1.0)", fitted_exponent(&pts));
 }
 
 /// E10 (Appendix E): general-degree routing via the expander split.
@@ -397,14 +394,8 @@ fn e14_decomposition() {
     );
     let cases: Vec<(&str, expander_graphs::Graph)> = vec![
         ("expander-256", generators::random_regular(256, 6, 87).unwrap()),
-        (
-            "planted-2x128",
-            generators::planted_partition(2, 128, 6, 2, 89).unwrap(),
-        ),
-        (
-            "planted-3x96",
-            generators::planted_partition(3, 96, 6, 2, 91).unwrap(),
-        ),
+        ("planted-2x128", generators::planted_partition(2, 128, 6, 2, 89).unwrap()),
+        ("planted-3x96", generators::planted_partition(3, 96, 6, 2, 91).unwrap()),
         ("ring-of-cliques-8x16", generators::ring_of_cliques(8, 16)),
     ];
     for (name, g) in cases {
@@ -428,9 +419,8 @@ fn e13_summarize() {
     println!("{:>6} {:>14} {:>16}", "n", "rounds", "top-1 (item,cnt)");
     for &n in &[256usize, 512] {
         let b = build(n, 0.4, 83);
-        let triples: Vec<(u32, u64, u64)> = (0..n as u32)
-            .map(|v| (v, if v % 4 == 0 { 7 } else { v as u64 }, 0))
-            .collect();
+        let triples: Vec<(u32, u64, u64)> =
+            (0..n as u32).map(|v| (v, if v % 4 == 0 { 7 } else { v as u64 }, 0)).collect();
         let inst = SortInstance::from_triples(&triples);
         let out = summarize::top_k_frequent(&b.router, &inst, 1).expect("valid");
         println!("{n:>6} {:>14} {:>16?}", out.rounds, out.items[0]);

@@ -32,18 +32,14 @@ fn bench_route_query(c: &mut Criterion) {
     let g = generators::random_regular(512, 4, 7).expect("generator");
     let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
     let inst = RoutingInstance::permutation(512, 9);
-    c.bench_function("route_query_n512_L1", |b| {
-        b.iter(|| r.route(&inst).expect("valid"))
-    });
+    c.bench_function("route_query_n512_L1", |b| b.iter(|| r.route(&inst).expect("valid")));
 }
 
 fn bench_sort_query(c: &mut Criterion) {
     let g = generators::random_regular(512, 4, 11).expect("generator");
     let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
     let inst = SortInstance::random(512, 2, 13);
-    c.bench_function("sort_query_n512_L2", |b| {
-        b.iter(|| r.sort(&inst).expect("valid"))
-    });
+    c.bench_function("sort_query_n512_L2", |b| b.iter(|| r.sort(&inst).expect("valid")));
 }
 
 fn bench_spectral_gap(c: &mut Criterion) {

@@ -43,11 +43,8 @@ impl ForwardProgram {
             }
             for w in vs.windows(2) {
                 let (a, b) = (w[0], w[1]);
-                let slot = g
-                    .neighbors(a)
-                    .iter()
-                    .position(|&x| x == b)
-                    .expect("path hop must be an edge");
+                let slot =
+                    g.neighbors(a).iter().position(|&x| x == b).expect("path hop must be an edge");
                 programs[a as usize].next_slot.insert(tid as u64, slot);
             }
             // Source vertex: enqueue towards the first hop.

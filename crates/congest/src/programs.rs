@@ -204,10 +204,7 @@ impl ConvergecastProgram {
             self.sent = true;
             return;
         }
-        let slot = neighbors
-            .iter()
-            .position(|&u| u == self.parent)
-            .expect("parent is a neighbor");
+        let slot = neighbors.iter().position(|&u| u == self.parent).expect("parent is a neighbor");
         out.send(slot, self.acc);
         self.sent = true;
     }

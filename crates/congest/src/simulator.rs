@@ -213,9 +213,8 @@ impl<'g> Simulator<'g> {
 
     fn reverse_slots(&self) -> Vec<Vec<usize>> {
         let n = self.graph.n();
-        let mut back: Vec<Vec<usize>> = (0..n)
-            .map(|v| vec![usize::MAX; self.graph.degree(v as VertexId)])
-            .collect();
+        let mut back: Vec<Vec<usize>> =
+            (0..n).map(|v| vec![usize::MAX; self.graph.degree(v as VertexId)]).collect();
         // Pair up adjacency slots: v's i-th slot towards u corresponds
         // to u's j-th slot towards v; for parallel edges pair them in
         // order of appearance.
@@ -288,8 +287,7 @@ mod tests {
         for (v, p) in programs.iter().enumerate() {
             let mut seen = p.seen.clone();
             seen.sort_unstable();
-            let mut expect: Vec<u64> =
-                g.neighbors(v as u32).iter().map(|&u| u as u64).collect();
+            let mut expect: Vec<u64> = g.neighbors(v as u32).iter().map(|&u| u as u64).collect();
             expect.sort_unstable();
             assert_eq!(seen, expect);
         }

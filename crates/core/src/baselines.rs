@@ -11,7 +11,7 @@
 //! * [`cs20_query_cost`]: the prior deterministic routing's query cost
 //!   model — no preprocessing/query tradeoff, so every query pays the
 //!   shuffler-construction work again plus the `O(k²)` sequential
-//!   part-pair processing of [CS20] (§1.2 "Challenge II").
+//!   part-pair processing of CS20 (§1.2 "Challenge II").
 
 use crate::router::Router;
 use crate::token::RoutingInstance;
@@ -86,10 +86,7 @@ pub fn gks17_randomized(g: &Graph, inst: &RoutingInstance, seed: u64) -> Baselin
     // sort at the mixing-time scale; the escort trip repeats the dummy
     // walk backwards.
     let matching_cost = steps as u64 + (n as f64).log2().ceil() as u64;
-    BaselineOutcome {
-        rounds: real_cost + 2 * dummy_cost + matching_cost,
-        delivered: true,
-    }
+    BaselineOutcome { rounds: real_cost + 2 * dummy_cost + matching_cost, delivered: true }
 }
 
 /// Query cost of a CS20-style deterministic router (§1.2 "Challenge
@@ -101,8 +98,7 @@ pub fn gks17_randomized(g: &Graph, inst: &RoutingInstance, seed: u64) -> Baselin
 /// from.
 pub fn cs20_query_cost(r: &Router, measured_query_rounds: u64) -> u64 {
     let pre = r.preprocessing_ledger();
-    let rebuild =
-        pre.phase("pre/shuffler/cut-player") + pre.phase("pre/shuffler/matching-player");
+    let rebuild = pre.phase("pre/shuffler/cut-player") + pre.phase("pre/shuffler/matching-player");
     let k = r.hierarchy().k() as u64;
     let root = r.hierarchy().root();
     let q = r

@@ -72,11 +72,7 @@ impl CostModel {
         for id in order {
             let nd = h.node(id);
             if nd.is_leaf() {
-                let unit = leaf_nets[id]
-                    .as_ref()
-                    .map(|net| net.pass_cost(1))
-                    .unwrap_or(1)
-                    .max(1);
+                let unit = leaf_nets[id].as_ref().map(|net| net.pass_cost(1)).unwrap_or(1).max(1);
                 model.leafnet_unit[id] = unit;
                 // §6.4: three meet-in-the-middle passes with up to 2L
                 // extra dummies per vertex.
@@ -88,19 +84,15 @@ impl CostModel {
             let lambda = shufflers[id].as_ref().map_or(1, Shuffler::len) as u64;
             // Shuffler move cost at the Lemma 6.6 per-portal batch
             // (19L tokens pile up at portals in the worst iteration).
-            let move_unit: u64 = rounds_flat[id]
-                .iter()
-                .map(|e| cost::route_batched(&e.to_path_set(), 19))
-                .sum();
+            let move_unit: u64 =
+                rounds_flat[id].iter().map(|e| cost::route_batched(&e.to_path_set(), 19)).sum();
             model.move_unit[id] = move_unit;
-            let child_tsort =
-                nd.parts.iter().map(|p| model.tsort_unit[p.child]).max().unwrap_or(1);
+            let child_tsort = nd.parts.iter().map(|p| model.tsort_unit[p.child]).max().unwrap_or(1);
             let child_t2 = nd.parts.iter().map(|p| model.t2_unit[p.child]).max().unwrap_or(1);
             // T₃(X, L) = O(log n)·T_sort(child, O(L log n)) + O(L)·Q²
             // (Theorem 6.8), doubled for the dummy flock plus one
             // merge sort (§6.3).
-            let t3 = 2 * (lambda * 2 * c_logn * child_tsort + move_unit)
-                + c_logn * child_tsort;
+            let t3 = 2 * (lambda * 2 * c_logn * child_tsort + move_unit) + c_logn * child_tsort;
             model.t3_unit[id] = t3;
             // T₂(X, L) = T₃(X, L) + O(L)·Q(f⁰_{M_X})² + T₂(child, 4L).
             model.t2_unit[id] = t3 + 2 * model.mstar_sq[id] + 4 * child_t2;
@@ -117,10 +109,8 @@ impl CostModel {
                 .unwrap_or(2);
             let q_net = nd.flat_quality.max(q_round) as u64;
             let layers = odd_even_layers(nd.best.len().max(2)).len() as u64;
-            model.tsort_unit[id] = t3
-                + rho_ceil * layers * 2 * q_net * q_net
-                + model.mstar_sq[id]
-                + child_tsort;
+            model.tsort_unit[id] =
+                t3 + rho_ceil * layers * 2 * q_net * q_net + model.mstar_sq[id] + child_tsort;
         }
         model
     }

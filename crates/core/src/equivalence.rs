@@ -39,10 +39,7 @@ pub struct SortViaRouting {
 /// # Errors
 ///
 /// Propagates routing-instance validation errors.
-pub fn sort_via_routing(
-    r: &Router,
-    inst: &SortInstance,
-) -> Result<SortViaRouting, InstanceError> {
+pub fn sort_via_routing(r: &Router, inst: &SortInstance) -> Result<SortViaRouting, InstanceError> {
     let n = r.graph().n();
     let load = inst.load(n).max(1);
     // Per-vertex token lists, padded with virtual +inf entries so every
@@ -166,11 +163,7 @@ pub fn route_via_sorting(
     // Dummies born at their destination with the interleaved even key.
     for t in 0..n as u32 {
         for sid in 0..next_serial[t as usize] {
-            combined.push(SortToken {
-                src: t,
-                key: (t as u64) << 32 | (2 * sid + 2),
-                payload: 0,
-            });
+            combined.push(SortToken { src: t, key: (t as u64) << 32 | (2 * sid + 2), payload: 0 });
         }
     }
     let final_sort = SortInstance { tokens: combined };

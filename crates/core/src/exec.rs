@@ -16,7 +16,7 @@ use crate::token::{QueryStats, RoutingInstance, RoutingOutcome, SortInstance, So
 use congest_sim::RoundLedger;
 use expander_decomp::NodeId;
 use expander_graphs::Path;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Measured movement cost accumulator: `max edge load × max hops`.
 #[derive(Debug, Default)]
@@ -104,12 +104,8 @@ impl<'r> Exec<'r> {
         self.ledger.charge("query/translate", self.r.cost.tsort(root, load));
 
         // Ingress: tokens starting outside W hop in along Mroot.
-        let mroot_map: HashMap<u32, usize> = hier
-            .mroot()
-            .iter()
-            .enumerate()
-            .map(|(i, &(o, _))| (o, i))
-            .collect();
+        let mroot_map: HashMap<u32, usize> =
+            hier.mroot().iter().enumerate().map(|(i, &(o, _))| (o, i)).collect();
         let mut mc = MoveCost::new();
         for i in 0..self.pos.len() {
             if let Some(&idx) = mroot_map.get(&self.pos[i]) {
@@ -213,17 +209,15 @@ impl<'r> Exec<'r> {
             }
             o
         };
-        self.marker = owner
-            .iter()
-            .map(|&w| self.r.best_rank[self.r.delegate[w as usize] as usize])
-            .collect();
+        self.marker =
+            owner.iter().map(|&w| self.r.best_rank[self.r.delegate[w as usize] as usize]).collect();
         let toks: Vec<usize> = (0..total).collect();
         self.task2(root, toks);
         let mut mc = MoveCost::new();
-        for i in 0..total {
-            let c = &self.r.chain[owner[i] as usize];
+        for (i, &w) in owner.iter().enumerate() {
+            let c = &self.r.chain[w as usize];
             mc.add(c, 1);
-            self.pos[i] = owner[i];
+            self.pos[i] = w;
         }
         self.ledger.charge("query/sort/delivery", mc.cost());
         let _ = load;
@@ -248,8 +242,7 @@ impl<'r> Exec<'r> {
                 *per_target.entry(target).or_insert(0) += 1;
             }
             let lc = per_target.values().copied().max().unwrap_or(1);
-            self.ledger
-                .charge("query/task2/leaf", 6 * lc * self.r.cost.leafnet_unit[node]);
+            self.ledger.charge("query/task2/leaf", 6 * lc * self.r.cost.leafnet_unit[node]);
             self.stats.charged_sorts += 3;
             return;
         }
@@ -387,8 +380,8 @@ impl<'r> Exec<'r> {
             let mut portal_charge = 0u64;
             for (j, part) in nd.parts.iter().enumerate() {
                 if part_load[j] > 0 {
-                    portal_charge = portal_charge
-                        .max(2 * part_load[j] * self.r.cost.tsort_unit[part.child]);
+                    portal_charge =
+                        portal_charge.max(2 * part_load[j] * self.r.cost.tsort_unit[part.child]);
                     self.stats.charged_sorts += 2;
                 }
             }
@@ -457,17 +450,14 @@ impl<'r> Exec<'r> {
                 count[p][l] += 1.0;
                 totals[l] += 1.0;
             }
-            for i in 0..t {
-                for l in 0..t {
-                    if totals[l] == 0.0 {
+            for row in &count {
+                for (l, &tot) in totals.iter().enumerate() {
+                    if tot == 0.0 {
                         continue;
                     }
                     self.stats.dispersion_checked += 1;
-                    let bound = totals[l] / t as f64
-                        + totals[l] * err
-                        + lambda * t as f64
-                        + 1.0;
-                    if count[i][l] > bound {
+                    let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
+                    if row[l] > bound {
                         self.stats.dispersion_violations += 1;
                     }
                 }
@@ -490,7 +480,11 @@ impl<'r> Exec<'r> {
             let p = part_of[dummy.pos[d] as usize];
             dummies_by.entry((p, dummy.mark[d])).or_default().push(d);
         }
-        let mut reals_by: HashMap<(u16, u16), Vec<usize>> = HashMap::new();
+        // BTreeMap: the fallback round-robin counters below are shared
+        // across groups with the same mark, so iteration order must be
+        // deterministic or target choices (and charged costs) vary
+        // run to run.
+        let mut reals_by: BTreeMap<(u16, u16), Vec<usize>> = BTreeMap::new();
         for i in 0..real.len() {
             let p = part_of[real.pos[i] as usize];
             reals_by.entry((p, real.mark[i])).or_default().push(i);
@@ -534,9 +528,7 @@ impl<'r> Exec<'r> {
                     let target_part = &nd.parts[lp].all;
                     let target = target_part[fallback_rr[lp] % target_part.len()];
                     fallback_rr[lp] += 1;
-                    if let Some(path) =
-                        self.r.graph.shortest_path(real.pos[ri], target)
-                    {
+                    if let Some(path) = self.r.graph.shortest_path(real.pos[ri], target) {
                         fallback_mc.add(&Path::new(path), 1);
                     }
                     real.pos[ri] = target;
@@ -547,9 +539,7 @@ impl<'r> Exec<'r> {
         self.ledger.charge("query/task3/fallback", fallback_mc.cost());
 
         // Postcondition: every real token is inside its marked part.
-        debug_assert!((0..real.len()).all(|i| {
-            part_of[real.pos[i] as usize] == real.mark[i]
-        }));
+        debug_assert!((0..real.len()).all(|i| { part_of[real.pos[i] as usize] == real.mark[i] }));
     }
 }
 
@@ -628,8 +618,7 @@ mod tests {
         let inst = RoutingInstance::uniform_load(512, 2, 7);
         let out = r.route(&inst).expect("valid");
         assert!(out.stats.dispersion_checked > 0);
-        let ratio =
-            out.stats.dispersion_violations as f64 / out.stats.dispersion_checked as f64;
+        let ratio = out.stats.dispersion_violations as f64 / out.stats.dispersion_checked as f64;
         assert!(ratio < 0.05, "violations {ratio}");
     }
 

@@ -86,10 +86,7 @@ impl GeneralRouter {
         // Appendix E label reassignment: one propagation + one
         // serialization, each two inner sorts at unit load.
         let root = self.inner.hierarchy().root();
-        out.ledger.charge(
-            "query/general/port-labels",
-            2 * self.inner.cost_model().tsort(root, 1),
-        );
+        out.ledger.charge("query/general/port-labels", 2 * self.inner.cost_model().tsort(root, 1));
         // Map positions back to base vertices.
         let positions: Vec<VertexId> =
             out.positions.iter().map(|&sv| self.split.owner(sv)).collect();
@@ -173,8 +170,7 @@ mod tests {
         // Hub 0 has high degree; send it many tokens.
         let deg0 = r.split().base_degree(0);
         assert!(deg0 > 8);
-        let triples: Vec<(u32, u32, u64)> =
-            (1..=deg0.min(16)).map(|i| (i, 0, i as u64)).collect();
+        let triples: Vec<(u32, u32, u64)> = (1..=deg0.min(16)).map(|i| (i, 0, i as u64)).collect();
         let inst = RoutingInstance::from_triples(&triples);
         let out = r.route(&inst).expect("valid");
         assert!(out.all_delivered());
@@ -184,9 +180,8 @@ mod tests {
     fn rejects_overloaded_vertices() {
         let r = general_router(3);
         // Find a degree-4 vertex and overload it as a destination.
-        let v = (0..96u32)
-            .find(|&v| r.split().base_degree(v) == 4)
-            .expect("base vertex of degree 4");
+        let v =
+            (0..96u32).find(|&v| r.split().base_degree(v) == 4).expect("base vertex of degree 4");
         let triples: Vec<(u32, u32, u64)> =
             (0..5).map(|i| ((v + 1 + i) % 96, v, i as u64)).collect();
         assert!(r.route(&RoutingInstance::from_triples(&triples)).is_err());
@@ -195,12 +190,7 @@ mod tests {
     #[test]
     fn doubling_trick_converges() {
         let r = general_router(4);
-        let inst = RoutingInstance::from_triples(&[
-            (1, 0, 0),
-            (2, 0, 1),
-            (3, 0, 2),
-            (4, 0, 3),
-        ]);
+        let inst = RoutingInstance::from_triples(&[(1, 0, 0), (2, 0, 1), (3, 0, 2), (4, 0, 3)]);
         let (out, attempts) = r.route_with_doubling(&inst).expect("valid");
         assert!(out.all_delivered());
         assert!(attempts >= 2, "destination load 4 needs doubling");

@@ -113,10 +113,7 @@ impl EmbeddedNetwork {
     /// (each layer: Fact 2.2 with the congestion term scaled by the
     /// load).
     pub fn pass_cost(&self, load: u64) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| congest_sim::cost::route_batched(&l.paths, load))
-            .sum()
+        self.layers.iter().map(|l| congest_sim::cost::route_batched(&l.paths, load)).sum()
     }
 
     /// Number of comparator layers.
@@ -226,11 +223,8 @@ mod tests {
         use expander_graphs::generators;
         let g = generators::random_regular(128, 4, 3).unwrap();
         let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).unwrap();
-        let leaf = h
-            .nodes()
-            .iter()
-            .find(|nd| nd.is_leaf() && nd.vertices.len() >= 8)
-            .expect("some leaf");
+        let leaf =
+            h.nodes().iter().find(|nd| nd.is_leaf() && nd.vertices.len() >= 8).expect("some leaf");
         let net = EmbeddedNetwork::build(&h, leaf.id);
         assert!(net.depth() >= 3);
         for layer in &net.layers {

@@ -36,11 +36,7 @@ pub fn token_ranking(r: &Router, inst: &SortInstance) -> Result<OpOutcome, Insta
     let mut keys: Vec<u64> = inst.tokens.iter().map(|t| t.key).collect();
     keys.sort_unstable();
     keys.dedup();
-    let values = inst
-        .tokens
-        .iter()
-        .map(|t| keys.partition_point(|&k| k < t.key) as u64)
-        .collect();
+    let values = inst.tokens.iter().map(|t| keys.partition_point(|&k| k < t.key) as u64).collect();
     Ok(OpOutcome { values, rounds: 2 * one_sort })
 }
 
@@ -171,8 +167,7 @@ mod tests {
     fn propagation_takes_min_tag_variable() {
         let r = router(128, 4);
         let inst = SortInstance::from_triples(&[(0, 1, 0), (1, 1, 0), (2, 2, 0)]);
-        let out =
-            local_propagation(&r, &inst, &[5, 3, 9], &[50, 30, 90]).expect("valid");
+        let out = local_propagation(&r, &inst, &[5, 3, 9], &[50, 30, 90]).expect("valid");
         assert_eq!(out.values, vec![30, 30, 90]);
     }
 

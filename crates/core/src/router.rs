@@ -3,15 +3,18 @@
 use crate::cost_model::CostModel;
 use crate::exec::Exec;
 use crate::network::EmbeddedNetwork;
-use crate::token::{
-    InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome,
-};
+use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::{cost, RoundLedger};
 use expander_decomp::{
     build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, Shuffler, ShufflerParams,
 };
 use expander_graphs::{Embedding, Graph, Path, PathSet, VertexId};
 use std::collections::HashMap;
+
+/// One shuffler round's crossing-edge table: `(i, j)` maps to the
+/// indices of matching edges with one endpoint in part `i` and the
+/// other in part `j`.
+pub(crate) type RoundPortals = HashMap<(u16, u16), Vec<u32>>;
 
 /// Configuration for [`Router::preprocess`].
 #[derive(Debug, Clone, Default)]
@@ -48,7 +51,7 @@ pub struct Router {
     pub(crate) rounds_flat: Vec<Vec<Embedding>>,
     /// Per node, per round: `(i, j) -> indices of matching edges` with
     /// an endpoint in part `i` and the other in part `j`.
-    pub(crate) portal_index: Vec<Vec<HashMap<(u16, u16), Vec<u32>>>>,
+    pub(crate) portal_index: Vec<Vec<RoundPortals>>,
     /// Per node: dense `global vertex -> part index` (`u16::MAX` when
     /// absent); empty vec for leaves.
     pub(crate) part_of: Vec<Vec<u16>>,
@@ -92,8 +95,7 @@ impl Router {
         let n_nodes = hier.nodes().len();
         let mut shufflers: Vec<Option<Shuffler>> = vec![None; n_nodes];
         let mut rounds_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
-        let mut portal_index: Vec<Vec<HashMap<(u16, u16), Vec<u32>>>> =
-            vec![Vec::new(); n_nodes];
+        let mut portal_index: Vec<Vec<RoundPortals>> = vec![Vec::new(); n_nodes];
         let mut part_of: Vec<Vec<u16>> = vec![Vec::new(); n_nodes];
         let mut mstar_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
         let mut mstar_lookup: Vec<Vec<HashMap<u32, usize>>> = vec![Vec::new(); n_nodes];
@@ -143,12 +145,8 @@ impl Router {
                 let flat = hier.flatten_from(id, &p.matching_embedding);
                 let q = flat.quality().max(2) as u64;
                 worst_mstar = worst_mstar.max(q * q);
-                let lookup: HashMap<u32, usize> = flat
-                    .virtual_edges()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(b, _))| (b, i))
-                    .collect();
+                let lookup: HashMap<u32, usize> =
+                    flat.virtual_edges().iter().enumerate().map(|(i, &(b, _))| (b, i)).collect();
                 part_embs.push(flat);
                 part_lookups.push(lookup);
             }
@@ -170,12 +168,8 @@ impl Router {
         }
         let mut delegate = vec![u32::MAX; graph.n()];
         let mut chain: Vec<Path> = (0..graph.n() as u32).map(Path::trivial).collect();
-        let mroot_map: HashMap<u32, (u32, usize)> = hier
-            .mroot()
-            .iter()
-            .enumerate()
-            .map(|(i, &(o, w))| (o, (w, i)))
-            .collect();
+        let mroot_map: HashMap<u32, (u32, usize)> =
+            hier.mroot().iter().enumerate().map(|(i, &(o, w))| (o, (w, i))).collect();
         for v in 0..graph.n() as u32 {
             let mut segs: Vec<Path> = Vec::new();
             let mut cur = v;
@@ -212,7 +206,7 @@ impl Router {
 
         // Best-prefix tables for the Task 2 marker rewrite.
         let mut best_prefix: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
-        for id in 0..n_nodes {
+        for (id, slot) in best_prefix.iter_mut().enumerate() {
             let nd = hier.node(id);
             if nd.is_leaf() {
                 continue;
@@ -223,7 +217,7 @@ impl Router {
                 let last = *prefix.last().expect("non-empty");
                 prefix.push(last + hier.node(p.child).best.len() as u32);
             }
-            best_prefix[id] = prefix;
+            *slot = prefix;
         }
 
         let cost_model = CostModel::build(&hier, &shufflers, &rounds_flat, &leaf_nets, mstar_sq);
@@ -234,10 +228,8 @@ impl Router {
         // preprocessing alongside the hierarchy/shuffler construction.
         for id in 0..n_nodes {
             if !hier.node(id).is_leaf() {
-                pre_ledger.charge(
-                    "pre/routable-networks",
-                    cost_model.c_logn * cost_model.t2_unit[id],
-                );
+                pre_ledger
+                    .charge("pre/routable-networks", cost_model.c_logn * cost_model.t2_unit[id]);
             }
         }
 
@@ -364,8 +356,7 @@ mod tests {
     #[test]
     fn preprocess_builds_all_structures() {
         let r = router(256, 1);
-        let internal: Vec<_> =
-            r.hierarchy().nodes().iter().filter(|nd| !nd.is_leaf()).collect();
+        let internal: Vec<_> = r.hierarchy().nodes().iter().filter(|nd| !nd.is_leaf()).collect();
         assert!(!internal.is_empty());
         for nd in &internal {
             assert!(r.shuffler(nd.id).is_some(), "internal node lacks shuffler");
@@ -392,10 +383,7 @@ mod tests {
         }
         let max_fan = *fan_in.values().max().expect("non-empty");
         let rho = r.hierarchy().rho_best().ceil() as usize;
-        assert!(
-            max_fan <= 4 * rho.max(1) + 2,
-            "fan-in {max_fan} vs rho {rho}"
-        );
+        assert!(max_fan <= 4 * rho.max(1) + 2, "fan-in {max_fan} vs rho {rho}");
     }
 
     #[test]

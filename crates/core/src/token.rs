@@ -60,7 +60,9 @@ impl RoutingInstance {
             tokens.extend(p.tokens.iter().map(|t| RouteToken {
                 src: t.src,
                 dst: t.dst,
-                payload: t.payload + (round as u64) << 32,
+                // Round tag in the high bits, source vertex id (set by
+                // `permutation`) in the low bits — unique per token.
+                payload: t.payload | ((round as u64) << 32),
             }));
         }
         RoutingInstance { tokens }
@@ -147,12 +149,7 @@ impl RoutingInstance {
             src_load[t.src as usize] += 1;
             dst_load[t.dst as usize] += 1;
         }
-        src_load
-            .iter()
-            .chain(dst_load.iter())
-            .copied()
-            .max()
-            .unwrap_or(0)
+        src_load.iter().chain(dst_load.iter()).copied().max().unwrap_or(0)
     }
 }
 
@@ -270,10 +267,7 @@ pub struct RoutingOutcome {
 impl RoutingOutcome {
     /// Whether every token sits at its destination.
     pub fn all_delivered(&self) -> bool {
-        self.positions
-            .iter()
-            .zip(&self.destinations)
-            .all(|(p, d)| p == d)
+        self.positions.iter().zip(&self.destinations).all(|(p, d)| p == d)
     }
 
     /// Total charged rounds for the query.
@@ -375,8 +369,7 @@ mod tests {
     fn hotspot_respects_cap() {
         let inst = RoutingInstance::hotspot(64, 4, 5, 7);
         assert!(inst.load(64) <= 5);
-        let dsts: std::collections::HashSet<u32> =
-            inst.tokens.iter().map(|t| t.dst).collect();
+        let dsts: std::collections::HashSet<u32> = inst.tokens.iter().map(|t| t.dst).collect();
         assert!(dsts.len() <= 4, "at most 4 hotspots");
     }
 
@@ -400,20 +393,11 @@ mod tests {
     #[test]
     fn sortedness_check_works() {
         let inst = SortInstance::from_triples(&[(0, 9, 0), (1, 1, 0), (2, 5, 0)]);
-        let good = SortOutcome {
-            positions: vec![2, 0, 1],
-            ledger: RoundLedger::new(),
-        };
+        let good = SortOutcome { positions: vec![2, 0, 1], ledger: RoundLedger::new() };
         assert!(good.is_sorted(&inst, 3, 1));
-        let bad = SortOutcome {
-            positions: vec![0, 1, 2],
-            ledger: RoundLedger::new(),
-        };
+        let bad = SortOutcome { positions: vec![0, 1, 2], ledger: RoundLedger::new() };
         assert!(!bad.is_sorted(&inst, 3, 1));
-        let overloaded = SortOutcome {
-            positions: vec![0, 0, 0],
-            ledger: RoundLedger::new(),
-        };
+        let overloaded = SortOutcome { positions: vec![0, 0, 0], ledger: RoundLedger::new() };
         assert!(!overloaded.is_sorted(&inst, 3, 1));
         assert!(overloaded.is_sorted(&inst, 3, 3));
     }

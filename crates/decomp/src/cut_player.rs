@@ -59,6 +59,7 @@ fn try_orientation(mu: &[f64], mean: f64, total_mass: f64, orientation: f64) -> 
     let ar_len = m.div_ceil(2);
     let ar: Vec<usize> = order[..ar_len].to_vec();
     let boundary = dev[order[ar_len - 1]]; // max oriented deviation on ar
+
     // `al` = a prefix of the far tail satisfying the separation
     // d_min(al) >= max(3/2 * boundary, 0) and carrying >= 1/80 mass.
     let al_max = (m / 8).max(1);
@@ -100,7 +101,11 @@ pub fn median_split(mu: &[f64]) -> Separation {
     let mut order: Vec<usize> = (0..m).collect();
     order.sort_by(|&a, &b| mu[a].partial_cmp(&mu[b]).expect("finite"));
     let half = m / 2;
-    let gamma = if m > 1 { (mu[order[half.saturating_sub(1)]] + mu[order[half.min(m - 1)]]) / 2.0 } else { 0.0 };
+    let gamma = if m > 1 {
+        (mu[order[half.saturating_sub(1)]] + mu[order[half.min(m - 1)]]) / 2.0
+    } else {
+        0.0
+    };
     Separation { al: order[..half].to_vec(), ar: order[half..].to_vec(), gamma }
 }
 
@@ -164,7 +169,10 @@ mod tests {
             assert_eq!(mu[v] >= sep.gamma, al_side, "al not separated");
         }
         for &v in &sep.ar {
-            assert!((mu[v] >= sep.gamma) != al_side || (mu[v] - sep.gamma).abs() < 1e-12, "ar not separated");
+            assert!(
+                (mu[v] >= sep.gamma) != al_side || (mu[v] - sep.gamma).abs() < 1e-12,
+                "ar not separated"
+            );
         }
         // (2) the 1/3-distance property on al.
         for &v in &sep.al {

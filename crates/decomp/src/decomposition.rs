@@ -93,8 +93,7 @@ pub fn expander_decomposition(g: &Graph, phi: f64, seed: u64) -> ExpanderDecompo
         ledger.charge(
             "decomp/sparse-cut",
             cost::diameter_primitive(
-                ((set.len() as f64).log2().ceil() as u64 + 1)
-                    * (1.0 / phi).ceil() as u64,
+                ((set.len() as f64).log2().ceil() as u64 + 1) * (1.0 / phi).ceil() as u64,
                 2,
             ),
         );
@@ -126,10 +125,8 @@ pub fn expander_decomposition(g: &Graph, phi: f64, seed: u64) -> ExpanderDecompo
             cluster_of[v as usize] = ci as u32;
         }
     }
-    let cut_edges: Vec<(u32, u32)> = g
-        .edges()
-        .filter(|&(u, v)| cluster_of[u as usize] != cluster_of[v as usize])
-        .collect();
+    let cut_edges: Vec<(u32, u32)> =
+        g.edges().filter(|&(u, v)| cluster_of[u as usize] != cluster_of[v as usize]).collect();
     let cut_fraction = if g.m() == 0 { 0.0 } else { cut_edges.len() as f64 / g.m() as f64 };
     ExpanderDecomposition { clusters, cluster_of, cut_edges, cut_fraction, phi, ledger }
 }
@@ -215,11 +212,7 @@ mod tests {
         let g = generators::ring_of_cliques(8, 12);
         let d = decomposition_for_epsilon(&g, 0.3, 6);
         check_partition(&g, &d);
-        assert!(
-            d.cut_fraction <= 0.3,
-            "removed {:.3} of edges, budget 0.3",
-            d.cut_fraction
-        );
+        assert!(d.cut_fraction <= 0.3, "removed {:.3} of edges, budget 0.3", d.cut_fraction);
         assert!(d.ledger.total() > 0, "construction rounds charged");
     }
 

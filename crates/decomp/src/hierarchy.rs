@@ -486,10 +486,8 @@ impl<'g> Builder<'g> {
         let host_diam = host.diameter_estimate().min(host.n() as u32) as u64;
 
         // Per-part state.
-        let mut active: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|p| p.iter().map(|&v| host.to_local(v)).collect())
-            .collect();
+        let mut active: Vec<Vec<u32>> =
+            parts.iter().map(|p| p.iter().map(|&v| host.to_local(v)).collect()).collect();
         let mut history: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); t]; // local pairs
         let mut embeddings: Vec<Embedding> = vec![Embedding::new(); t];
         let mut mixed = vec![false; t];
@@ -546,17 +544,13 @@ impl<'g> Builder<'g> {
                     cost::virtual_rounds(
                         flat_quality as u64,
                         m.phases as u64 * m.final_dilation_cap as u64,
-                    ) + cost::route_once(&m.embedding.to_path_set())
-                        * (flat_quality as u64).pow(2),
+                    ) + cost::route_once(&m.embedding.to_path_set()) * (flat_quality as u64).pow(2),
                 );
                 if !m.pairs.is_empty() {
                     progress = true;
                 }
-                let local_pairs: Vec<(u32, u32)> = m
-                    .pairs
-                    .iter()
-                    .map(|&(a, b)| (host.to_local(a), host.to_local(b)))
-                    .collect();
+                let local_pairs: Vec<(u32, u32)> =
+                    m.pairs.iter().map(|&(a, b)| (host.to_local(a), host.to_local(b))).collect();
                 history[pi].push(local_pairs);
                 for (a, b, p) in m.embedding.iter() {
                     embeddings[pi].push(a, b, p.clone());
@@ -577,8 +571,7 @@ impl<'g> Builder<'g> {
         let mut leftover: Vec<VertexId> = Vec::new();
         for pi in 0..t {
             let survivors: Vec<VertexId> = {
-                let mut s: Vec<VertexId> =
-                    active[pi].iter().map(|&l| host.to_global(l)).collect();
+                let mut s: Vec<VertexId> = active[pi].iter().map(|&l| host.to_global(l)).collect();
                 s.sort_unstable();
                 s
             };
@@ -614,10 +607,8 @@ impl<'g> Builder<'g> {
         host: &HostGraph,
         outcome: GameOutcome,
         is_root: bool,
-    ) -> Result<
-        (Vec<HierarchyPart>, Vec<VertexId>, Vec<(VertexId, VertexId)>, Embedding),
-        BuildError,
-    > {
+    ) -> Result<(Vec<HierarchyPart>, Vec<VertexId>, Vec<(VertexId, VertexId)>, Embedding), BuildError>
+    {
         let GameOutcome { parts: game_parts, leftover } = outcome;
         // Sink capacity 1 on every survivor: M* must be a matching.
         let mut sink_cap = vec![0u32; host.n()];
@@ -634,10 +625,7 @@ impl<'g> Builder<'g> {
         let mut cfg = self.params.escalation;
         cfg.max_escalations += 4; // leftover matching must try hard
         let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
-        self.ledger.charge(
-            "pre/hierarchy/leftover",
-            cost::route_once(&m.embedding.to_path_set()),
-        );
+        self.ledger.charge("pre/hierarchy/leftover", cost::route_once(&m.embedding.to_path_set()));
 
         let mut bad_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); game_parts.len()];
         let mut matching_per_part: Vec<Vec<(VertexId, VertexId)>> =
@@ -797,11 +785,7 @@ impl<'g> Builder<'g> {
         id
     }
 
-    fn compute_best(
-        &self,
-        id: NodeId,
-        cache: &mut Vec<Option<Vec<VertexId>>>,
-    ) -> Vec<VertexId> {
+    fn compute_best(&self, id: NodeId, cache: &mut Vec<Option<Vec<VertexId>>>) -> Vec<VertexId> {
         let nd = &self.nodes[id];
         let best = if nd.is_leaf() {
             nd.vertices.clone()

@@ -36,7 +36,11 @@ impl HostGraph {
     /// # Panics
     ///
     /// Panics if an edge endpoint is not in `vertices`.
-    pub fn from_edges(global_n: usize, mut vertices: Vec<VertexId>, edges: &[(VertexId, VertexId)]) -> HostGraph {
+    pub fn from_edges(
+        global_n: usize,
+        mut vertices: Vec<VertexId>,
+        edges: &[(VertexId, VertexId)],
+    ) -> HostGraph {
         vertices.sort_unstable();
         vertices.dedup();
         let mut local = vec![u32::MAX; global_n];
@@ -128,7 +132,7 @@ impl HostGraph {
             return 0;
         }
         let d0 = self.bfs_local(&[0]);
-        if d0.iter().any(|&d| d == u32::MAX) {
+        if d0.contains(&u32::MAX) {
             return u32::MAX;
         }
         let far = d0
@@ -187,7 +191,7 @@ mod tests {
         let g = generators::ring(16);
         let h = HostGraph::from_graph(&g);
         let est = h.diameter_estimate();
-        assert!(est >= 4 && est <= 8, "estimate {est}");
+        assert!((4..=8).contains(&est), "estimate {est}");
     }
 
     #[test]

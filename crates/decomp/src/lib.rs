@@ -37,9 +37,7 @@ pub mod host;
 pub mod packing;
 pub mod shuffler;
 
-pub use decomposition::{
-    decomposition_for_epsilon, expander_decomposition, ExpanderDecomposition,
-};
+pub use decomposition::{decomposition_for_epsilon, expander_decomposition, ExpanderDecomposition};
 pub use hierarchy::{BuildError, Hierarchy, HierarchyNode, HierarchyParams, HierarchyPart, NodeId};
 pub use host::HostGraph;
 pub use packing::{pack_matching, EscalationConfig, MatchingPacking, Packer};

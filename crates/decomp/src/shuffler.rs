@@ -170,9 +170,8 @@ pub fn build_shuffler(
     let q_flat = nd.flat_quality as u64;
 
     // Exact walk matrix R (t × t), starting at identity.
-    let mut r_mat: Vec<Vec<f64>> = (0..t)
-        .map(|a| (0..t).map(|b| if a == b { 1.0 } else { 0.0 }).collect())
-        .collect();
+    let mut r_mat: Vec<Vec<f64>> =
+        (0..t).map(|a| (0..t).map(|b| if a == b { 1.0 } else { 0.0 }).collect()).collect();
     let mut potential = potential_of(&r_mat);
     let mut trace = vec![potential];
     let mut rounds: Vec<ShufflerRound> = Vec::new();
@@ -187,9 +186,7 @@ pub fn build_shuffler(
         // separation (targets the far-from-uniform stragglers that
         // drive the Lemma B.5 potential argument).
         let r_probe = probe_vector(t, params.seed.wrapping_add(iter as u64 * 0x9E37_79B9));
-        let mu: Vec<f64> = (0..t)
-            .map(|a| (0..t).map(|b| r_mat[a][b] * r_probe[b]).sum())
-            .collect();
+        let mu: Vec<f64> = (0..t).map(|a| (0..t).map(|b| r_mat[a][b] * r_probe[b]).sum()).collect();
         let sep = match params.cut_strategy {
             CutStrategy::Alternate => {
                 if iter % 2 == 1 {
@@ -199,19 +196,14 @@ pub fn build_shuffler(
                 }
             }
             CutStrategy::MedianOnly => median_split(&mu),
-            CutStrategy::RstOnly => {
-                rst_separation(&mu).unwrap_or_else(|| median_split(&mu))
-            }
+            CutStrategy::RstOnly => rst_separation(&mu).unwrap_or_else(|| median_split(&mu)),
         };
         let (mut s, s_prime) = (sep.al, sep.ar);
         // Property B.1(1): |S_X| < |S'_X| — shrink S if needed.
         let size_of = |set: &[usize]| set.iter().map(|&i| part_sizes[i]).sum::<usize>();
         while !s.is_empty() && size_of(&s) >= size_of(&s_prime) {
-            let (drop_pos, _) = s
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &i)| part_sizes[i])
-                .expect("non-empty");
+            let (drop_pos, _) =
+                s.iter().enumerate().max_by_key(|&(_, &i)| part_sizes[i]).expect("non-empty");
             s.remove(drop_pos);
         }
         if s.is_empty() {
@@ -340,10 +332,7 @@ pub fn apply_fractional(r_mat: &[Vec<f64>], x: &[Vec<f64>]) -> Vec<Vec<f64>> {
 pub fn potential_of(r_mat: &[Vec<f64>]) -> f64 {
     let t = r_mat.len();
     let uniform = 1.0 / t as f64;
-    r_mat
-        .iter()
-        .map(|row| row.iter().map(|&x| (x - uniform) * (x - uniform)).sum::<f64>())
-        .sum()
+    r_mat.iter().map(|row| row.iter().map(|&x| (x - uniform) * (x - uniform)).sum::<f64>()).sum()
 }
 
 #[cfg(test)]
@@ -393,15 +382,11 @@ mod tests {
             assert!(w[1] <= w[0] + 1e-9, "potential increased");
         }
         // λ = O(log n) with a mild constant.
-        assert!(
-            sh.len() as f64 <= 12.0 * n.log2(),
-            "λ = {} too large for n = {n}",
-            sh.len()
-        );
+        assert!(sh.len() as f64 <= 12.0 * n.log2(), "λ = {} too large for n = {n}", sh.len());
     }
 
     #[test]
-    fn matchings_cross_parts_and_embed_validly(){
+    fn matchings_cross_parts_and_embed_validly() {
         let h = hierarchy(256, 3);
         let mut ledger = RoundLedger::new();
         let sh = build_shuffler(&h, h.root(), &ShufflerParams::default(), &mut ledger);

@@ -103,33 +103,26 @@ proptest! {
     ) {
         // Build a random symmetric fractional matching with degree <= 1.
         let mut x = vec![vec![0.0f64; t]; t];
-        let mut idx = 0;
-        'outer: for a in 0..t {
-            for b in (a + 1)..t {
-                if idx >= entries.len() {
-                    break 'outer;
-                }
-                x[a][b] = entries[idx];
-                x[b][a] = entries[idx];
-                idx += 1;
-            }
+        let upper_triangle =
+            || (0..t).flat_map(|a| (a + 1..t).map(move |b| (a, b)));
+        for ((a, b), &e) in upper_triangle().zip(entries.iter()) {
+            x[a][b] = e;
+            x[b][a] = e;
         }
         // Clamp degrees to 1.
-        for a in 0..t {
-            let deg: f64 = x[a].iter().sum();
+        for row in x.iter_mut() {
+            let deg: f64 = row.iter().sum();
             if deg > 1.0 {
-                for b in 0..t {
-                    x[a][b] /= deg;
+                for v in row.iter_mut() {
+                    *v /= deg;
                 }
             }
         }
         // Re-symmetrize after clamping (min of the two directions).
-        for a in 0..t {
-            for b in 0..t {
-                let m = x[a][b].min(x[b][a]);
-                x[a][b] = m;
-                x[b][a] = m;
-            }
+        for (a, b) in upper_triangle() {
+            let m = x[a][b].min(x[b][a]);
+            x[a][b] = m;
+            x[b][a] = m;
         }
         let r0: Vec<Vec<f64>> =
             (0..t).map(|a| (0..t).map(|b| f64::from(u8::from(a == b))).collect()).collect();

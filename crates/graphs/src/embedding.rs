@@ -251,8 +251,7 @@ mod tests {
         inner.push(0, 1, path(&[0, 1]));
         inner.push(0, 1, path(&[0, 1]));
         let composed = outer.compose_after(&inner);
-        let mids: Vec<u32> =
-            (0..2).map(|i| composed.path(i).vertices()[1]).collect();
+        let mids: Vec<u32> = (0..2).map(|i| composed.path(i).vertices()[1]).collect();
         assert_eq!(mids, vec![5, 6], "round-robin over parallel copies");
     }
 

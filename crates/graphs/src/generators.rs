@@ -47,7 +47,7 @@ impl Error for GenerateError {}
 /// assert!((0..64).all(|v| g.degree(v) == 3));
 /// ```
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenerateError> {
-    if n * d % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GenerateError::new("n * d must be even"));
     }
     if d >= n {
@@ -71,12 +71,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenerateEr
 
 /// One configuration-model attempt with edge-swap repair.
 fn try_pairing(n: usize, d: usize, rng: &mut StdRng) -> Option<Vec<(VertexId, VertexId)>> {
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
-    let mut edges: Vec<(u32, u32)> = stubs
-        .chunks_exact(2)
-        .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
-        .collect();
+    let mut edges: Vec<(u32, u32)> =
+        stubs.chunks_exact(2).map(|c| (c[0].min(c[1]), c[0].max(c[1]))).collect();
     // Repair loop: replace self-loops / duplicate edges by random swaps.
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
     for _ in 0..200 {

@@ -221,11 +221,7 @@ impl Graph {
     pub fn diameter_estimate(&self) -> u32 {
         assert!(self.n() > 0, "diameter of the empty graph");
         let d0 = self.bfs_distances(0);
-        let (far, _) = d0
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, d)| *d)
-            .expect("non-empty");
+        let (far, _) = d0.iter().enumerate().max_by_key(|&(_, d)| *d).expect("non-empty");
         self.eccentricity(far as VertexId)
     }
 
@@ -335,7 +331,7 @@ mod tests {
         let g = cycle(10);
         assert_eq!(g.diameter_exact(), 5);
         let est = g.diameter_estimate();
-        assert!(est >= 3 && est <= 5, "estimate {est} out of [D/2, D]");
+        assert!((3..=5).contains(&est), "estimate {est} out of [D/2, D]");
     }
 
     #[test]

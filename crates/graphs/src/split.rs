@@ -78,9 +78,8 @@ impl SplitGraph {
                 if u < v {
                     pending.entry((u, v)).or_default().push(my_port);
                 } else {
-                    let q = pending
-                        .get_mut(&(v, u))
-                        .expect("slot of the smaller endpoint seen first");
+                    let q =
+                        pending.get_mut(&(v, u)).expect("slot of the smaller endpoint seen first");
                     let other = q.pop().expect("matching slot exists");
                     edges.push((other, my_port));
                 }
@@ -195,11 +194,7 @@ mod tests {
         let g = generators::hypercube(3);
         let s = SplitGraph::build(&g, 3);
         // Count split edges whose endpoints belong to different owners.
-        let cross = s
-            .graph()
-            .edges()
-            .filter(|&(a, b)| s.owner(a) != s.owner(b))
-            .count();
+        let cross = s.graph().edges().filter(|&(a, b)| s.owner(a) != s.owner(b)).count();
         assert_eq!(cross, g.m());
     }
 

@@ -26,13 +26,10 @@ fn main() {
     );
 
     // Each vertex may source/sink up to deg(v) tokens — hubs take many.
-    let hub = (0..n as u32)
-        .max_by_key(|&v| g.degree(v))
-        .expect("non-empty");
+    let hub = (0..n as u32).max_by_key(|&v| g.degree(v)).expect("non-empty");
     let fan_in = (g.degree(hub) as u32).min(24);
-    let triples: Vec<(u32, u32, u64)> = (0..fan_in)
-        .map(|i| ((hub + 1 + i * 7) % n as u32, hub, i as u64))
-        .collect();
+    let triples: Vec<(u32, u32, u64)> =
+        (0..fan_in).map(|i| ((hub + 1 + i * 7) % n as u32, hub, i as u64)).collect();
     let inst = RoutingInstance::from_triples(&triples);
     let out = router.route(&inst).expect("valid instance");
     assert!(out.all_delivered());

@@ -31,8 +31,7 @@ fn main() {
     let skewed: Vec<(u32, u64, u64)> =
         (0..n as u32).map(|v| (v, if v % 3 == 0 { 99 } else { v as u64 }, 0)).collect();
     let heavy =
-        summarize::top_k_frequent(&router, &SortInstance::from_triples(&skewed), 1)
-            .expect("valid");
+        summarize::top_k_frequent(&router, &SortInstance::from_triples(&skewed), 1).expect("valid");
     println!(
         "top-1 frequent item:     key {} with count {} ({} rounds)",
         heavy.items[0].0, heavy.items[0].1, heavy.rounds

@@ -57,9 +57,12 @@ fn adversarial_workloads_are_delivered() {
         ("shift-1", RoutingInstance::shift(256, 1)),
         ("shift-half", RoutingInstance::shift(256, 128)),
         ("hotspot", RoutingInstance::hotspot(256, 4, 6, 19)),
-        ("self-loops", RoutingInstance::from_triples(
-            &(0..256u32).map(|v| (v, v, v as u64)).collect::<Vec<_>>(),
-        )),
+        (
+            "self-loops",
+            RoutingInstance::from_triples(
+                &(0..256u32).map(|v| (v, v, v as u64)).collect::<Vec<_>>(),
+            ),
+        ),
         ("single-token", RoutingInstance::from_triples(&[(3, 250, 9)])),
         ("empty", RoutingInstance::default()),
     ];
@@ -77,7 +80,10 @@ fn query_cost_grows_linearly_with_load() {
     let r8 = router.route(&RoutingInstance::uniform_load(256, 8, 6)).unwrap().rounds();
     // Theorem 6.9: T2 = L · poly — linear in L up to log factors.
     assert!(r8 >= r1, "higher load cannot be cheaper");
-    assert!(r8 <= 64 * r1, "load-8 query should be within ~8x of load-1 (up to logs): {r1} vs {r8}");
+    assert!(
+        r8 <= 64 * r1,
+        "load-8 query should be within ~8x of load-1 (up to logs): {r1} vs {r8}"
+    );
 }
 
 #[test]
@@ -85,9 +91,8 @@ fn repeated_queries_amortize_preprocessing() {
     let g = generators::random_regular(512, 4, 6).unwrap();
     let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
     let pre = router.preprocessing_ledger().total();
-    let q: u64 = (0..4)
-        .map(|s| router.route(&RoutingInstance::permutation(512, s)).unwrap().rounds())
-        .sum();
+    let q: u64 =
+        (0..4).map(|s| router.route(&RoutingInstance::permutation(512, s)).unwrap().rounds()).sum();
     // Four queries together stay below ~the preprocessing cost; with
     // CS20 every one of them would pay the construction again.
     assert!(q / 4 < pre, "avg query {} vs preprocessing {pre}", q / 4);
@@ -164,8 +169,5 @@ fn deterministic_across_router_rebuilds() {
     let rb = b.route(&inst).unwrap();
     assert_eq!(ra.rounds(), rb.rounds());
     assert_eq!(ra.positions, rb.positions);
-    assert_eq!(
-        a.preprocessing_ledger().total(),
-        b.preprocessing_ledger().total()
-    );
+    assert_eq!(a.preprocessing_ledger().total(), b.preprocessing_ledger().total());
 }

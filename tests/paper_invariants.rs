@@ -147,8 +147,7 @@ fn bandwidth_starved_hierarchy_still_routes() {
     };
     match Router::preprocess(&g, brutal) {
         Ok(r) => {
-            let out =
-                r.route(&RoutingInstance::uniform_load(256, 2, 23)).expect("valid");
+            let out = r.route(&RoutingInstance::uniform_load(256, 2, 23)).expect("valid");
             assert!(out.all_delivered());
         }
         Err(e) => {
@@ -164,10 +163,7 @@ fn bandwidth_starved_hierarchy_still_routes() {
     trimmed.hierarchy.min_child = 24; // chunks are 26; the last is 22
     let r = Router::preprocess(&g, trimmed).expect("router");
     let h = r.hierarchy();
-    let has_bad = h
-        .nodes()
-        .iter()
-        .any(|nd| nd.parts.iter().any(|p| !p.bad.is_empty()));
+    let has_bad = h.nodes().iter().any(|nd| nd.parts.iter().any(|p| !p.bad.is_empty()));
     assert!(
         has_bad || !h.outside().is_empty(),
         "trimming should produce bad vertices or outside stragglers"
@@ -235,10 +231,8 @@ fn negative_control_low_conductance_graphs_degrade() {
             // worse than on a genuine expander of the same size.
             let e = generators::random_regular(128, 4, 14).unwrap();
             let he = Hierarchy::build(&e, HierarchyParams::for_epsilon(0.4)).unwrap();
-            let q_bad: usize =
-                h.nodes().iter().map(|nd| nd.flat_quality).max().unwrap_or(2);
-            let q_good: usize =
-                he.nodes().iter().map(|nd| nd.flat_quality).max().unwrap_or(2);
+            let q_bad: usize = h.nodes().iter().map(|nd| nd.flat_quality).max().unwrap_or(2);
+            let q_good: usize = he.nodes().iter().map(|nd| nd.flat_quality).max().unwrap_or(2);
             assert!(
                 q_bad as f64 >= 0.8 * q_good as f64,
                 "low-conductance input should not beat the expander: {q_bad} vs {q_good}"

@@ -1,0 +1,590 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest`
+//! API this workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate implements the surface the
+//! workspace's property tests need:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges and tuples,
+//! * [`collection::vec()`] and [`collection::hash_set()`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * [`test_runner::Config`] (re-exported as `ProptestConfig`).
+//!
+//! # Determinism and regression seeds
+//!
+//! Unlike upstream proptest (which seeds from OS entropy and persists
+//! failures), every test here derives its base seed deterministically
+//! from the test's module path and function name, so a failure seen
+//! once reproduces on every subsequent run on any machine.
+//!
+//! Two override hooks exist, mirroring upstream's
+//! `proptest-regressions/` convention:
+//!
+//! * `PROPTEST_RNG_SEED=<u64>` in the environment replaces the base
+//!   seed for all tests in the process.
+//! * A checked-in file `proptest-regressions/<test_fn_name>.txt` next to
+//!   the crate's `Cargo.toml`, containing lines of the form
+//!   `seed = <decimal or 0xhex>`, pins extra case seeds that run
+//!   *before* the regular cases — the convention for pinning a
+//!   once-seen failure forever.
+//!
+//! When a case fails, the panic message reports the exact case seed and
+//! the regression line to check in. There is no shrinking: with
+//! deterministic replay, the failing case is already pinned.
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::CaseRng;
+    use std::ops::Range;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// This mirrors upstream proptest's `Strategy` trait minus
+    /// shrinking: `new_value` draws one value from `rng`.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut CaseRng) -> Self::Value;
+
+        /// Returns a strategy generating `f(v)` for `v` drawn from `self`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut CaseRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut CaseRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut CaseRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut CaseRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut CaseRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut CaseRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::CaseRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A number-of-elements range for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut CaseRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates `HashSet`s of distinct elements from `element` with a
+    /// size drawn from `size` (best-effort if the element domain is too
+    /// small to reach the drawn size).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn new_value(&self, rng: &mut CaseRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Bounded attempts so a small element domain cannot loop
+            // forever; 32 tries per missing element is ample for every
+            // use in this workspace.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 32 * (target + 1) {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The test runner: config, case RNG, seed derivation, and failure type.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration, re-exported from the prelude as
+    /// `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; shrinking is not
+        /// implemented (deterministic replay pins failures instead).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the message explains which.
+        Fail(String),
+        /// The case was rejected as invalid input (never produced by
+        /// this crate's own strategies, but part of the API).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// The per-case random source handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct CaseRng {
+        state: u64,
+    }
+
+    impl CaseRng {
+        /// Creates a generator whose stream is fully determined by `seed`.
+        pub fn new(seed: u64) -> Self {
+            let mut rng = CaseRng {
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x0DDB_1A5E_5BAD_5EED),
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Derives the deterministic base seed for a test from its module
+    /// path and function name (FNV-1a), honoring the `PROPTEST_RNG_SEED`
+    /// environment override.
+    pub fn base_seed(module_path: &str, test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Some(seed) = parse_seed(s.trim()) {
+                return seed;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in module_path.bytes().chain([b':']).chain(test_name.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The seed for case number `case` under base seed `base`.
+    pub fn case_seed(base: u64, case: u32) -> u64 {
+        base.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Reads pinned regression seeds for `test_name` from
+    /// `<manifest_dir>/proptest-regressions/<test_name>.txt`.
+    ///
+    /// Lines starting with `#` are comments; other lines must read
+    /// `seed = <decimal or 0xhex>`. Missing files mean no pins.
+    pub fn regression_seeds(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+        let path = std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{test_name}.txt"));
+        let Ok(body) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        body.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let rest = line.strip_prefix("seed")?.trim_start().strip_prefix('=')?;
+                parse_seed(rest.trim())
+            })
+            .collect()
+    }
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset of upstream's this workspace uses):
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///
+///     // Inside a test module this would carry #[test]; attributes pass
+///     // through the macro unchanged. Here the runner is invoked by hand.
+///     fn my_property(x in 0..100u32, v in proptest::collection::vec(0..10u32, 0..5)) {
+///         prop_assert!(x < 100);
+///         prop_assert!(v.len() < 5);
+///     }
+/// }
+///
+/// my_property(); // runs the 16 cases
+/// ```
+///
+/// Each test runs any pinned seeds from
+/// `proptest-regressions/<test_fn_name>.txt` first, then `cases` fresh
+/// deterministic cases. Failures panic with the exact case seed and the
+/// line to check in to pin it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::base_seed(module_path!(), stringify!($name));
+                let pinned = $crate::test_runner::regression_seeds(
+                    env!("CARGO_MANIFEST_DIR"),
+                    stringify!($name),
+                );
+                let total = pinned.len() as u32 + config.cases;
+                for case in 0..total {
+                    let seed = if (case as usize) < pinned.len() {
+                        pinned[case as usize]
+                    } else {
+                        $crate::test_runner::case_seed(base, case - pinned.len() as u32)
+                    };
+                    let mut rng = $crate::test_runner::CaseRng::new(seed);
+                    $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err(err) => {
+                            panic!(
+                                "proptest case {}/{} of `{}` failed: {}\n\
+                                 reproduce / pin: add the line `seed = {:#018x}` to \
+                                 proptest-regressions/{}.txt",
+                                case + 1, total, stringify!($name), err, seed, stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (rather than panicking directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?} == {:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{base_seed, case_seed, CaseRng};
+
+    #[test]
+    fn regression_file_parsing() {
+        // The checked-in pins for `macro_roundtrip` below: one invalid
+        // line (skipped), then 42 and 0x7.
+        let seeds =
+            crate::test_runner::regression_seeds(env!("CARGO_MANIFEST_DIR"), "macro_roundtrip");
+        assert_eq!(seeds, vec![42, 7]);
+        // Missing files mean no pins, not an error.
+        let none = crate::test_runner::regression_seeds(env!("CARGO_MANIFEST_DIR"), "no_such_test");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(base_seed("a::b", "t"), base_seed("a::b", "t"));
+        assert_ne!(base_seed("a::b", "t"), base_seed("a::b", "u"));
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+    }
+
+    #[test]
+    fn strategies_draw_in_range() {
+        let mut rng = CaseRng::new(9);
+        for _ in 0..200 {
+            let v = (0..10u32).new_value(&mut rng);
+            assert!(v < 10);
+            let f = (-2.0f64..2.0).new_value(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let (a, b) = (0..5u32, 10..20usize).new_value(&mut rng);
+            assert!(a < 5 && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn collection_strategies_respect_sizes() {
+        let mut rng = CaseRng::new(3);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0..100u32, 2..6).new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s = crate::collection::hash_set(0..1000u32, 3..8).new_value(&mut rng);
+            assert!((3..8).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = CaseRng::new(5);
+        let st = (0..10u32).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = st.new_value(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0..50u32, v in crate::collection::vec(0..5u64, 0..4)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
