@@ -1,9 +1,10 @@
 //! Ablation studies for the design choices DESIGN.md §4 calls out:
 //! shuffler normalizer, cut-player strategy, packing escalation, and
-//! leaf size. Run via `cargo bench --bench ablations`.
+//! leaf size. Run via `cargo bench --bench ablations`
+//! (`-- --test` runs each ablation once at its smallest size).
 
 use congest_sim::RoundLedger;
-use expander_bench::{avg_query_rounds, section};
+use expander_bench::{avg_query_rounds, section, sizes};
 use expander_core::{Router, RouterConfig};
 use expander_decomp::{
     build_shuffler, CutStrategy, EscalationConfig, Hierarchy, HierarchyParams, ShufflerParams,
@@ -27,7 +28,7 @@ fn a1_normalizer() {
         "{:>6} {:>12} {:>8} {:>12} {:>14}",
         "n", "normalizer", "lambda", "final Π", "quality(HX)"
     );
-    for &n in &[256usize, 512] {
+    for &n in &sizes(&[256, 512]) {
         let g = generators::random_regular(n, 4, 5).expect("generator");
         let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy");
         for paper in [false, true] {
@@ -54,7 +55,7 @@ fn a1_normalizer() {
 fn a2_cut_strategy() {
     section("A2  cut player: alternate vs median-only vs RST-only");
     println!("{:>6} {:>10} {:>8} {:>12}", "n", "strategy", "lambda", "final Π");
-    for &n in &[256usize, 512] {
+    for &n in &sizes(&[256, 512]) {
         let g = generators::random_regular(n, 4, 7).expect("generator");
         let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy");
         for (name, strategy) in [
@@ -122,7 +123,7 @@ fn a4_leaf_size() {
     // ε = 0.3 gives k = 8 and parts of 128 at n = 1024, so the three
     // leaf thresholds below genuinely change the recursion depth.
     let g = generators::random_regular(1024, 4, 13).expect("generator");
-    for leaf in [48usize, 96, 192] {
+    for leaf in sizes(&[48, 96, 192]) {
         let mut cfg = RouterConfig::for_epsilon(0.3);
         cfg.hierarchy.leaf_size = Some(leaf);
         let r = Router::preprocess(&g, cfg).expect("router");

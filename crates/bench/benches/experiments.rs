@@ -3,11 +3,13 @@
 //! target sets `harness = false`; the measured quantity is *charged
 //! CONGEST rounds*, not wall-clock).
 //!
-//! Set `EXPANDER_BENCH_LARGE=1` to extend the n-sweeps (slower).
+//! Set `EXPANDER_BENCH_LARGE=1` to extend the n-sweeps to 16384
+//! (slower). `cargo bench --bench experiments -- --test` runs every
+//! experiment once at its smallest size (the CI smoke pass).
 
 use congest_sim::{path_sched, RoundLedger};
 use expander_apps::{cliques, mst, summarize};
-use expander_bench::{avg_query_rounds, build, fitted_exponent, section};
+use expander_bench::{avg_query_rounds, build, fitted_exponent, section, sizes};
 use expander_core::equivalence::{route_via_sorting, sort_via_routing};
 use expander_core::{baselines, GeneralRouter, Router, RouterConfig};
 use expander_core::{RoutingInstance, SortInstance};
@@ -16,9 +18,9 @@ use expander_graphs::{generators, metrics, Path, PathSet, SplitGraph};
 
 fn n_sweep() -> Vec<usize> {
     if std::env::var("EXPANDER_BENCH_LARGE").is_ok() {
-        vec![256, 512, 1024, 2048, 4096]
+        sizes(&[256, 512, 1024, 2048, 4096, 8192, 16384])
     } else {
-        vec![256, 512, 1024, 2048]
+        sizes(&[256, 512, 1024, 2048])
     }
 }
 
@@ -52,7 +54,11 @@ fn e1_tradeoff() {
         "n", "eps", "preprocess", "query", "ratio", "build_s"
     );
     for &n in &n_sweep() {
-        for eps in [0.3f64, 0.4, 0.5] {
+        // Above 4096 the ε sweep narrows to 0.4: the deep ε = 0.3
+        // hierarchy dominates harness wall-clock without adding
+        // information beyond the smaller sizes.
+        let eps_list: &[f64] = if n > 4096 { &[0.4] } else { &[0.3, 0.4, 0.5] };
+        for &eps in eps_list {
             let b = build(n, eps, 42);
             let pre = b.router.preprocessing_ledger().total();
             let query = avg_query_rounds(&b.router, n, 2);
@@ -136,7 +142,7 @@ fn e4_cliques() {
         // Denser graphs for k = 4, so the counts are nonzero.
         let d = if k == 3 { 6 } else { 16 };
         let mut pts = Vec::new();
-        for &n in &[128usize, 256, 512] {
+        for &n in &sizes(&[128, 256, 512]) {
             let g = generators::random_regular(n, d, 17).expect("generator");
             let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
             let out = cliques::enumerate_cliques(&router, k).expect("valid");
@@ -162,7 +168,7 @@ fn e4_cliques() {
 /// E5 (Lemmas 5.5/B.5): shuffler potential decay.
 fn e5_potential() {
     section("E5  Lemma B.5 — shuffler potential decay (root node)");
-    for &n in &[256usize, 1024] {
+    for &n in &sizes(&[256, 1024]) {
         let b = build(n, 0.4, 19);
         let h = b.router.hierarchy();
         let mut ledger = RoundLedger::new();
@@ -190,7 +196,7 @@ fn e6_hierarchy() {
         "{:>6} {:>5} {:>6} {:>6} {:>8} {:>8} {:>8} {:>10} {:>7}",
         "n", "eps", "depth", "k", "|W|/n", "rho", "maxQ", "nodes", "valid"
     );
-    for &n in &[256usize, 512, 1024] {
+    for &n in &sizes(&[256, 512, 1024]) {
         for eps in [0.3f64, 0.5] {
             let b = build(n, eps, 23);
             let h = b.router.hierarchy();
@@ -276,7 +282,7 @@ fn e8_load() {
 fn e9_sorting() {
     section("E9  Theorem 5.6 — expander sorting rounds");
     println!("{:>6} {:>3} {:>14} {:>8}", "n", "L", "rounds", "sorted");
-    for &n in &[256usize, 512, 1024] {
+    for &n in &sizes(&[256, 512, 1024]) {
         let b = build(n, 0.4, 41);
         let inst = SortInstance::random(n, 2, 43);
         let out = b.router.sort(&inst).expect("valid");
@@ -310,7 +316,7 @@ fn e10_split() {
         "{:>6} {:>8} {:>10} {:>10} {:>14}",
         "n", "splitN", "gap(G)", "gap(G⋄)", "route rounds"
     );
-    for &n in &[128usize, 256] {
+    for &n in &sizes(&[128, 256]) {
         let g = generators::hub_expander(n, 3, 59).expect("generator");
         let split = SplitGraph::build(&g, 61);
         let gap_g = metrics::spectral_gap(&g, 1);
@@ -331,7 +337,7 @@ fn e10_split() {
 /// E11 (Appendix F): equivalence overhead factors.
 fn e11_equivalence() {
     section("E11 Appendix F — routing ⇄ sorting equivalence overheads");
-    for &n in &[128usize, 256] {
+    for &n in &sizes(&[128, 256]) {
         let b = build(n, 0.4, 67);
         let sort_inst = SortInstance::random(n, 1, 71);
         let native_sort = b.router.sort(&sort_inst).expect("valid").rounds();
@@ -417,7 +423,7 @@ fn e14_decomposition() {
 fn e13_summarize() {
     section("E13 SV19 — top-k frequent elements via sorting toolbox");
     println!("{:>6} {:>14} {:>16}", "n", "rounds", "top-1 (item,cnt)");
-    for &n in &[256usize, 512] {
+    for &n in &sizes(&[256, 512]) {
         let b = build(n, 0.4, 83);
         let triples: Vec<(u32, u64, u64)> =
             (0..n as u32).map(|v| (v, if v % 4 == 0 { 7 } else { v as u64 }, 0)).collect();

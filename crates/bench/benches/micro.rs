@@ -35,6 +35,19 @@ fn bench_route_query(c: &mut Criterion) {
     c.bench_function("route_query_n512_L1", |b| b.iter(|| r.route(&inst).expect("valid")));
 }
 
+fn bench_route_query_large_l(c: &mut Criterion) {
+    // Theorem 1.1's query bound is linear in L; these pin the measured
+    // wall-clock of the batched hot path at L = 8 and L = 32.
+    let g = generators::random_regular(512, 4, 7).expect("generator");
+    let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    for l in [8usize, 32] {
+        let inst = RoutingInstance::uniform_load(512, l, 15);
+        c.bench_function(&format!("route_query_n512_L{l}"), |b| {
+            b.iter(|| r.route(&inst).expect("valid"))
+        });
+    }
+}
+
 fn bench_sort_query(c: &mut Criterion) {
     let g = generators::random_regular(512, 4, 11).expect("generator");
     let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
@@ -68,6 +81,7 @@ criterion_group! {
         bench_hierarchy_build,
         bench_shuffler_build,
         bench_route_query,
+        bench_route_query_large_l,
         bench_sort_query,
         bench_spectral_gap,
         bench_path_packing

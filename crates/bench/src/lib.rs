@@ -63,6 +63,26 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Whether the harness was invoked in smoke mode
+/// (`cargo bench -- --test`): run every experiment once at its
+/// smallest size so CI exercises the code without paying for the
+/// sweeps. Delegates to the vendored criterion's flag handling so the
+/// `harness = false` targets and the criterion targets agree on what
+/// counts as test mode.
+pub fn smoke_mode() -> bool {
+    criterion::test_mode()
+}
+
+/// A size list respecting [`smoke_mode`]: the full list normally, just
+/// its first entry under `-- --test`.
+pub fn sizes(full: &[usize]) -> Vec<usize> {
+    if smoke_mode() {
+        full[..1].to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

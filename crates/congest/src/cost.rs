@@ -20,9 +20,14 @@ pub fn route_once(paths: &PathSet) -> u64 {
 /// Rounds to send up to `per_path` tokens along every path of `paths`:
 /// the congestion term scales with the batch size.
 pub fn route_batched(paths: &PathSet, per_path: u64) -> u64 {
-    let c = paths.congestion() as u64;
-    let d = paths.dilation() as u64;
-    c.saturating_mul(per_path).saturating_mul(d)
+    route_batched_cd(paths.congestion() as u64, paths.dilation() as u64, per_path)
+}
+
+/// [`route_batched`] from already-measured congestion and dilation, for
+/// callers that account paths densely (e.g. edge-id arenas) instead of
+/// materializing a [`PathSet`].
+pub fn route_batched_cd(congestion: u64, dilation: u64, per_path: u64) -> u64 {
+    congestion.saturating_mul(per_path).saturating_mul(dilation)
 }
 
 /// Rounds to simulate `rounds` rounds of a virtual graph embedded with

@@ -14,7 +14,7 @@
 use crate::network::{odd_even_layers, EmbeddedNetwork};
 use congest_sim::cost;
 use expander_decomp::{Hierarchy, NodeId, Shuffler};
-use expander_graphs::Embedding;
+use expander_graphs::FlatPaths;
 
 /// Per-node unit costs (rounds per unit load) for the charged
 /// subroutines.
@@ -43,12 +43,12 @@ impl CostModel {
     /// Builds the model bottom-up over the hierarchy.
     ///
     /// `shufflers`, `rounds_flat` (flattened per-iteration matching
-    /// embeddings), `leaf_nets`, and `mstar_sq` are indexed by
+    /// path arenas), `leaf_nets`, and `mstar_sq` are indexed by
     /// [`NodeId`].
     pub fn build(
         h: &Hierarchy,
         shufflers: &[Option<Shuffler>],
-        rounds_flat: &[Vec<Embedding>],
+        rounds_flat: &[Vec<FlatPaths>],
         leaf_nets: &[Option<EmbeddedNetwork>],
         mstar_sq: Vec<u64>,
     ) -> CostModel {
@@ -84,8 +84,10 @@ impl CostModel {
             let lambda = shufflers[id].as_ref().map_or(1, Shuffler::len) as u64;
             // Shuffler move cost at the Lemma 6.6 per-portal batch
             // (19L tokens pile up at portals in the worst iteration).
-            let move_unit: u64 =
-                rounds_flat[id].iter().map(|e| cost::route_batched(&e.to_path_set(), 19)).sum();
+            let move_unit: u64 = rounds_flat[id]
+                .iter()
+                .map(|fp| cost::route_batched_cd(fp.congestion() as u64, fp.dilation() as u64, 19))
+                .sum();
             model.move_unit[id] = move_unit;
             let child_tsort = nd.parts.iter().map(|p| model.tsort_unit[p.child]).max().unwrap_or(1);
             let child_t2 = nd.parts.iter().map(|p| model.t2_unit[p.child]).max().unwrap_or(1);

@@ -10,27 +10,40 @@
 //! units and their net effect (balanced portal placement, real/dummy
 //! pairing) is applied directly; the meet-in-the-middle correctness
 //! argument is §6.2–§6.3's.
+//!
+//! The hot path runs entirely on dense integer ids: paths are walked
+//! through [`FlatPaths`] edge-id arenas, congestion is accumulated in
+//! [`FlatMoveCost`]'s flat vectors, and token grouping uses counting
+//! sort over `part · t + mark` keys — all backed by a per-query
+//! scratch (`Scratch`) so the steady-state dispersal round loop
+//! performs no heap allocation and iterates in deterministic order.
 
 use crate::router::Router;
 use crate::token::{QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::RoundLedger;
 use expander_decomp::NodeId;
-use expander_graphs::Path;
-use std::collections::{BTreeMap, HashMap};
+use expander_graphs::{FlatPaths, Graph, Path};
+use std::collections::HashMap;
 
 /// Measured movement cost accumulator: `max edge load × max hops`.
+///
+/// Reference implementation keyed by normalized vertex pairs. The query
+/// hot path uses [`FlatMoveCost`] instead; this form is kept as the
+/// equivalence oracle for the property tests.
 #[derive(Debug, Default)]
-pub(crate) struct MoveCost {
+pub struct MoveCost {
     edge_load: HashMap<(u32, u32), u64>,
     max_hops: u64,
 }
 
 impl MoveCost {
-    pub(crate) fn new() -> Self {
+    /// An empty accumulator.
+    pub fn new() -> Self {
         MoveCost::default()
     }
 
-    pub(crate) fn add(&mut self, p: &Path, times: u64) {
+    /// Charges `times` traversals of `p`.
+    pub fn add(&mut self, p: &Path, times: u64) {
         if p.hops() == 0 || times == 0 {
             return;
         }
@@ -40,9 +53,129 @@ impl MoveCost {
         self.max_hops = self.max_hops.max(p.hops() as u64);
     }
 
-    pub(crate) fn cost(&self) -> u64 {
+    /// The accumulated `congestion × dilation` bound.
+    pub fn cost(&self) -> u64 {
         let c = self.edge_load.values().copied().max().unwrap_or(0);
         c * self.max_hops
+    }
+}
+
+/// Dense movement cost accumulator over a graph's canonical edge-id
+/// space (see [`Graph::edge_id`]).
+///
+/// Load lives in a reusable `Vec<u64>` indexed by edge id; a touched
+/// list makes [`reset`](FlatMoveCost::reset) cost `O(touched)` rather
+/// than `O(m)`, so one accumulator serves every dispersal round of a
+/// query without reallocation. Produces exactly the same
+/// `max load × max hops` value as the [`MoveCost`] reference.
+#[derive(Debug, Clone)]
+pub struct FlatMoveCost {
+    edge_load: Vec<u64>,
+    touched: Vec<u32>,
+    max_hops: u64,
+}
+
+impl FlatMoveCost {
+    /// An empty accumulator over `edge_space` edge ids.
+    pub fn new(edge_space: usize) -> Self {
+        FlatMoveCost { edge_load: vec![0; edge_space], touched: Vec::new(), max_hops: 0 }
+    }
+
+    /// Clears all accumulated load in `O(touched)`.
+    pub fn reset(&mut self) {
+        for &e in &self.touched {
+            self.edge_load[e as usize] = 0;
+        }
+        self.touched.clear();
+        self.max_hops = 0;
+    }
+
+    /// Charges `times` traversals of the edge-id sequence `ids`
+    /// (one path of `ids.len()` hops).
+    pub fn add_edge_ids(&mut self, ids: &[u32], times: u64) {
+        if ids.is_empty() || times == 0 {
+            return;
+        }
+        for &e in ids {
+            if self.edge_load[e as usize] == 0 {
+                self.touched.push(e);
+            }
+            self.edge_load[e as usize] += times;
+        }
+        self.max_hops = self.max_hops.max(ids.len() as u64);
+    }
+
+    /// Charges `times` traversals of path `i` of `paths`.
+    pub fn add_flat(&mut self, paths: &FlatPaths, i: usize, times: u64) {
+        self.add_edge_ids(paths.edge_ids(i), times);
+    }
+
+    /// Charges `times` traversals of an explicit path, resolving edge
+    /// ids through `g` (used by the cold fallback legs only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some hop of `p` is not an edge of `g`.
+    pub fn add_path(&mut self, g: &Graph, p: &Path, times: u64) {
+        if p.hops() == 0 || times == 0 {
+            return;
+        }
+        for w in p.vertices().windows(2) {
+            let e = g.edge_id(w[0], w[1]).expect("path hop outside the graph");
+            if self.edge_load[e as usize] == 0 {
+                self.touched.push(e);
+            }
+            self.edge_load[e as usize] += times;
+        }
+        self.max_hops = self.max_hops.max(p.hops() as u64);
+    }
+
+    /// The accumulated `congestion × dilation` bound.
+    pub fn cost(&self) -> u64 {
+        let c = self.touched.iter().map(|&e| self.edge_load[e as usize]).max().unwrap_or(0);
+        c * self.max_hops
+    }
+}
+
+/// Counting-sort buckets over dense keys: stable within a key, keys
+/// iterated in increasing order — the deterministic replacement for the
+/// per-round `HashMap<(part, mark), Vec<_>>` builds.
+#[derive(Debug, Default)]
+struct DenseGroups {
+    keys: Vec<u32>,
+    start: Vec<u32>,
+    cursor: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl DenseGroups {
+    /// Rebuilds the buckets from one key per item; reuses capacity, so
+    /// steady-state rebuilds allocate nothing.
+    fn build(&mut self, n_keys: usize, item_keys: impl Iterator<Item = u32>) {
+        self.keys.clear();
+        self.keys.extend(item_keys);
+        self.start.clear();
+        self.start.resize(n_keys + 1, 0);
+        for &k in &self.keys {
+            self.start[k as usize + 1] += 1;
+        }
+        for i in 0..n_keys {
+            self.start[i + 1] += self.start[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.start[..n_keys]);
+        self.items.clear();
+        self.items.resize(self.keys.len(), 0);
+        for (idx, &k) in self.keys.iter().enumerate() {
+            let slot = &mut self.cursor[k as usize];
+            self.items[*slot as usize] = idx as u32;
+            *slot += 1;
+        }
+    }
+
+    /// Item indices carrying `key`, in insertion order.
+    fn group(&self, key: usize) -> &[u32] {
+        &self.items[self.start[key] as usize..self.start[key + 1] as usize]
     }
 }
 
@@ -59,6 +192,82 @@ impl Flock {
     fn len(&self) -> usize {
         self.pos.len()
     }
+
+    fn clear(&mut self) {
+        self.pos.clear();
+        self.mark.clear();
+        self.origin.clear();
+    }
+}
+
+/// Reusable query buffers, allocated once in [`Exec::new`] and reused
+/// across every `disperse`/`merge`/`task2` round: dense per-vertex load
+/// counters, counting-sort group buckets, per-part load vectors, flat
+/// movement-cost accumulators, and the flock position arrays.
+#[derive(Debug)]
+struct Scratch {
+    /// Dense per-vertex token counts plus the touched list that resets
+    /// them in `O(touched)`.
+    vertex_load: Vec<u64>,
+    vertex_touched: Vec<u32>,
+    /// Per-part observed load, sized to the widest node.
+    part_load: Vec<u64>,
+    /// Token groups keyed `part · t + mark` (reals / leaf targets).
+    groups: DenseGroups,
+    /// Second bucket set for the dummy flock during merges.
+    dgroups: DenseGroups,
+    /// Movement-cost accumulators (main + fallback legs).
+    mc: FlatMoveCost,
+    fallback_mc: FlatMoveCost,
+    /// Flock buffers, taken/returned around each Task 3 call.
+    real: Flock,
+    dummy: Flock,
+    /// Round-robin fallback cursors per part.
+    fallback_rr: Vec<usize>,
+    /// Dispersion-envelope counters (`t × t` and `t`).
+    env_count: Vec<f64>,
+    env_tot: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(r: &Router) -> Scratch {
+        let edge_space = r.graph.edge_id_count();
+        Scratch {
+            vertex_load: vec![0; r.graph.n()],
+            vertex_touched: Vec::new(),
+            part_load: vec![0; r.max_parts],
+            groups: DenseGroups::default(),
+            dgroups: DenseGroups::default(),
+            mc: FlatMoveCost::new(edge_space),
+            fallback_mc: FlatMoveCost::new(edge_space),
+            real: Flock::default(),
+            dummy: Flock::default(),
+            fallback_rr: vec![0; r.max_parts],
+            env_count: Vec::new(),
+            env_tot: Vec::new(),
+        }
+    }
+
+    /// Counts one token at vertex `v`.
+    fn bump_vertex(&mut self, v: u32) {
+        if self.vertex_load[v as usize] == 0 {
+            self.vertex_touched.push(v);
+        }
+        self.vertex_load[v as usize] += 1;
+    }
+
+    /// Maximum per-vertex count since the last reset.
+    fn max_vertex_load(&self) -> u64 {
+        self.vertex_touched.iter().map(|&v| self.vertex_load[v as usize]).max().unwrap_or(0)
+    }
+
+    /// Clears the per-vertex counts in `O(touched)`.
+    fn reset_vertices(&mut self) {
+        for &v in &self.vertex_touched {
+            self.vertex_load[v as usize] = 0;
+        }
+        self.vertex_touched.clear();
+    }
 }
 
 /// One query execution over a preprocessed [`Router`].
@@ -68,6 +277,7 @@ pub(crate) struct Exec<'r> {
     stats: QueryStats,
     pos: Vec<u32>,
     marker: Vec<u32>,
+    scratch: Scratch,
 }
 
 impl<'r> Exec<'r> {
@@ -78,6 +288,7 @@ impl<'r> Exec<'r> {
             stats: QueryStats::default(),
             pos: Vec::new(),
             marker: Vec::new(),
+            scratch: Scratch::new(r),
         }
     }
 
@@ -104,17 +315,15 @@ impl<'r> Exec<'r> {
         self.ledger.charge("query/translate", self.r.cost.tsort(root, load));
 
         // Ingress: tokens starting outside W hop in along Mroot.
-        let mroot_map: HashMap<u32, usize> =
-            hier.mroot().iter().enumerate().map(|(i, &(o, _))| (o, i)).collect();
-        let mut mc = MoveCost::new();
+        self.scratch.mc.reset();
         for i in 0..self.pos.len() {
-            if let Some(&idx) = mroot_map.get(&self.pos[i]) {
-                let p = hier.mroot_embedding().path(idx);
-                mc.add(p, 1);
-                self.pos[i] = p.target();
+            let idx = self.r.mroot_of[self.pos[i] as usize];
+            if idx != u32::MAX {
+                self.scratch.mc.add_flat(&self.r.mroot_flat, idx as usize, 1);
+                self.pos[i] = self.r.mroot_flat.target(idx as usize);
             }
         }
-        self.ledger.charge("query/ingress", mc.cost());
+        self.ledger.charge("query/ingress", self.scratch.mc.cost());
 
         // Markers: rank of the destination's delegate in the root best
         // set.
@@ -138,20 +347,14 @@ impl<'r> Exec<'r> {
 
         // Egress: reversed delegate chains deliver to the final
         // destinations (the precomputed all-to-best routes, reversed).
-        let mut mc = MoveCost::new();
+        self.scratch.mc.reset();
         for (i, t) in inst.tokens.iter().enumerate() {
-            let c = &self.r.chain[t.dst as usize];
-            mc.add(c, 1);
+            self.scratch.mc.add_flat(&self.r.chain_flat, t.dst as usize, 1);
             self.pos[i] = t.dst;
         }
-        self.ledger.charge("query/delivery", mc.cost());
+        self.ledger.charge("query/delivery", self.scratch.mc.cost());
 
-        RoutingOutcome {
-            positions: self.pos.clone(),
-            destinations,
-            ledger: self.ledger,
-            stats: self.stats,
-        }
+        RoutingOutcome { positions: self.pos, destinations, ledger: self.ledger, stats: self.stats }
     }
 
     /// Expander sorting (Theorem 5.6): chains to the best set, a
@@ -165,18 +368,16 @@ impl<'r> Exec<'r> {
             return SortOutcome { positions: Vec::new(), ledger: self.ledger };
         }
         let total = inst.tokens.len();
-        let load = inst.load(n).max(1);
         self.pos = inst.tokens.iter().map(|t| t.src).collect();
 
         // Step 1: forward chains into X_best (load-balanced by the
         // bounded delegate fan-in).
-        let mut mc = MoveCost::new();
+        self.scratch.mc.reset();
         for (i, t) in inst.tokens.iter().enumerate() {
-            let c = &self.r.chain[t.src as usize];
-            mc.add(c, 1);
+            self.scratch.mc.add_flat(&self.r.chain_flat, t.src as usize, 1);
             self.pos[i] = self.r.delegate[t.src as usize];
         }
-        self.ledger.charge("query/sort/to-best", mc.cost());
+        self.ledger.charge("query/sort/to-best", self.scratch.mc.cost());
 
         // Step 2: the precomputed routable network over X_best
         // (§6.4 / Theorem 5.6 proof). Effect: a stable global sort
@@ -213,16 +414,14 @@ impl<'r> Exec<'r> {
             owner.iter().map(|&w| self.r.best_rank[self.r.delegate[w as usize] as usize]).collect();
         let toks: Vec<usize> = (0..total).collect();
         self.task2(root, toks);
-        let mut mc = MoveCost::new();
+        self.scratch.mc.reset();
         for (i, &w) in owner.iter().enumerate() {
-            let c = &self.r.chain[w as usize];
-            mc.add(c, 1);
+            self.scratch.mc.add_flat(&self.r.chain_flat, w as usize, 1);
             self.pos[i] = w;
         }
-        self.ledger.charge("query/sort/delivery", mc.cost());
-        let _ = load;
+        self.ledger.charge("query/sort/delivery", self.scratch.mc.cost());
 
-        SortOutcome { positions: self.pos.clone(), ledger: self.ledger }
+        SortOutcome { positions: self.pos, ledger: self.ledger }
     }
 
     /// Task 2 (Definition 4.2): route token `t` to the `marker[t]`-th
@@ -235,13 +434,13 @@ impl<'r> Exec<'r> {
         if nd.is_leaf() {
             // §6.4: three meet-in-the-middle passes over the
             // precomputed leaf network; effect: exact delivery by rank.
-            let mut per_target: HashMap<u32, u64> = HashMap::new();
             for &t in &toks {
                 let target = nd.vertices[self.marker[t] as usize];
                 self.pos[t] = target;
-                *per_target.entry(target).or_insert(0) += 1;
+                self.scratch.bump_vertex(target);
             }
-            let lc = per_target.values().copied().max().unwrap_or(1);
+            let lc = self.scratch.max_vertex_load().max(1);
+            self.scratch.reset_vertices();
             self.ledger.charge("query/task2/leaf", 6 * lc * self.r.cost.leafnet_unit[node]);
             self.stats.charged_sorts += 3;
             return;
@@ -275,19 +474,19 @@ impl<'r> Exec<'r> {
 
         // M* hop: tokens that landed on bad vertices follow the
         // matching into the good child (Property 3.1(3)).
-        let mut mc = MoveCost::new();
+        self.scratch.mc.reset();
         for (ti, &t) in toks.iter().enumerate() {
             let j = marks[ti] as usize;
             let v = self.pos[t];
             let child = self.r.hier.node(nd.parts[j].child);
             if child.vertices.binary_search(&v).is_err() {
-                let ei = self.r.mstar_lookup[node][j][&v];
-                let p = self.r.mstar_flat[node][j].path(ei);
-                mc.add(p, 1);
-                self.pos[t] = p.target();
+                let ei = self.r.mstar_edge[node][v as usize] as usize;
+                let fp = &self.r.mstar_flat[node][j];
+                self.scratch.mc.add_flat(fp, ei, 1);
+                self.pos[t] = fp.target(ei);
             }
         }
-        self.ledger.charge("query/task2/mstar", mc.cost());
+        self.ledger.charge("query/task2/mstar", self.scratch.mc.cost());
 
         // Recurse per part.
         let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); nd.parts.len()];
@@ -304,24 +503,25 @@ impl<'r> Exec<'r> {
     fn task3(&mut self, node: NodeId, toks: &[usize], marks: &[u16]) {
         self.stats.task3_calls += 1;
         let nd = self.r.hier.node(node);
-        let t = nd.part_count();
         // L: max real load on any vertex of X.
-        let mut per_vertex: HashMap<u32, u64> = HashMap::new();
         for &tk in toks {
-            *per_vertex.entry(self.pos[tk]).or_insert(0) += 1;
+            self.scratch.bump_vertex(self.pos[tk]);
         }
-        let l = per_vertex.values().copied().max().unwrap_or(1).max(1);
+        let l = self.scratch.max_vertex_load().max(1);
+        self.scratch.reset_vertices();
 
-        // Disperse the real tokens.
-        let mut real = Flock {
-            pos: toks.iter().map(|&tk| self.pos[tk]).collect(),
-            mark: marks.to_vec(),
-            origin: Vec::new(),
-        };
+        // Disperse the real tokens. The flock buffers live in the
+        // scratch; take them out for the duration of this call (the
+        // recursion below only starts after they are returned).
+        let mut real = std::mem::take(&mut self.scratch.real);
+        real.clear();
+        real.pos.extend(toks.iter().map(|&tk| self.pos[tk]));
+        real.mark.extend_from_slice(marks);
         let _cost_real = self.disperse(node, &mut real, true);
 
         // Dummies: 2L per vertex of X*_j, marked j, born at home.
-        let mut dummy = Flock::default();
+        let mut dummy = std::mem::take(&mut self.scratch.dummy);
+        dummy.clear();
         for (j, part) in nd.parts.iter().enumerate() {
             for &v in &part.all {
                 for _ in 0..2 * l {
@@ -342,123 +542,135 @@ impl<'r> Exec<'r> {
         for (i, &tk) in toks.iter().enumerate() {
             self.pos[tk] = real.pos[i];
         }
-        let _ = t;
+        self.scratch.real = real;
+        self.scratch.dummy = dummy;
     }
 
     /// Lazy-walk dispersal over the node's shuffler (§6.1, Lemma 6.2).
     /// Returns the charged movement cost.
+    ///
+    /// The round loop is allocation-free in the steady state: grouping,
+    /// per-vertex loads, per-part loads, and congestion accounting all
+    /// reuse [`Scratch`](struct@Scratch) buffers, and every iteration
+    /// order is dense-index ascending (deterministic by construction).
     fn disperse(&mut self, node: NodeId, flock: &mut Flock, check: bool) -> u64 {
-        let nd = self.r.hier.node(node);
+        let Exec { r, ledger, stats, scratch, .. } = self;
+        let r = *r;
+        let nd = r.hier.node(node);
         let t = nd.part_count();
-        let sh = self.r.shufflers[node].as_ref().expect("internal node has shuffler");
-        let part_of = &self.r.part_of[node];
+        let sh = r.shufflers[node].as_ref().expect("internal node has shuffler");
+        let part_of = &r.part_of[node];
+        let lambda = sh.rounds.len();
+        if stats.max_load_trace.len() < lambda {
+            stats.max_load_trace.resize(lambda, 0);
+        }
         let mut total_cost = 0u64;
 
-        for (q, round) in sh.rounds.iter().enumerate() {
+        for q in 0..lambda {
+            let flat = &r.rounds_flat[node][q];
+            let table = &r.round_tables[node][q];
             // Group token indices by (current part, mark).
-            let mut groups: HashMap<(u16, u16), Vec<usize>> = HashMap::new();
-            for idx in 0..flock.len() {
-                let p = part_of[flock.pos[idx] as usize];
-                debug_assert!(p != u16::MAX, "token strayed outside the node");
-                groups.entry((p, flock.mark[idx])).or_default().push(idx);
-            }
+            scratch.groups.build(
+                t * t,
+                flock.pos.iter().zip(&flock.mark).map(|(&pos, &mark)| {
+                    let p = part_of[pos as usize];
+                    debug_assert!(p != u16::MAX, "token strayed outside the node");
+                    u32::from(p) * t as u32 + u32::from(mark)
+                }),
+            );
             // Portal routing (§6.2): charged as two expander sorts per
             // part at the part's current load.
-            let mut part_load: Vec<u64> = vec![0; t];
-            {
-                let mut per_vertex: HashMap<u32, u64> = HashMap::new();
-                for idx in 0..flock.len() {
-                    *per_vertex.entry(flock.pos[idx]).or_insert(0) += 1;
-                }
-                for (&v, &cnt) in &per_vertex {
-                    let p = part_of[v as usize] as usize;
-                    part_load[p] = part_load[p].max(cnt);
-                }
+            for pl in &mut scratch.part_load[..t] {
+                *pl = 0;
             }
+            for &pos in &flock.pos {
+                scratch.bump_vertex(pos);
+            }
+            for &v in &scratch.vertex_touched {
+                let p = part_of[v as usize] as usize;
+                scratch.part_load[p] = scratch.part_load[p].max(scratch.vertex_load[v as usize]);
+            }
+            scratch.reset_vertices();
             // Parts are parallel CONGEST instances: the round cost of
             // the per-part portal sorts is the worst part, not the sum.
             let mut portal_charge = 0u64;
             for (j, part) in nd.parts.iter().enumerate() {
-                if part_load[j] > 0 {
+                if scratch.part_load[j] > 0 {
                     portal_charge =
-                        portal_charge.max(2 * part_load[j] * self.r.cost.tsort_unit[part.child]);
-                    self.stats.charged_sorts += 2;
+                        portal_charge.max(2 * scratch.part_load[j] * r.cost.tsort_unit[part.child]);
+                    stats.charged_sorts += 2;
                 }
             }
-            self.ledger.charge("query/task3/portal", portal_charge);
+            ledger.charge("query/task3/portal", portal_charge);
 
             // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j.
-            let mut mc = MoveCost::new();
-            let flat = &self.r.rounds_flat[node][q];
-            let index = &self.r.portal_index[node][q];
-            for ((i, _l), idxs) in &groups {
-                let i_us = *i as usize;
-                let mut cursor = 0usize;
-                for j in 0..t {
-                    if j == i_us {
+            scratch.mc.reset();
+            for i in 0..t {
+                for l in 0..t {
+                    let idxs = scratch.groups.group(i * t + l);
+                    if idxs.is_empty() {
                         continue;
                     }
-                    let m_ij = round.fractional[i_us][j];
-                    if m_ij <= 0.0 {
-                        continue;
-                    }
-                    let cnt = (m_ij / 2.0 * idxs.len() as f64).floor() as usize;
-                    if cnt == 0 {
-                        continue;
-                    }
-                    let Some(edges) = index.get(&(*i, j as u16)) else { continue };
-                    for c in 0..cnt {
-                        if cursor >= idxs.len() {
-                            break;
+                    let mut cursor = 0usize;
+                    for entry in table.row(i) {
+                        let cnt = (entry.m_ij / 2.0 * idxs.len() as f64).floor() as usize;
+                        if cnt == 0 {
+                            continue;
                         }
-                        let idx = idxs[cursor];
-                        cursor += 1;
-                        let ei = edges[c % edges.len()] as usize;
-                        let p = flat.path(ei);
-                        let (pa, _pb) = round.endpoint_parts[ei];
-                        // Orient the path from part i towards part j.
-                        let target = if pa == i_us { p.target() } else { p.source() };
-                        mc.add(p, 1);
-                        flock.pos[idx] = target;
+                        let refs = table.edge_refs(entry);
+                        debug_assert!(!refs.is_empty(), "portal entry without edges");
+                        for c in 0..cnt {
+                            if cursor >= idxs.len() {
+                                break;
+                            }
+                            let idx = idxs[cursor] as usize;
+                            cursor += 1;
+                            let packed = refs[c % refs.len()];
+                            let ei = (packed >> 1) as usize;
+                            // Orient the path from part i towards part j.
+                            let target =
+                                if packed & 1 == 1 { flat.source(ei) } else { flat.target(ei) };
+                            scratch.mc.add_flat(flat, ei, 1);
+                            flock.pos[idx] = target;
+                        }
                     }
                 }
             }
-            total_cost += mc.cost();
+            total_cost += scratch.mc.cost();
 
             // Lemma 6.6 load trace.
-            let mut per_vertex: HashMap<u32, u64> = HashMap::new();
-            for idx in 0..flock.len() {
-                *per_vertex.entry(flock.pos[idx]).or_insert(0) += 1;
+            for &pos in &flock.pos {
+                scratch.bump_vertex(pos);
             }
-            let max_load = per_vertex.values().copied().max().unwrap_or(0) as usize;
-            if self.stats.max_load_trace.len() <= q {
-                self.stats.max_load_trace.resize(q + 1, 0);
-            }
-            self.stats.max_load_trace[q] = self.stats.max_load_trace[q].max(max_load);
+            let max_load = scratch.max_vertex_load() as usize;
+            scratch.reset_vertices();
+            stats.max_load_trace[q] = stats.max_load_trace[q].max(max_load);
         }
-        self.ledger.charge("query/task3/disperse", total_cost);
+        ledger.charge("query/task3/disperse", total_cost);
 
         // Lemma 6.2 dispersion envelope check.
         if check && t >= 2 {
             let lambda = sh.rounds.len() as f64;
             let err = sh.final_potential().sqrt();
-            let mut count = vec![vec![0f64; t]; t];
-            let mut totals = vec![0f64; t];
+            scratch.env_count.clear();
+            scratch.env_count.resize(t * t, 0.0);
+            scratch.env_tot.clear();
+            scratch.env_tot.resize(t, 0.0);
             for idx in 0..flock.len() {
                 let p = part_of[flock.pos[idx] as usize] as usize;
                 let l = flock.mark[idx] as usize;
-                count[p][l] += 1.0;
-                totals[l] += 1.0;
+                scratch.env_count[p * t + l] += 1.0;
+                scratch.env_tot[l] += 1.0;
             }
-            for row in &count {
-                for (l, &tot) in totals.iter().enumerate() {
+            for p in 0..t {
+                for (l, &tot) in scratch.env_tot.iter().enumerate() {
                     if tot == 0.0 {
                         continue;
                     }
-                    self.stats.dispersion_checked += 1;
+                    stats.dispersion_checked += 1;
                     let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
-                    if row[l] > bound {
-                        self.stats.dispersion_violations += 1;
+                    if scratch.env_count[p * t + l] > bound {
+                        stats.dispersion_violations += 1;
                     }
                 }
             }
@@ -469,74 +681,77 @@ impl<'r> Exec<'r> {
     /// §6.3: pair reals with dummies per (part, mark); dummies escort
     /// reals to their birth vertices. Reals that exceed the local dummy
     /// supply (small-`n` slack, DESIGN.md substitution 6) fall back to
-    /// explicit shortest paths, measured and counted.
+    /// explicit shortest paths, measured and counted. Group iteration
+    /// runs in ascending dense-key order — the fallback round-robin
+    /// counters are shared across groups with the same mark, so the
+    /// order must be deterministic or target choices (and charged
+    /// costs) vary run to run.
     fn merge(&mut self, node: NodeId, real: &mut Flock, dummy: &Flock) {
-        let nd = self.r.hier.node(node);
+        let Exec { r, ledger, stats, scratch, .. } = self;
+        let r = *r;
+        let nd = r.hier.node(node);
         let t = nd.part_count();
-        let part_of = &self.r.part_of[node];
+        let part_of = &r.part_of[node];
 
-        let mut dummies_by: HashMap<(u16, u16), Vec<usize>> = HashMap::new();
-        for d in 0..dummy.len() {
-            let p = part_of[dummy.pos[d] as usize];
-            dummies_by.entry((p, dummy.mark[d])).or_default().push(d);
-        }
-        // BTreeMap: the fallback round-robin counters below are shared
-        // across groups with the same mark, so iteration order must be
-        // deterministic or target choices (and charged costs) vary
-        // run to run.
-        let mut reals_by: BTreeMap<(u16, u16), Vec<usize>> = BTreeMap::new();
-        for i in 0..real.len() {
-            let p = part_of[real.pos[i] as usize];
-            reals_by.entry((p, real.mark[i])).or_default().push(i);
-        }
+        let key_of =
+            |pos: u32, mark: u16| u32::from(part_of[pos as usize]) * t as u32 + u32::from(mark);
+        scratch
+            .dgroups
+            .build(t * t, dummy.pos.iter().zip(&dummy.mark).map(|(&p, &m)| key_of(p, m)));
+        scratch.groups.build(t * t, real.pos.iter().zip(&real.mark).map(|(&p, &m)| key_of(p, m)));
 
         // Merge-sort charge per part at its observed load.
-        let mut part_load = vec![0u64; t];
-        {
-            let mut per_vertex: HashMap<u32, u64> = HashMap::new();
-            for i in 0..real.len() {
-                *per_vertex.entry(real.pos[i]).or_insert(0) += 1;
-            }
-            for d in 0..dummy.len() {
-                *per_vertex.entry(dummy.pos[d]).or_insert(0) += 1;
-            }
-            for (&v, &cnt) in &per_vertex {
-                let p = part_of[v as usize] as usize;
-                part_load[p] = part_load[p].max(cnt);
-            }
+        for pl in &mut scratch.part_load[..t] {
+            *pl = 0;
         }
+        for &pos in real.pos.iter().chain(&dummy.pos) {
+            scratch.bump_vertex(pos);
+        }
+        for &v in &scratch.vertex_touched {
+            let p = part_of[v as usize] as usize;
+            scratch.part_load[p] = scratch.part_load[p].max(scratch.vertex_load[v as usize]);
+        }
+        scratch.reset_vertices();
         // Parallel per-part sorts: charge the worst part.
         let mut merge_charge = 0u64;
         for (j, part) in nd.parts.iter().enumerate() {
-            if part_load[j] > 0 {
-                merge_charge = merge_charge.max(part_load[j] * self.r.cost.tsort_unit[part.child]);
-                self.stats.charged_sorts += 1;
+            if scratch.part_load[j] > 0 {
+                merge_charge =
+                    merge_charge.max(scratch.part_load[j] * r.cost.tsort_unit[part.child]);
+                stats.charged_sorts += 1;
             }
         }
-        self.ledger.charge("query/task3/merge", merge_charge);
+        ledger.charge("query/task3/merge", merge_charge);
 
-        let mut fallback_mc = MoveCost::new();
-        let mut fallback_rr = vec![0usize; t];
-        for ((p, l), reals) in reals_by {
-            let dummies = dummies_by.get(&(p, l)).map(Vec::as_slice).unwrap_or(&[]);
+        scratch.fallback_mc.reset();
+        for rr in &mut scratch.fallback_rr[..t] {
+            *rr = 0;
+        }
+        for key in 0..t * t {
+            let reals = scratch.groups.group(key);
+            if reals.is_empty() {
+                continue;
+            }
+            let dummies = scratch.dgroups.group(key);
             for (k, &ri) in reals.iter().enumerate() {
+                let ri = ri as usize;
                 if k < dummies.len() {
-                    real.pos[ri] = dummy.origin[dummies[k]];
+                    real.pos[ri] = dummy.origin[dummies[k] as usize];
                 } else {
                     // Fallback: not enough dummies landed here.
-                    let lp = l as usize;
+                    let lp = key % t;
                     let target_part = &nd.parts[lp].all;
-                    let target = target_part[fallback_rr[lp] % target_part.len()];
-                    fallback_rr[lp] += 1;
-                    if let Some(path) = self.r.graph.shortest_path(real.pos[ri], target) {
-                        fallback_mc.add(&Path::new(path), 1);
+                    let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
+                    scratch.fallback_rr[lp] += 1;
+                    if let Some(path) = r.graph.shortest_path(real.pos[ri], target) {
+                        scratch.fallback_mc.add_path(&r.graph, &Path::new(path), 1);
                     }
                     real.pos[ri] = target;
-                    self.stats.fallback_tokens += 1;
+                    stats.fallback_tokens += 1;
                 }
             }
         }
-        self.ledger.charge("query/task3/fallback", fallback_mc.cost());
+        ledger.charge("query/task3/fallback", scratch.fallback_mc.cost());
 
         // Postcondition: every real token is inside its marked part.
         debug_assert!((0..real.len()).all(|i| { part_of[real.pos[i] as usize] == real.mark[i] }));
@@ -659,5 +874,42 @@ mod tests {
         mc.add(&Path::new(vec![3, 1]), 1);
         // Edge (0,1) load 2, (1,2) load 2, (1,3) load 1; hops max 2.
         assert_eq!(mc.cost(), 4);
+    }
+
+    #[test]
+    fn flat_move_cost_matches_reference() {
+        let g = generators::random_regular(64, 4, 11).expect("generator");
+        let paths: Vec<Path> =
+            (0..32u32).map(|v| Path::new(g.shortest_path(v, 63 - v).expect("connected"))).collect();
+        let fp = expander_graphs::FlatPaths::from_paths(&g, paths.iter());
+        let mut reference = MoveCost::new();
+        let mut flat = FlatMoveCost::new(g.edge_id_count());
+        for (i, p) in paths.iter().enumerate() {
+            let times = (i % 3) as u64; // exercise the times == 0 skip
+            reference.add(p, times);
+            flat.add_flat(&fp, i, times);
+        }
+        assert_eq!(flat.cost(), reference.cost());
+        // Reset truly clears: a fresh accumulation matches again.
+        flat.reset();
+        assert_eq!(flat.cost(), 0);
+        flat.add_flat(&fp, 0, 5);
+        let mut fresh = MoveCost::new();
+        fresh.add(&paths[0], 5);
+        assert_eq!(flat.cost(), fresh.cost());
+    }
+
+    #[test]
+    fn dense_groups_are_stable_and_ordered() {
+        let mut dg = DenseGroups::default();
+        let keys = [2u32, 0, 2, 1, 0, 2];
+        dg.build(3, keys.iter().copied());
+        assert_eq!(dg.group(0), &[1, 4]);
+        assert_eq!(dg.group(1), &[3]);
+        assert_eq!(dg.group(2), &[0, 2, 5]);
+        // Rebuild with fewer keys reuses the buffers.
+        dg.build(2, [1u32, 1].iter().copied());
+        assert_eq!(dg.group(0), &[] as &[u32]);
+        assert_eq!(dg.group(1), &[0, 1]);
     }
 }

@@ -7,14 +7,71 @@ use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance,
 use congest_sim::{cost, RoundLedger};
 use expander_decomp::{
     build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, Shuffler, ShufflerParams,
+    ShufflerRound,
 };
-use expander_graphs::{Embedding, Graph, Path, PathSet, VertexId};
-use std::collections::HashMap;
+use expander_graphs::{Embedding, FlatPaths, Graph, Path, VertexId};
 
-/// One shuffler round's crossing-edge table: `(i, j)` maps to the
-/// indices of matching edges with one endpoint in part `i` and the
-/// other in part `j`.
-pub(crate) type RoundPortals = HashMap<(u16, u16), Vec<u32>>;
+/// One outgoing dispersal entry of a [`RoundTable`] row: the fractional
+/// mass `m_ij` towards one target part plus the range of its portal
+/// edge refs.
+#[derive(Debug, Clone)]
+pub(crate) struct RoundEntry {
+    /// The natural fractional matching mass `x_ij` of this part pair.
+    pub(crate) m_ij: f64,
+    lo: u32,
+    hi: u32,
+}
+
+/// One shuffler round's dispersal table: for each source part `i`, the
+/// outgoing [`RoundEntry`]s in increasing target-part order, each
+/// pointing at packed portal edge refs `(path index << 1) | reversed`.
+/// A dense, orientation-resolved replacement for the former
+/// `HashMap<(part, part), Vec<edge>>` portal index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RoundTable {
+    /// Entry ranges per source part: row `i` owns
+    /// `entries[row_start[i]..row_start[i + 1]]`.
+    row_start: Vec<u32>,
+    entries: Vec<RoundEntry>,
+    edge_refs: Vec<u32>,
+}
+
+impl RoundTable {
+    /// Builds the table for one shuffler round of a `t`-part node.
+    fn build(round: &ShufflerRound, t: usize) -> RoundTable {
+        let mut table = RoundTable::default();
+        for i in 0..t {
+            table.row_start.push(table.entries.len() as u32);
+            for j in 0..t {
+                if j == i || round.fractional[i][j] <= 0.0 {
+                    continue;
+                }
+                let lo = table.edge_refs.len() as u32;
+                for (ei, &(a, b)) in round.endpoint_parts.iter().enumerate() {
+                    if (a == i && b == j) || (a == j && b == i) {
+                        table.edge_refs.push(((ei as u32) << 1) | u32::from(a != i));
+                    }
+                }
+                let hi = table.edge_refs.len() as u32;
+                debug_assert!(hi > lo, "fractional mass without portal edges");
+                table.entries.push(RoundEntry { m_ij: round.fractional[i][j], lo, hi });
+            }
+        }
+        table.row_start.push(table.entries.len() as u32);
+        table
+    }
+
+    /// The outgoing entries of source part `i`, in increasing
+    /// target-part order.
+    pub(crate) fn row(&self, i: usize) -> &[RoundEntry] {
+        &self.entries[self.row_start[i] as usize..self.row_start[i + 1] as usize]
+    }
+
+    /// The packed portal edge refs of `entry`.
+    pub(crate) fn edge_refs(&self, entry: &RoundEntry) -> &[u32] {
+        &self.edge_refs[entry.lo as usize..entry.hi as usize]
+    }
+}
 
 /// Configuration for [`Router::preprocess`].
 #[derive(Debug, Clone, Default)]
@@ -47,30 +104,41 @@ pub struct Router {
     pub(crate) graph: Graph,
     pub(crate) hier: Hierarchy,
     pub(crate) shufflers: Vec<Option<Shuffler>>,
-    /// Flattened per-iteration shuffler embeddings, by node.
-    pub(crate) rounds_flat: Vec<Vec<Embedding>>,
-    /// Per node, per round: `(i, j) -> indices of matching edges` with
-    /// an endpoint in part `i` and the other in part `j`.
-    pub(crate) portal_index: Vec<Vec<RoundPortals>>,
+    /// Flattened per-iteration shuffler path arenas, by node: every
+    /// matching path lowered to base-graph edge ids.
+    pub(crate) rounds_flat: Vec<Vec<FlatPaths>>,
+    /// Per node, per round: the dense dispersal table (fractional rows
+    /// plus orientation-resolved portal edge refs).
+    pub(crate) round_tables: Vec<Vec<RoundTable>>,
     /// Per node: dense `global vertex -> part index` (`u16::MAX` when
     /// absent); empty vec for leaves.
     pub(crate) part_of: Vec<Vec<u16>>,
-    /// Per node, per part: flattened `M*` embedding plus a
-    /// `bad vertex -> edge index` map.
-    pub(crate) mstar_flat: Vec<Vec<Embedding>>,
-    pub(crate) mstar_lookup: Vec<Vec<HashMap<u32, usize>>>,
+    /// Per node, per part: flattened `M*` path arena.
+    pub(crate) mstar_flat: Vec<Vec<FlatPaths>>,
+    /// Per node: dense `bad vertex -> M* edge index within its part`
+    /// (`u32::MAX` elsewhere); empty vec for leaves.
+    pub(crate) mstar_edge: Vec<Vec<u32>>,
     pub(crate) leaf_nets: Vec<Option<EmbeddedNetwork>>,
     /// Per graph vertex: its best-node delegate (§1.3, Appendix D).
     pub(crate) delegate: Vec<VertexId>,
     /// Per graph vertex: explicit base-graph path `v -> delegate(v)`
     /// (the `Mroot` leg plus the per-level `M*` legs).
     pub(crate) chain: Vec<Path>,
+    /// The chains as one edge-id arena, indexed by vertex.
+    pub(crate) chain_flat: FlatPaths,
+    /// Dense `vertex -> Mroot matching index` (`u32::MAX` when the
+    /// vertex is not an Mroot origin).
+    pub(crate) mroot_of: Vec<u32>,
+    /// The Mroot embedding as an edge-id arena.
+    pub(crate) mroot_flat: FlatPaths,
     /// Per graph vertex: rank within the root best set (`u32::MAX` for
     /// non-best vertices).
     pub(crate) best_rank: Vec<u32>,
     /// Per node: prefix counts of best vertices per part
     /// (`prefix[j] = Σ_{j' < j} |best ∩ X*_{j'}|`, length `t + 1`).
     pub(crate) best_prefix: Vec<Vec<u32>>,
+    /// Maximum part count over internal nodes (query scratch sizing).
+    pub(crate) max_parts: usize,
     pub(crate) cost: CostModel,
     pre_ledger: RoundLedger,
     config: RouterConfig,
@@ -94,13 +162,17 @@ impl Router {
 
         let n_nodes = hier.nodes().len();
         let mut shufflers: Vec<Option<Shuffler>> = vec![None; n_nodes];
-        let mut rounds_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
-        let mut portal_index: Vec<Vec<RoundPortals>> = vec![Vec::new(); n_nodes];
+        let mut rounds_flat: Vec<Vec<FlatPaths>> = vec![Vec::new(); n_nodes];
+        let mut round_tables: Vec<Vec<RoundTable>> = vec![Vec::new(); n_nodes];
         let mut part_of: Vec<Vec<u16>> = vec![Vec::new(); n_nodes];
-        let mut mstar_flat: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
-        let mut mstar_lookup: Vec<Vec<HashMap<u32, usize>>> = vec![Vec::new(); n_nodes];
+        let mut mstar_flat: Vec<Vec<FlatPaths>> = vec![Vec::new(); n_nodes];
+        let mut mstar_edge: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
         let mut leaf_nets: Vec<Option<EmbeddedNetwork>> = vec![None; n_nodes];
         let mut mstar_sq: Vec<u64> = vec![4; n_nodes];
+        // Flattened M* embeddings, kept only until the chains below are
+        // concatenated (the router itself stores the edge-id arenas).
+        let mut mstar_embs: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
+        let mut max_parts = 1usize;
 
         for id in 0..n_nodes {
             let nd = hier.node(id);
@@ -118,7 +190,11 @@ impl Router {
                 leaf_nets[id] = Some(net);
                 continue;
             }
-            // Internal: shuffler + part maps + flattened M*.
+            // Internal: shuffler + part maps + flattened M*, all
+            // lowered to dense ids (edge-id arenas, dispersal tables,
+            // vertex-indexed lookups) so the query path never hashes.
+            let t = nd.part_count();
+            max_parts = max_parts.max(t);
             let sh = build_shuffler(&hier, id, &config.shuffler, &mut pre_ledger);
             let mut po = vec![u16::MAX; graph.n()];
             for (pi, p) in nd.parts.iter().enumerate() {
@@ -127,35 +203,33 @@ impl Router {
                 }
             }
             let mut flats = Vec::with_capacity(sh.rounds.len());
-            let mut pidx = Vec::with_capacity(sh.rounds.len());
+            let mut tables = Vec::with_capacity(sh.rounds.len());
             for round in &sh.rounds {
                 let flat = hier.flatten_from(id, &round.embedding);
-                let mut map: HashMap<(u16, u16), Vec<u32>> = HashMap::new();
-                for (ei, &(a, b)) in round.endpoint_parts.iter().enumerate() {
-                    map.entry((a as u16, b as u16)).or_default().push(ei as u32);
-                    map.entry((b as u16, a as u16)).or_default().push(ei as u32);
-                }
-                pidx.push(map);
-                flats.push(flat);
+                flats.push(FlatPaths::from_embedding(graph, &flat));
+                tables.push(RoundTable::build(round, t));
             }
             let mut worst_mstar = 4u64;
+            let mut part_arenas = Vec::with_capacity(nd.parts.len());
             let mut part_embs = Vec::with_capacity(nd.parts.len());
-            let mut part_lookups = Vec::with_capacity(nd.parts.len());
+            let mut bad_edge = vec![u32::MAX; graph.n()];
             for p in &nd.parts {
                 let flat = hier.flatten_from(id, &p.matching_embedding);
                 let q = flat.quality().max(2) as u64;
                 worst_mstar = worst_mstar.max(q * q);
-                let lookup: HashMap<u32, usize> =
-                    flat.virtual_edges().iter().enumerate().map(|(i, &(b, _))| (b, i)).collect();
+                for (i, &(b, _)) in flat.virtual_edges().iter().enumerate() {
+                    bad_edge[b as usize] = i as u32;
+                }
+                part_arenas.push(FlatPaths::from_embedding(graph, &flat));
                 part_embs.push(flat);
-                part_lookups.push(lookup);
             }
+            mstar_embs[id] = part_embs;
             shufflers[id] = Some(sh);
             rounds_flat[id] = flats;
-            portal_index[id] = pidx;
+            round_tables[id] = tables;
             part_of[id] = po;
-            mstar_flat[id] = part_embs;
-            mstar_lookup[id] = part_lookups;
+            mstar_flat[id] = part_arenas;
+            mstar_edge[id] = bad_edge;
             mstar_sq[id] = worst_mstar;
         }
 
@@ -168,14 +242,18 @@ impl Router {
         }
         let mut delegate = vec![u32::MAX; graph.n()];
         let mut chain: Vec<Path> = (0..graph.n() as u32).map(Path::trivial).collect();
-        let mroot_map: HashMap<u32, (u32, usize)> =
-            hier.mroot().iter().enumerate().map(|(i, &(o, w))| (o, (w, i))).collect();
+        let mut mroot_of = vec![u32::MAX; graph.n()];
+        for (i, &(o, _)) in hier.mroot().iter().enumerate() {
+            mroot_of[o as usize] = i as u32;
+        }
+        let mroot_flat = FlatPaths::from_embedding(graph, hier.mroot_embedding());
         for v in 0..graph.n() as u32 {
             let mut segs: Vec<Path> = Vec::new();
             let mut cur = v;
-            if let Some(&(w, idx)) = mroot_map.get(&v) {
+            if mroot_of[v as usize] != u32::MAX {
+                let idx = mroot_of[v as usize] as usize;
                 segs.push(hier.mroot_embedding().path(idx).clone());
-                cur = w;
+                cur = hier.mroot()[idx].1;
             }
             let mut node = root;
             loop {
@@ -188,8 +266,8 @@ impl Router {
                 let child = part.child;
                 if hier.node(child).vertices.binary_search(&cur).is_err() {
                     // Bad vertex: hop to its good mate.
-                    let ei = mstar_lookup[node][pi][&cur];
-                    let p = mstar_flat[node][pi].path(ei).clone();
+                    let ei = mstar_edge[node][cur as usize] as usize;
+                    let p = mstar_embs[node][pi].path(ei).clone();
                     let mate = p.target();
                     segs.push(p);
                     cur = mate;
@@ -199,10 +277,14 @@ impl Router {
             delegate[v as usize] = cur;
             chain[v as usize] = concat_paths(v, segs);
         }
+        let chain_flat = FlatPaths::from_paths(graph, chain.iter());
+        drop(mstar_embs);
         // Charge the all-to-best preprocessing run (Appendix D): one
         // token per vertex travels its chain.
-        let chain_set: PathSet = chain.iter().cloned().collect();
-        pre_ledger.charge("pre/all-to-best", cost::route_once(&chain_set));
+        pre_ledger.charge(
+            "pre/all-to-best",
+            cost::route_batched_cd(chain_flat.congestion() as u64, chain_flat.dilation() as u64, 1),
+        );
 
         // Best-prefix tables for the Task 2 marker rewrite.
         let mut best_prefix: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
@@ -238,15 +320,19 @@ impl Router {
             hier,
             shufflers,
             rounds_flat,
-            portal_index,
+            round_tables,
             part_of,
             mstar_flat,
-            mstar_lookup,
+            mstar_edge,
             leaf_nets,
             delegate,
             chain,
+            chain_flat,
+            mroot_of,
+            mroot_flat,
             best_rank,
             best_prefix,
+            max_parts,
             cost: cost_model,
             pre_ledger,
             config,
@@ -291,6 +377,12 @@ impl Router {
     /// The best-node delegate of a vertex (Appendix D).
     pub fn delegate_of(&self, v: VertexId) -> VertexId {
         self.delegate[v as usize]
+    }
+
+    /// The explicit base-graph path from `v` to its delegate (the
+    /// `Mroot` leg plus the per-level `M*` legs).
+    pub fn chain_of(&self, v: VertexId) -> &Path {
+        &self.chain[v as usize]
     }
 
     /// Answers a Task 1 routing query (Definition 4.1).
@@ -390,7 +482,7 @@ mod tests {
     fn chains_connect_vertex_to_delegate() {
         let r = router(256, 3);
         for v in 0..256u32 {
-            let c = &r.chain[v as usize];
+            let c = r.chain_of(v);
             assert_eq!(c.source(), v);
             assert_eq!(c.target(), r.delegate_of(v));
             assert!(c.is_valid_in(r.graph()) || c.hops() == 0, "chain invalid for {v}");

@@ -18,7 +18,13 @@ pub struct HostGraph {
     local: Vec<u32>,
     /// Local adjacency lists (local indices).
     adj: Vec<Vec<u32>>,
+    /// Canonical edge id per adjacency slot, aligned with `adj`.
+    /// Parallel copies of an unordered local pair share one id, so the
+    /// ids form the dense space `0..edge_space()` used by the packer's
+    /// congestion vectors.
+    eids: Vec<Vec<u32>>,
     edge_count: usize,
+    edge_space: usize,
 }
 
 impl HostGraph {
@@ -47,14 +53,27 @@ impl HostGraph {
         for (i, &v) in vertices.iter().enumerate() {
             local[v as usize] = i as u32;
         }
+        // Canonical pair ids over local endpoints (same id semantics as
+        // `Graph::edge_id`: parallel copies share one dense id).
+        let local_edges: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let (lu, lv) = (local[u as usize], local[v as usize]);
+                assert!(lu != u32::MAX && lv != u32::MAX, "edge endpoint outside host vertex set");
+                (lu, lv)
+            })
+            .collect();
+        let (pair_of_edge, edge_space) = expander_graphs::graph::canonical_pair_ids(&local_edges);
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); vertices.len()];
-        for &(u, v) in edges {
+        let mut eids: Vec<Vec<u32>> = vec![Vec::new(); vertices.len()];
+        for (i, &(u, v)) in edges.iter().enumerate() {
             let (lu, lv) = (local[u as usize], local[v as usize]);
-            assert!(lu != u32::MAX && lv != u32::MAX, "edge endpoint outside host vertex set");
             adj[lu as usize].push(lv);
+            eids[lu as usize].push(pair_of_edge[i]);
             adj[lv as usize].push(lu);
+            eids[lv as usize].push(pair_of_edge[i]);
         }
-        HostGraph { vertices, local, adj, edge_count: edges.len() }
+        HostGraph { vertices, local, adj, eids, edge_count: edges.len(), edge_space }
     }
 
     /// Number of host vertices.
@@ -96,6 +115,25 @@ impl HostGraph {
     /// Local adjacency of a local index.
     pub fn neighbors_local(&self, l: u32) -> &[u32] {
         &self.adj[l as usize]
+    }
+
+    /// Canonical edge ids of `l`'s adjacency slots, aligned with
+    /// [`neighbors_local`](HostGraph::neighbors_local).
+    pub fn neighbor_eids_local(&self, l: u32) -> &[u32] {
+        &self.eids[l as usize]
+    }
+
+    /// Size of the dense edge-id space (distinct unordered local pairs).
+    pub fn edge_space(&self) -> usize {
+        self.edge_space
+    }
+
+    /// Canonical edge id of the unordered local pair `{a, b}`, or
+    /// `None` if not adjacent (linear scan of the smaller adjacency).
+    pub fn pair_eid(&self, a: u32, b: u32) -> Option<u32> {
+        let (x, y) =
+            if self.adj[a as usize].len() <= self.adj[b as usize].len() { (a, b) } else { (b, a) };
+        self.adj[x as usize].iter().position(|&w| w == y).map(|off| self.eids[x as usize][off])
     }
 
     /// Maximum degree.
@@ -192,6 +230,22 @@ mod tests {
         let h = HostGraph::from_graph(&g);
         let est = h.diameter_estimate();
         assert!((4..=8).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_shared_by_parallel_copies() {
+        let h = HostGraph::from_edges(10, vec![1, 2, 3], &[(1, 2), (2, 1), (2, 3)]);
+        assert_eq!(h.m(), 3);
+        assert_eq!(h.edge_space(), 2, "parallel copies collapse to one pair id");
+        let (l1, l2, l3) = (h.to_local(1), h.to_local(2), h.to_local(3));
+        let e12 = h.pair_eid(l1, l2).expect("edge");
+        assert_eq!(h.pair_eid(l2, l1), Some(e12));
+        let e23 = h.pair_eid(l2, l3).expect("edge");
+        assert_ne!(e12, e23);
+        assert!(h.pair_eid(l1, l3).is_none());
+        for l in [l1, l2, l3] {
+            assert_eq!(h.neighbor_eids_local(l).len(), h.neighbors_local(l).len());
+        }
     }
 
     #[test]

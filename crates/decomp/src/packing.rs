@@ -11,7 +11,6 @@
 
 use crate::host::HostGraph;
 use expander_graphs::{Embedding, VertexId};
-use std::collections::HashMap;
 
 /// Result of one packing call, in host-local indices.
 #[derive(Debug, Clone, Default)]
@@ -30,26 +29,21 @@ pub struct PackResult {
 #[derive(Debug)]
 pub struct Packer<'h> {
     host: &'h HostGraph,
-    edge_load: HashMap<(u32, u32), u32>,
+    /// Per-edge load, indexed densely by [`HostGraph`] edge id — this
+    /// sits in the BFS inner loop, so it must be a flat vector, not a
+    /// hash map.
+    edge_load: Vec<u32>,
 }
 
 impl<'h> Packer<'h> {
     /// A packer with no edges loaded.
     pub fn new(host: &'h HostGraph) -> Self {
-        Packer { host, edge_load: HashMap::new() }
+        Packer { host, edge_load: vec![0; host.edge_space()] }
     }
 
     /// Current maximum per-edge load.
     pub fn congestion(&self) -> u32 {
-        self.edge_load.values().copied().max().unwrap_or(0)
-    }
-
-    fn load(&self, a: u32, b: u32) -> u32 {
-        self.edge_load.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
-    }
-
-    fn bump(&mut self, a: u32, b: u32) {
-        *self.edge_load.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+        self.edge_load.iter().copied().max().unwrap_or(0)
     }
 
     /// Packs one path per source towards any sink with remaining
@@ -75,29 +69,33 @@ impl<'h> Packer<'h> {
         }
         let mut result = PackResult::default();
         let mut remaining: Vec<u32> = sources.to_vec();
+        // BFS scratch, epoch-stamped by phase number so a new phase
+        // invalidates the previous one without O(n) reinit passes.
+        let mut seen = vec![0u32; n];
+        let mut claimed = vec![0u32; n];
         let mut parent = vec![u32::MAX; n];
+        let mut parent_eid = vec![u32::MAX; n];
         let mut depth = vec![u32::MAX; n];
         let mut is_source = vec![false; n];
+        let mut queue: Vec<u32> = Vec::with_capacity(remaining.len());
+        let mut reached_sinks: Vec<u32> = Vec::new();
 
         loop {
             if remaining.is_empty() {
                 break;
             }
             result.phases += 1;
+            let phase = result.phases;
             // Multi-source BFS through edges with residual capacity.
-            for v in 0..n {
-                parent[v] = u32::MAX;
-                depth[v] = u32::MAX;
-                is_source[v] = false;
-            }
-            let mut queue: Vec<u32> = Vec::with_capacity(remaining.len());
+            queue.clear();
+            reached_sinks.clear();
             for &s in &remaining {
+                seen[s as usize] = phase;
                 parent[s as usize] = s;
                 depth[s as usize] = 0;
                 is_source[s as usize] = true;
                 queue.push(s);
             }
-            let mut reached_sinks: Vec<u32> = Vec::new();
             let mut head = 0;
             while head < queue.len() {
                 let u = queue[head];
@@ -106,15 +104,20 @@ impl<'h> Packer<'h> {
                 if du >= dilation_cap {
                     continue;
                 }
-                for &v in self.host.neighbors_local(u) {
-                    if parent[v as usize] != u32::MAX {
+                let nbrs = self.host.neighbors_local(u);
+                let eids = self.host.neighbor_eids_local(u);
+                for (&v, &eid) in nbrs.iter().zip(eids) {
+                    if seen[v as usize] == phase {
                         continue;
                     }
-                    if self.load(u, v) >= congestion_cap {
+                    if self.edge_load[eid as usize] >= congestion_cap {
                         continue;
                     }
+                    seen[v as usize] = phase;
                     parent[v as usize] = u;
+                    parent_eid[v as usize] = eid;
                     depth[v as usize] = du + 1;
+                    is_source[v as usize] = false;
                     if sink_cap[v as usize] > 0 {
                         reached_sinks.push(v);
                     }
@@ -123,7 +126,6 @@ impl<'h> Packer<'h> {
             }
             // Claim sinks greedily in BFS (shortest-first) order.
             let mut progress = false;
-            let mut claimed_source = vec![false; n];
             for &sink in &reached_sinks {
                 if sink_cap[sink as usize] == 0 {
                     continue;
@@ -134,27 +136,30 @@ impl<'h> Packer<'h> {
                 let mut ok = true;
                 let mut cur = sink;
                 while !is_source[cur as usize] {
-                    let p = parent[cur as usize];
-                    if self.load(p, cur) >= congestion_cap {
+                    if self.edge_load[parent_eid[cur as usize] as usize] >= congestion_cap {
                         ok = false;
                         break;
                     }
-                    walk.push(p);
-                    cur = p;
+                    walk.push(parent[cur as usize]);
+                    cur = parent[cur as usize];
                 }
-                if !ok || claimed_source[cur as usize] {
+                if !ok || claimed[cur as usize] == phase {
                     continue;
                 }
-                claimed_source[cur as usize] = true;
+                claimed[cur as usize] = phase;
                 walk.reverse(); // source .. sink
-                for w in walk.windows(2) {
-                    self.bump(w[0], w[1]);
+                for &step in &walk[1..] {
+                    // `parent[step]` precedes `step` in the walk, so
+                    // `parent_eid[step]` is exactly the traversed edge.
+                    self.edge_load[parent_eid[step as usize] as usize] += 1;
                 }
                 sink_cap[sink as usize] -= 1;
-                remaining.retain(|&s| s != cur);
                 result.paths.push(walk);
                 progress = true;
             }
+            // Drop every source claimed this phase in one pass (the
+            // per-claim `retain` was quadratic in the source count).
+            remaining.retain(|&s| claimed[s as usize] != phase);
             if !progress {
                 break;
             }
@@ -179,6 +184,12 @@ pub struct MatchingPacking {
     pub final_congestion_cap: u32,
     /// The dilation cap in force when packing finished.
     pub final_dilation_cap: u32,
+    /// Maximum per-edge load in the packer when this packing finished.
+    /// With a fresh [`Packer`] this is exactly the embedding's measured
+    /// congestion; with a shared packer it upper-bounds it.
+    pub host_congestion: u32,
+    /// Maximum path length (hops) of the embedding — its dilation.
+    pub dilation: u32,
 }
 
 /// Escalation policy for [`pack_matching`]: caps double until the
@@ -239,6 +250,7 @@ pub fn pack_matching_with(
         let r = packer.pack(&remaining, sink_cap, c_cap, d_cap);
         out.phases += r.phases;
         for p in r.paths {
+            out.dilation = out.dilation.max(p.len() as u32 - 1);
             let path = host.path_to_global(&p);
             let (src, dst) = (path.source(), path.target());
             out.pairs.push((src, dst));
@@ -253,6 +265,7 @@ pub fn pack_matching_with(
     out.unmatched = remaining.iter().map(|&l| host.to_global(l)).collect();
     out.final_congestion_cap = c_cap;
     out.final_dilation_cap = d_cap;
+    out.host_congestion = packer.congestion();
     out
 }
 
@@ -289,6 +302,18 @@ mod tests {
         let before = used.len();
         used.dedup();
         assert_eq!(before, used.len(), "sink used twice");
+    }
+
+    #[test]
+    fn measured_congestion_and_dilation_match_the_embedding() {
+        let g = generators::random_regular(128, 4, 9).unwrap();
+        let host = host_of(&g);
+        let sources: Vec<u32> = (0..48).collect();
+        let sinks: Vec<u32> = (64..128).collect();
+        let m = pack_matching(&host, &sources, &sinks, 1, EscalationConfig::default());
+        let ps = m.embedding.to_path_set();
+        assert_eq!(m.host_congestion as usize, ps.congestion());
+        assert_eq!(m.dilation as usize, ps.dilation());
     }
 
     #[test]

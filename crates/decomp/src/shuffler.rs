@@ -15,7 +15,7 @@ use crate::hierarchy::{Hierarchy, NodeId};
 use crate::host::HostGraph;
 use crate::packing::{pack_matching_with, EscalationConfig, Packer};
 use congest_sim::{cost, RoundLedger};
-use expander_graphs::{Embedding, PathSet, VertexId};
+use expander_graphs::{Embedding, VertexId};
 
 /// Cut-player strategy, exposed for the ablation experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -239,10 +239,15 @@ pub fn build_shuffler(
         let mut cfg = params.escalation;
         cfg.dilation_cap = cfg.dilation_cap.max(2 * host_diam as u32 + 2);
         let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
+        // The packer was fresh, so its measured edge loads ARE the
+        // embedding's congestion — same Fact 2.2 charge as
+        // `route_once(to_path_set())` without rebuilding a path set.
         ledger.charge(
             "pre/shuffler/matching-player",
             cost::virtual_rounds(q_flat, m.phases as u64 * m.final_dilation_cap as u64)
-                + cost::route_once(&m.embedding.to_path_set()) * q_flat * q_flat,
+                + cost::route_batched_cd(m.host_congestion as u64, m.dilation as u64, 1)
+                    * q_flat
+                    * q_flat,
         );
         if m.pairs.is_empty() {
             continue;
@@ -259,9 +264,16 @@ pub fn build_shuffler(
             endpoint_parts.push((a, b));
         }
 
-        // R ← R_M · R  (Definition 5.2).
-        r_mat = apply_fractional(&r_mat, &fractional);
-        let new_potential = potential_of(&r_mat);
+        // R ← R_M · R  (Definition 5.2), applied sparsely: only rows of
+        // parts incident to matched pairs change, and the potential is
+        // maintained incrementally instead of re-summed over t² cells.
+        let mut touched: Vec<(usize, usize)> =
+            endpoint_parts.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let entries: Vec<(usize, usize, f64)> =
+            touched.into_iter().map(|(a, b)| (a, b, fractional[a][b])).collect();
+        let new_potential = apply_fractional_sparse(&mut r_mat, &entries, potential);
         debug_assert!(
             new_potential <= potential + 1e-9,
             "potential increased: {potential} -> {new_potential}"
@@ -277,23 +289,39 @@ pub fn build_shuffler(
     }
 
     // Quality of the union of all matchings' paths (Definition 5.4),
-    // plus the per-round flattened qualities used by round charges.
-    let mut union = PathSet::new();
+    // counted densely over the host's edge-id space instead of
+    // collecting a cloned `PathSet`.
+    let mut union_load = vec![0u32; host.edge_space()];
+    let mut union_dilation = 0usize;
     for r in &rounds {
-        union.extend_from(&r.embedding.to_path_set());
-    }
-    let quality_hx = union.quality().max(2);
-    let mut union_emb = Embedding::new();
-    let mut round_qualities_flat = Vec::with_capacity(rounds.len());
-    for r in &rounds {
-        for (u, v, p) in r.embedding.iter() {
-            union_emb.push(u, v, p.clone());
+        for (_, _, p) in r.embedding.iter() {
+            union_dilation = union_dilation.max(p.hops());
+            for w in p.vertices().windows(2) {
+                let eid = host
+                    .pair_eid(host.to_local(w[0]), host.to_local(w[1]))
+                    .expect("matching path hop outside the host graph");
+                union_load[eid as usize] += 1;
+            }
         }
-        let flat_round = h.flatten_from(node, &r.embedding);
-        round_qualities_flat.push(flat_round.quality().max(2));
     }
-    let flat = h.flatten_from(node, &union_emb);
-    let quality_flat = flat.quality().max(2);
+    let union_congestion = union_load.into_iter().max().unwrap_or(0) as usize;
+    let quality_hx = (union_congestion + union_dilation).max(2);
+    // Flattened qualities. At base level (no flatten embedding) the
+    // paths already live in `G` and pair-merged host congestion equals
+    // base-graph congestion, so the union/round clones are skipped.
+    let (quality_flat, round_qualities_flat) = if h.node(node).flat.is_none() {
+        (quality_hx, rounds.iter().map(|r| r.embedding.quality().max(2)).collect())
+    } else {
+        let mut union_emb = Embedding::new();
+        let mut per_round = Vec::with_capacity(rounds.len());
+        for r in &rounds {
+            for (u, v, p) in r.embedding.iter() {
+                union_emb.push(u, v, p.clone());
+            }
+            per_round.push(h.flatten_from(node, &r.embedding).quality().max(2));
+        }
+        (h.flatten_from(node, &union_emb).quality().max(2), per_round)
+    };
 
     Shuffler {
         node,
@@ -326,6 +354,81 @@ pub fn apply_fractional(r_mat: &[Vec<f64>], x: &[Vec<f64>]) -> Vec<Vec<f64>> {
         }
     }
     out
+}
+
+/// In-place sparse form of [`apply_fractional`] with incremental
+/// potential maintenance.
+///
+/// `entries` is the round's fractional matching as unique
+/// `(a, b, x_ab)` triples with `a < b`; `potential` is `Π` of the
+/// incoming `r_mat`. Only rows of parts incident to an entry change
+/// (absent rows have `stay = 1`), so one update costs
+/// `O(|touched| · (t + |entries|))` instead of the dense `O(t³)`
+/// product, and the returned potential adjusts only the touched rows'
+/// norms. Under `debug_assertions` the result is checked cell-by-cell
+/// against the dense [`apply_fractional`] / [`potential_of`] path.
+pub fn apply_fractional_sparse(
+    r_mat: &mut [Vec<f64>],
+    entries: &[(usize, usize, f64)],
+    potential: f64,
+) -> f64 {
+    let t = r_mat.len();
+    let uniform = 1.0 / t as f64;
+    #[cfg(debug_assertions)]
+    let dense_result = {
+        let mut x = vec![vec![0.0f64; t]; t];
+        for &(a, b, v) in entries {
+            x[a][b] = v;
+            x[b][a] = v;
+        }
+        apply_fractional(r_mat, &x)
+    };
+    let row_norm = |row: &[f64]| row.iter().map(|&x| (x - uniform) * (x - uniform)).sum::<f64>();
+    let mut rows: Vec<usize> = entries.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    let old: Vec<Vec<f64>> = rows.iter().map(|&i| r_mat[i].clone()).collect();
+    let mut pot = potential;
+    for o in &old {
+        pot -= row_norm(o);
+    }
+    for (ri, &i) in rows.iter().enumerate() {
+        let off_sum: f64 =
+            entries.iter().filter(|&&(a, b, _)| a == i || b == i).map(|&(_, _, v)| v).sum();
+        let stay = 0.5 + 0.5 * (1.0 - off_sum);
+        let new_row = &mut r_mat[i];
+        for (c, cell) in new_row.iter_mut().enumerate() {
+            *cell = stay * old[ri][c];
+        }
+        for &(a, b, v) in entries {
+            let j = if a == i {
+                b
+            } else if b == i {
+                a
+            } else {
+                continue;
+            };
+            let oj = &old[rows.binary_search(&j).expect("entry endpoints are touched rows")];
+            for (c, cell) in new_row.iter_mut().enumerate() {
+                *cell += 0.5 * v * oj[c];
+            }
+        }
+        pot += row_norm(new_row);
+    }
+    #[cfg(debug_assertions)]
+    {
+        for (sparse, dense) in r_mat.iter().zip(&dense_result) {
+            for (s, d) in sparse.iter().zip(dense) {
+                debug_assert!((s - d).abs() <= 1e-12, "sparse/dense walk cell mismatch: {s} {d}");
+            }
+        }
+        let dense_pot = potential_of(r_mat);
+        debug_assert!(
+            (pot - dense_pot).abs() <= 1e-9 * (1.0 + dense_pot),
+            "incremental potential drifted: {pot} vs {dense_pot}"
+        );
+    }
+    pot
 }
 
 /// `Π = Σ_y ‖R[y] − 1/t‖²` (Definition 5.3).
@@ -476,6 +579,28 @@ mod tests {
             paper.len(),
             tight.len()
         );
+    }
+
+    #[test]
+    fn sparse_update_matches_dense_product() {
+        // Hand-rolled 5-part round touching parts {0, 2, 3} only.
+        let t = 5usize;
+        let mut r: Vec<Vec<f64>> =
+            (0..t).map(|a| (0..t).map(|b| f64::from(u8::from(a == b))).collect()).collect();
+        let entries = [(0usize, 2usize, 0.25f64), (2, 3, 0.5)];
+        let mut x = vec![vec![0.0f64; t]; t];
+        for &(a, b, v) in &entries {
+            x[a][b] = v;
+            x[b][a] = v;
+        }
+        let dense = apply_fractional(&r, &x);
+        let pot0 = potential_of(&r);
+        let pot = apply_fractional_sparse(&mut r, &entries, pot0);
+        assert_eq!(r, dense);
+        assert!((pot - potential_of(&dense)).abs() < 1e-12);
+        // Untouched rows stay exactly the identity.
+        assert_eq!(r[1][1], 1.0);
+        assert_eq!(r[4][4], 1.0);
     }
 
     #[test]

@@ -85,9 +85,12 @@ impl Embedding {
         PathSet::from_paths(self.paths.clone())
     }
 
-    /// Quality `Q(f)` of the embedding: the quality of its path set.
+    /// Quality `Q(f)` of the embedding: the quality of its path set,
+    /// computed without cloning the paths.
     pub fn quality(&self) -> usize {
-        self.to_path_set().quality()
+        let c = crate::paths::congestion_of(self.paths.iter());
+        let d = self.paths.iter().map(Path::hops).max().unwrap_or(0);
+        c + d
     }
 
     /// Union of two embeddings (paper's `f ∪ g`). The virtual edge sets
@@ -99,23 +102,46 @@ impl Embedding {
         self
     }
 
-    /// Routes an arbitrary host walk `walk` (a vertex sequence in this
-    /// embedding's *virtual* graph) down to the host graph, splicing the
-    /// embedded path of every virtual hop. Consecutive duplicate
-    /// vertices are skipped. Returns `None` if some hop has no embedded
-    /// edge.
+    /// Composition `self ∘ f`: embeds `f`'s virtual graph into this
+    /// embedding's host graph (`f : H₁ → H₂`, `self : H₂ → H₃`).
     ///
-    /// `cursor` distributes parallel-edge uses round-robin; pass a fresh
-    /// [`ComposeCursor`] per logical batch.
-    pub fn map_walk(&self, walk: &[VertexId], cursor: &mut ComposeCursor) -> Option<Path> {
-        let index = cursor.index_for(self);
+    /// # Panics
+    ///
+    /// Panics if some edge used by `f`'s paths has no embedding in
+    /// `self` — that indicates a broken hierarchy.
+    pub fn compose_after(&self, f: &Embedding) -> Embedding {
+        // One EdgeIndex for the whole composition: rebuilding it per
+        // mapped path turns flattening quadratic in the embedding size.
+        let index = EdgeIndex::build(self);
+        let mut uses = HashMap::new();
+        let mut out = Embedding::new();
+        for (u, v, p) in f.iter() {
+            let mapped = self
+                .map_walk_indexed(p.vertices(), &index, &mut uses)
+                .expect("inner embedding uses an edge missing from the outer embedding");
+            out.push(u, v, mapped);
+        }
+        out
+    }
+
+    /// Routes a walk in this embedding's virtual graph down to the
+    /// host graph, splicing the embedded path of every virtual hop.
+    /// Consecutive duplicate vertices are skipped; `uses` distributes
+    /// parallel-edge copies round-robin. Returns `None` if some hop
+    /// has no embedded edge.
+    fn map_walk_indexed(
+        &self,
+        walk: &[VertexId],
+        index: &EdgeIndex<'_>,
+        uses: &mut HashMap<(VertexId, VertexId), usize>,
+    ) -> Option<Path> {
         let mut out: Vec<VertexId> = vec![walk[0]];
         for w in walk.windows(2) {
             let (a, b) = (w[0], w[1]);
             if a == b {
                 continue;
             }
-            let (i, rev) = index.lookup(a, b, &mut cursor.uses)?;
+            let (i, rev) = index.lookup(a, b, uses)?;
             let p = &self.paths[i];
             let verts = p.vertices();
             if rev {
@@ -125,39 +151,6 @@ impl Embedding {
             }
         }
         Some(Path::new(out))
-    }
-
-    /// Composition `self ∘ f`: embeds `f`'s virtual graph into this
-    /// embedding's host graph (`f : H₁ → H₂`, `self : H₂ → H₃`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if some edge used by `f`'s paths has no embedding in
-    /// `self` — that indicates a broken hierarchy.
-    pub fn compose_after(&self, f: &Embedding) -> Embedding {
-        let mut cursor = ComposeCursor::default();
-        let mut out = Embedding::new();
-        for (u, v, p) in f.iter() {
-            let mapped = self
-                .map_walk(p.vertices(), &mut cursor)
-                .expect("inner embedding uses an edge missing from the outer embedding");
-            out.push(u, v, mapped);
-        }
-        out
-    }
-}
-
-/// Round-robin cursor over parallel virtual edges, used by
-/// [`Embedding::map_walk`] to spread composed congestion across
-/// parallel copies.
-#[derive(Debug, Default)]
-pub struct ComposeCursor {
-    uses: HashMap<(VertexId, VertexId), usize>,
-}
-
-impl ComposeCursor {
-    fn index_for<'a>(&mut self, e: &'a Embedding) -> EdgeIndex<'a> {
-        EdgeIndex::build(e)
     }
 }
 
@@ -275,11 +268,12 @@ mod tests {
     }
 
     #[test]
-    fn trivial_hops_are_skipped_in_map_walk() {
+    fn trivial_hops_are_skipped_in_composition() {
         let mut outer = Embedding::new();
         outer.push(0, 1, path(&[0, 1]));
-        let mut cursor = ComposeCursor::default();
-        let p = outer.map_walk(&[0, 0, 1, 1], &mut cursor).expect("mapped");
-        assert_eq!(p.vertices(), &[0, 1]);
+        let mut inner = Embedding::new();
+        inner.push(0, 1, Path::new(vec![0, 0, 1, 1]));
+        let composed = outer.compose_after(&inner);
+        assert_eq!(composed.path(0).vertices(), &[0, 1]);
     }
 }

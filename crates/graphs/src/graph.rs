@@ -27,7 +27,13 @@ pub type VertexId = u32;
 pub struct Graph {
     offsets: Vec<u32>,
     targets: Vec<VertexId>,
+    /// Canonical edge id of each adjacency slot, aligned with
+    /// `targets`. Parallel copies of the same unordered pair share one
+    /// id, so ids index the *distinct-pair* space `0..edge_id_count()`
+    /// used by dense congestion accounting.
+    edge_ids: Vec<u32>,
     m: usize,
+    distinct_pairs: usize,
 }
 
 impl fmt::Debug for Graph {
@@ -44,6 +50,35 @@ impl Default for Graph {
     fn default() -> Self {
         Graph::from_edges(0, &[])
     }
+}
+
+/// Assigns canonical dense ids to the unordered vertex pairs of an edge
+/// list: parallel copies of a pair share one id, ids number the
+/// distinct pairs in lexicographic `(min, max)` order with no gaps.
+/// Returns the per-edge pair id plus the distinct-pair count.
+///
+/// Shared by [`Graph::from_edges`] and host-graph construction in the
+/// decomposition crate, so the id semantics that the dense congestion
+/// accounting relies on cannot diverge between the two.
+pub fn canonical_pair_ids(edges: &[(VertexId, VertexId)]) -> (Vec<u32>, usize) {
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    let key = |i: u32| {
+        let (u, v) = edges[i as usize];
+        (u.min(v), u.max(v))
+    };
+    order.sort_unstable_by_key(|&i| key(i));
+    let mut pair_of_edge = vec![0u32; edges.len()];
+    let mut distinct_pairs = 0usize;
+    let mut prev = None;
+    for &i in &order {
+        let k = key(i);
+        if prev != Some(k) {
+            prev = Some(k);
+            distinct_pairs += 1;
+        }
+        pair_of_edge[i as usize] = distinct_pairs as u32 - 1;
+    }
+    (pair_of_edge, distinct_pairs)
 }
 
 impl Graph {
@@ -67,15 +102,19 @@ impl Graph {
             let last = *offsets.last().expect("non-empty");
             offsets.push(last + d);
         }
+        let (pair_of_edge, distinct_pairs) = canonical_pair_ids(edges);
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut targets = vec![0u32; 2 * edges.len()];
-        for &(u, v) in edges {
+        let mut edge_ids = vec![0u32; 2 * edges.len()];
+        for (i, &(u, v)) in edges.iter().enumerate() {
             targets[cursor[u as usize] as usize] = v;
+            edge_ids[cursor[u as usize] as usize] = pair_of_edge[i];
             cursor[u as usize] += 1;
             targets[cursor[v as usize] as usize] = u;
+            edge_ids[cursor[v as usize] as usize] = pair_of_edge[i];
             cursor[v as usize] += 1;
         }
-        Graph { offsets, targets, m: edges.len() }
+        Graph { offsets, targets, edge_ids, m: edges.len(), distinct_pairs }
     }
 
     /// Number of vertices.
@@ -124,6 +163,30 @@ impl Graph {
         self.neighbors(a).contains(&b)
     }
 
+    /// Canonical dense edge id of the unordered pair `{u, v}`, or
+    /// `None` if they are not adjacent. Parallel copies share one id;
+    /// ids cover `0..edge_id_count()` with no gaps.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let lo = self.offsets[a as usize] as usize;
+        let hi = self.offsets[a as usize + 1] as usize;
+        self.targets[lo..hi].iter().position(|&w| w == b).map(|off| self.edge_ids[lo + off])
+    }
+
+    /// Number of distinct unordered vertex pairs carrying an edge — the
+    /// size of the dense edge-id space.
+    pub fn edge_id_count(&self) -> usize {
+        self.distinct_pairs
+    }
+
+    /// Edge ids of `v`'s adjacency slots, aligned with
+    /// [`neighbors`](Graph::neighbors).
+    pub fn neighbor_edge_ids(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edge_ids[lo..hi]
+    }
+
     /// BFS distances from `src`; unreachable vertices map to `u32::MAX`.
     pub fn bfs_distances(&self, src: VertexId) -> Vec<u32> {
         self.bfs_distances_multi(&[src])
@@ -153,33 +216,71 @@ impl Graph {
 
     /// A shortest path from `src` to `dst` as a vertex sequence, or
     /// `None` if `dst` is unreachable.
+    ///
+    /// Runs a bidirectional BFS (expanding the smaller frontier level
+    /// by level), so on expanders each query touches `O(√n·poly)`
+    /// vertices instead of `O(n)` — this sits on the query fallback
+    /// path, where thousands of lookups per query add up.
     pub fn shortest_path(&self, src: VertexId, dst: VertexId) -> Option<Vec<VertexId>> {
         if src == dst {
             return Some(vec![src]);
         }
-        let mut parent = vec![u32::MAX; self.n()];
-        let mut queue = VecDeque::new();
-        parent[src as usize] = src;
-        queue.push_back(src);
-        while let Some(u) = queue.pop_front() {
-            for &v in self.neighbors(u) {
-                if parent[v as usize] == u32::MAX {
-                    parent[v as usize] = u;
-                    if v == dst {
-                        let mut path = vec![dst];
-                        let mut cur = dst;
-                        while cur != src {
-                            cur = parent[cur as usize];
-                            path.push(cur);
-                        }
-                        path.reverse();
-                        return Some(path);
+        let n = self.n();
+        // Parent trees of the two searches; a vertex is visited by a
+        // side iff its parent there is set.
+        let mut par_s = vec![u32::MAX; n];
+        let mut par_d = vec![u32::MAX; n];
+        par_s[src as usize] = src;
+        par_d[dst as usize] = dst;
+        let mut front_s = vec![src];
+        let mut front_d = vec![dst];
+        let mut next = Vec::new();
+        let meet = 'search: loop {
+            if front_s.is_empty() || front_d.is_empty() {
+                return None;
+            }
+            let from_src = front_s.len() <= front_d.len();
+            let (frontier, this_par, other_par) = if from_src {
+                (&front_s, &mut par_s, &par_d)
+            } else {
+                (&front_d, &mut par_d, &par_s)
+            };
+            next.clear();
+            for &u in frontier {
+                for &v in self.neighbors(u) {
+                    if this_par[v as usize] != u32::MAX {
+                        continue;
                     }
-                    queue.push_back(v);
+                    this_par[v as usize] = u;
+                    if other_par[v as usize] != u32::MAX {
+                        // First meeting vertex after complete levels on
+                        // both sides lies on a shortest path.
+                        break 'search v;
+                    }
+                    next.push(v);
                 }
             }
+            if from_src {
+                std::mem::swap(&mut front_s, &mut next);
+            } else {
+                std::mem::swap(&mut front_d, &mut next);
+            }
+        };
+        // Stitch the two parent chains at the meeting vertex.
+        let mut path = Vec::new();
+        let mut cur = meet;
+        while cur != src {
+            path.push(cur);
+            cur = par_s[cur as usize];
         }
-        None
+        path.push(src);
+        path.reverse();
+        let mut cur = meet;
+        while cur != dst {
+            cur = par_d[cur as usize];
+            path.push(cur);
+        }
+        Some(path)
     }
 
     /// Whether the graph is connected (the empty graph counts as connected).
@@ -327,6 +428,20 @@ mod tests {
     }
 
     #[test]
+    fn bidirectional_paths_are_shortest_and_valid() {
+        let g = crate::generators::random_regular(128, 4, 13).expect("generator");
+        for (src, dst) in [(0u32, 127u32), (5, 64), (17, 17), (90, 3)] {
+            let dist = g.bfs_distances(src)[dst as usize] as usize;
+            let p = g.shortest_path(src, dst).expect("connected");
+            assert_eq!(p.len() - 1, dist, "length is the BFS distance");
+            assert_eq!((*p.first().unwrap(), *p.last().unwrap()), (src, dst));
+            assert!(p.windows(2).all(|w| g.has_edge(w[0], w[1])), "every hop is an edge");
+        }
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(disconnected.shortest_path(0, 3), None);
+    }
+
+    #[test]
     fn diameter_of_cycle() {
         let g = cycle(10);
         assert_eq!(g.diameter_exact(), 5);
@@ -361,6 +476,32 @@ mod tests {
         assert_eq!(d[2], 2);
         assert_eq!(d[6], 2);
         assert_eq!(d[3], 1);
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_symmetric() {
+        let g = cycle(6);
+        assert_eq!(g.edge_id_count(), 6);
+        let mut seen = [false; 6];
+        for (u, v) in g.edges() {
+            let id = g.edge_id(u, v).expect("edge present");
+            assert_eq!(g.edge_id(v, u), Some(id), "ids are unordered");
+            seen[id as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "ids cover 0..edge_id_count()");
+        assert_eq!(g.edge_id(0, 3), None);
+        for v in 0..6u32 {
+            assert_eq!(g.neighbor_edge_ids(v).len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_share_an_id() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.edge_id_count(), 2, "parallel copies collapse to one pair id");
+        let id01 = g.edge_id(0, 1).expect("edge");
+        assert!(g.neighbor_edge_ids(0).iter().all(|&e| e == id01));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   (Cheeger) estimates for large ones.
 //! * [`Path`], [`PathSet`] — path collections with the paper's
 //!   congestion/dilation/quality accounting (§2, "Quality of Paths").
+//! * [`FlatPaths`] — path collections lowered to one contiguous
+//!   edge-id arena over [`Graph::edge_id`]'s dense space, for
+//!   allocation-free hot-path congestion accounting.
 //! * [`Embedding`] — virtual-edge-to-host-path embeddings with
 //!   composition and union (§2, "Embeddings"), used to flatten the
 //!   hierarchical decomposition (Definition 3.3).
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod embedding;
+pub mod flat;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
@@ -39,6 +43,7 @@ pub mod split;
 pub mod union_find;
 
 pub use embedding::Embedding;
+pub use flat::FlatPaths;
 pub use graph::{Graph, VertexId};
 pub use paths::{Path, PathSet};
 pub use split::SplitGraph;

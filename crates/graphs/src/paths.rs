@@ -7,7 +7,6 @@
 //! `congestion × dilation ≤ Q(P)²` rounds.
 
 use crate::graph::{Graph, VertexId};
-use std::collections::HashMap;
 
 /// A walk in a host graph, stored as its vertex sequence.
 ///
@@ -107,11 +106,6 @@ impl PathSet {
         self.paths.push(p);
     }
 
-    /// Appends all paths of `other`.
-    pub fn extend_from(&mut self, other: &PathSet) {
-        self.paths.extend(other.paths.iter().cloned());
-    }
-
     /// Number of paths.
     pub fn len(&self) -> usize {
         self.paths.len()
@@ -129,13 +123,7 @@ impl PathSet {
 
     /// Maximum number of paths over any single edge (0 when empty).
     pub fn congestion(&self) -> usize {
-        let mut load: HashMap<(u32, u32), usize> = HashMap::new();
-        for p in &self.paths {
-            for e in p.edges() {
-                *load.entry(e).or_insert(0) += 1;
-            }
-        }
-        load.values().copied().max().unwrap_or(0)
+        congestion_of(self.paths.iter())
     }
 
     /// Maximum path length in hops (0 when empty).
@@ -163,6 +151,32 @@ impl PathSet {
     pub fn is_valid_in(&self, g: &Graph) -> bool {
         self.paths.iter().all(|p| p.is_valid_in(g))
     }
+}
+
+/// Maximum multiplicity of any normalized edge pair across `paths` —
+/// shared by [`PathSet::congestion`] and the clone-free
+/// [`Embedding::quality`](crate::Embedding::quality). Sort-and-scan
+/// rather than a hash map: the edge lists here are preprocessing-sized,
+/// and sorting a flat `Vec` of pairs is both faster and deterministic.
+pub(crate) fn congestion_of<'a>(paths: impl Iterator<Item = &'a Path>) -> usize {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for p in paths {
+        pairs.extend(p.edges());
+    }
+    pairs.sort_unstable();
+    let mut best = 0usize;
+    let mut run = 0usize;
+    let mut prev = None;
+    for pair in pairs {
+        if prev == Some(pair) {
+            run += 1;
+        } else {
+            prev = Some(pair);
+            run = 1;
+        }
+        best = best.max(run);
+    }
+    best
 }
 
 impl FromIterator<Path> for PathSet {

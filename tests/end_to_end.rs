@@ -171,3 +171,19 @@ fn deterministic_across_router_rebuilds() {
     assert_eq!(ra.positions, rb.positions);
     assert_eq!(a.preprocessing_ledger().total(), b.preprocessing_ledger().total());
 }
+
+#[test]
+fn round_ledger_is_byte_identical_across_runs() {
+    // The query path iterates groups in dense-index order (no HashMap
+    // iteration), so two runs of the same instance must produce the
+    // same charged rounds phase by phase — byte-identical ledgers, not
+    // just equal totals.
+    let g = generators::random_regular(512, 4, 17).unwrap();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let inst = RoutingInstance::uniform_load(512, 8, 19);
+    let a = router.route(&inst).expect("valid");
+    let b = router.route(&inst).expect("valid");
+    assert_eq!(a.positions, b.positions);
+    assert_eq!(a.ledger, b.ledger, "phase-by-phase ledger mismatch");
+    assert_eq!(a.ledger.to_string().into_bytes(), b.ledger.to_string().into_bytes());
+}

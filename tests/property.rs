@@ -181,3 +181,88 @@ proptest! {
         prop_assert_eq!(inst.load(32), expect);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn flat_move_cost_equals_hashmap_reference(walks in proptest::collection::vec(
+        (0..N as u32, 0..N as u32, 0u64..4), 1..40)) {
+        // The dense edge-id accumulator must charge exactly what the
+        // HashMap reference charges, path for path, including the
+        // times == 0 and zero-hop skips.
+        use expander_core::exec::{FlatMoveCost, MoveCost};
+        use expander_graphs::FlatPaths;
+        let g = shared_router().graph();
+        let paths: Vec<Path> = walks
+            .iter()
+            .map(|&(s, d, _)| Path::new(g.shortest_path(s, d).expect("connected")))
+            .collect();
+        let arena = FlatPaths::from_paths(g, paths.iter());
+        let mut reference = MoveCost::new();
+        let mut flat = FlatMoveCost::new(g.edge_id_count());
+        for (i, (p, &(_, _, times))) in paths.iter().zip(&walks).enumerate() {
+            reference.add(p, times);
+            flat.add_flat(&arena, i, times);
+        }
+        prop_assert_eq!(flat.cost(), reference.cost());
+        // A second accumulation after reset must match a fresh oracle.
+        flat.reset();
+        let mut fresh = MoveCost::new();
+        for (i, p) in paths.iter().enumerate() {
+            fresh.add(p, 2);
+            flat.add_flat(&arena, i, 2);
+        }
+        prop_assert_eq!(flat.cost(), fresh.cost());
+    }
+
+    #[test]
+    fn sparse_shuffler_mixing_matches_dense(
+        t in 2usize..10,
+        raw_rounds in proptest::collection::vec(
+            proptest::collection::vec((0usize..16, 0usize..16), 1..6), 1..10)) {
+        // The sparse in-place walk update and its incremental potential
+        // must reproduce the dense O(t³) product and the re-summed
+        // potential across a whole matching sequence.
+        use expander_decomp::shuffler::{apply_fractional, apply_fractional_sparse, potential_of};
+        let identity: Vec<Vec<f64>> = (0..t)
+            .map(|a| (0..t).map(|b| f64::from(u8::from(a == b))).collect())
+            .collect();
+        let mut dense = identity.clone();
+        let mut sparse = identity;
+        let mut pot = potential_of(&dense);
+        for round in &raw_rounds {
+            let mut pairs: Vec<(usize, usize)> = round
+                .iter()
+                .map(|&(a, b)| (a % t, b % t))
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            if pairs.is_empty() {
+                continue;
+            }
+            let x_val = 1.0 / (2.0 * t as f64);
+            let entries: Vec<(usize, usize, f64)> =
+                pairs.iter().map(|&(a, b)| (a, b, x_val)).collect();
+            let mut x = vec![vec![0.0f64; t]; t];
+            for &(a, b, v) in &entries {
+                x[a][b] = v;
+                x[b][a] = v;
+            }
+            dense = apply_fractional(&dense, &x);
+            pot = apply_fractional_sparse(&mut sparse, &entries, pot);
+            for (sr, dr) in sparse.iter().zip(&dense) {
+                for (s, d) in sr.iter().zip(dr) {
+                    prop_assert!((s - d).abs() <= 1e-9, "cell {s} vs {d}");
+                }
+            }
+            let dense_pot = potential_of(&dense);
+            prop_assert!(
+                (pot - dense_pot).abs() <= 1e-9 * (1.0 + dense_pot),
+                "potential {pot} vs {dense_pot}"
+            );
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //! `sample_size` timed iterations, reported as min/mean/max wall-clock
 //! per iteration on stdout. There is no statistical analysis, HTML
 //! report, or baseline comparison.
+//!
+//! Like upstream criterion, `cargo bench -- --test` switches to test
+//! mode: each benchmark body executes exactly once, untimed — CI uses
+//! this to prove bench code still runs without paying for sampling.
 
 use std::time::{Duration, Instant};
 
@@ -29,15 +33,22 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Whether the process was invoked in test mode
+/// (`cargo bench -- --test`): run each benchmark once, untimed.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The benchmark harness entry point.
 #[derive(Clone, Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion { sample_size: 10, test_mode: test_mode() }
     }
 }
 
@@ -54,6 +65,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if self.test_mode {
+            // One untimed execution: the warmup runs, zero samples are
+            // recorded, and the report line says so.
+            let mut b = Bencher { samples: Vec::new(), budget: 0 };
+            body(&mut b);
+            println!("{name:<40} test: executed 1 iteration");
+            return self;
+        }
         let mut b =
             Bencher { samples: Vec::with_capacity(self.sample_size), budget: self.sample_size };
         body(&mut b);
@@ -202,5 +221,19 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         trivial_group();
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut c = Criterion { sample_size: 10, test_mode: true };
+        let mut runs = 0u32;
+        c.bench_function("smoke_test_mode", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // Warmup only, no timed samples.
+        assert_eq!(runs, 1);
     }
 }
