@@ -3,9 +3,11 @@
 //! target sets `harness = false`; the measured quantity is *charged
 //! CONGEST rounds*, not wall-clock).
 //!
-//! Set `EXPANDER_BENCH_LARGE=1` to extend the n-sweeps to 16384
-//! (slower). `cargo bench --bench experiments -- --test` runs every
-//! experiment once at its smallest size (the CI smoke pass).
+//! Set `EXPANDER_BENCH_LARGE=1` to extend the n-sweeps to 65536
+//! (slower; the staged parallel preprocessing spreads the build over
+//! `EXPANDER_BUILD_THREADS` workers). `cargo bench --bench experiments
+//! -- --test` runs every experiment once at its smallest size (the CI
+//! smoke pass).
 
 use congest_sim::{path_sched, RoundLedger};
 use expander_apps::{cliques, mst, summarize};
@@ -18,7 +20,7 @@ use expander_graphs::{generators, metrics, Path, PathSet, SplitGraph};
 
 fn n_sweep() -> Vec<usize> {
     if std::env::var("EXPANDER_BENCH_LARGE").is_ok() {
-        sizes(&[256, 512, 1024, 2048, 4096, 8192, 16384])
+        sizes(&[256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536])
     } else {
         sizes(&[256, 512, 1024, 2048])
     }

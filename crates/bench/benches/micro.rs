@@ -11,10 +11,15 @@ use expander_decomp::{
 use expander_graphs::{generators, metrics};
 
 fn bench_hierarchy_build(c: &mut Criterion) {
-    let g = generators::random_regular(256, 4, 3).expect("generator");
-    c.bench_function("hierarchy_build_n256", |b| {
-        b.iter(|| Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy"))
-    });
+    // n = 256 pins the historical baseline; 1024/4096 track the staged
+    // parallel build (thread count from `EXPANDER_BUILD_THREADS`,
+    // default `available_parallelism`).
+    for n in [256usize, 1024, 4096] {
+        let g = generators::random_regular(n, 4, 3).expect("generator");
+        c.bench_function(&format!("hierarchy_build_n{n}"), |b| {
+            b.iter(|| Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy"))
+        });
+    }
 }
 
 fn bench_shuffler_build(c: &mut Criterion) {

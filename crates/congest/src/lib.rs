@@ -16,6 +16,12 @@
 //!    round simulation cost). The message-passing simulator is used in
 //!    tests to validate that the charges dominate real executions.
 //!
+//! The [`parallel`] module carries the deterministic task runner the
+//! staged preprocessing pipeline uses: independent build tasks execute
+//! on a bounded worker pool ([`ThreadBudget`]), results and forked
+//! ledgers merge in canonical task order, and thread count never
+//! changes a single output byte.
+//!
 //! # Example
 //!
 //! ```
@@ -32,9 +38,11 @@
 pub mod cost;
 pub mod forwarding;
 pub mod ledger;
+pub mod parallel;
 pub mod path_sched;
 pub mod programs;
 pub mod simulator;
 
 pub use ledger::RoundLedger;
+pub use parallel::ThreadBudget;
 pub use simulator::{Outbox, RunStats, Simulator, Status, VertexProgram};

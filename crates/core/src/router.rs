@@ -4,7 +4,7 @@ use crate::cost_model::CostModel;
 use crate::exec::Exec;
 use crate::network::EmbeddedNetwork;
 use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
-use congest_sim::{cost, RoundLedger};
+use congest_sim::{cost, parallel, RoundLedger};
 use expander_decomp::{
     build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, Shuffler, ShufflerParams,
     ShufflerRound,
@@ -73,7 +73,45 @@ impl RoundTable {
     }
 }
 
+/// Output of one node's parallel preprocessing task: everything
+/// [`Router::preprocess`] derives from a single hierarchy node,
+/// collected in node order after the fan-out.
+enum NodePrep {
+    /// A leaf's embedded sorting network.
+    Leaf {
+        /// The routable network.
+        net: Box<EmbeddedNetwork>,
+    },
+    /// An internal node's shuffler plus its dense-id lowerings.
+    Internal {
+        /// The node's shuffler.
+        sh: Box<Shuffler>,
+        /// Per-round flattened path arenas.
+        flats: Vec<FlatPaths>,
+        /// Per-round dispersal tables.
+        tables: Vec<RoundTable>,
+        /// Dense `global vertex -> part index` map.
+        po: Vec<u16>,
+        /// Per-part flattened `M*` arenas.
+        arenas: Vec<FlatPaths>,
+        /// Per-part flattened `M*` embeddings (consumed by the chain
+        /// walk).
+        embs: Vec<Embedding>,
+        /// Dense `bad vertex -> M* edge index` map.
+        bad_edge: Vec<u32>,
+        /// Worst `Q(flat M*)²` across the parts.
+        worst_mstar: u64,
+    },
+}
+
 /// Configuration for [`Router::preprocess`].
+///
+/// The staged parallel build reads its worker-thread count from
+/// [`HierarchyParams::threads`] (`hierarchy.threads`, falling back to
+/// `EXPANDER_BUILD_THREADS` and then `available_parallelism`); the same
+/// knob governs hierarchy construction, the per-node shuffler/flatten
+/// fan-out, and the delegate-chain walk. Preprocessing output is
+/// byte-identical for every thread count.
 #[derive(Debug, Clone, Default)]
 pub struct RouterConfig {
     /// Hierarchy construction parameters (Theorem 3.2).
@@ -174,63 +212,102 @@ impl Router {
         let mut mstar_embs: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
         let mut max_parts = 1usize;
 
-        for id in 0..n_nodes {
-            let nd = hier.node(id);
-            if nd.is_leaf() {
-                let net = EmbeddedNetwork::build(&hier, id);
-                // §6.4 preprocessing: gather the leaf topology and lay
-                // down the routable network.
-                pre_ledger.charge(
-                    "pre/leaf",
-                    cost::diameter_primitive(
-                        nd.vertices.len() as u64 + nd.diameter.min(1 << 16) as u64,
-                        nd.flat_quality as u64,
-                    ) + net.pass_cost(1),
-                );
-                leaf_nets[id] = Some(net);
-                continue;
-            }
-            // Internal: shuffler + part maps + flattened M*, all
-            // lowered to dense ids (edge-id arenas, dispersal tables,
-            // vertex-indexed lookups) so the query path never hashes.
-            let t = nd.part_count();
-            max_parts = max_parts.max(t);
-            let sh = build_shuffler(&hier, id, &config.shuffler, &mut pre_ledger);
-            let mut po = vec![u16::MAX; graph.n()];
-            for (pi, p) in nd.parts.iter().enumerate() {
-                for &v in &p.all {
-                    po[v as usize] = pi as u16;
+        // Per-node preprocessing (leaf networks; shuffler construction,
+        // embedding flattening, and the FlatPaths/RoundTable lowering
+        // for internal nodes) reads only the immutable hierarchy, so
+        // the nodes fan out across the thread budget. Each task charges
+        // a forked ledger; absorbing them in node order keeps the
+        // preprocessing ledger byte-identical to the sequential build.
+        let budget = parallel::ThreadBudget::new(parallel::build_threads(config.hierarchy.threads));
+        let prepped: Vec<(RoundLedger, NodePrep)> = {
+            let ledger_parent = &pre_ledger;
+            parallel::run_tasks(&budget, n_nodes, |id| {
+                let mut ledger = ledger_parent.fork();
+                let nd = hier.node(id);
+                if nd.is_leaf() {
+                    let net = EmbeddedNetwork::build(&hier, id);
+                    // §6.4 preprocessing: gather the leaf topology and
+                    // lay down the routable network.
+                    ledger.charge(
+                        "pre/leaf",
+                        cost::diameter_primitive(
+                            nd.vertices.len() as u64 + nd.diameter.min(1 << 16) as u64,
+                            nd.flat_quality as u64,
+                        ) + net.pass_cost(1),
+                    );
+                    return (ledger, NodePrep::Leaf { net: Box::new(net) });
+                }
+                // Internal: shuffler + part maps + flattened M*, all
+                // lowered to dense ids (edge-id arenas, dispersal
+                // tables, vertex-indexed lookups) so the query path
+                // never hashes.
+                let t = nd.part_count();
+                let sh = build_shuffler(&hier, id, &config.shuffler, &mut ledger);
+                let mut po = vec![u16::MAX; graph.n()];
+                for (pi, p) in nd.parts.iter().enumerate() {
+                    for &v in &p.all {
+                        po[v as usize] = pi as u16;
+                    }
+                }
+                let mut flats = Vec::with_capacity(sh.rounds.len());
+                let mut tables = Vec::with_capacity(sh.rounds.len());
+                for round in &sh.rounds {
+                    let flat = hier.flatten_from(id, &round.embedding);
+                    flats.push(FlatPaths::from_embedding(graph, &flat));
+                    tables.push(RoundTable::build(round, t));
+                }
+                let mut worst_mstar = 4u64;
+                let mut part_arenas = Vec::with_capacity(nd.parts.len());
+                let mut part_embs = Vec::with_capacity(nd.parts.len());
+                let mut bad_edge = vec![u32::MAX; graph.n()];
+                for p in &nd.parts {
+                    let flat = hier.flatten_from(id, &p.matching_embedding);
+                    let q = flat.quality().max(2) as u64;
+                    worst_mstar = worst_mstar.max(q * q);
+                    for (i, &(b, _)) in flat.virtual_edges().iter().enumerate() {
+                        bad_edge[b as usize] = i as u32;
+                    }
+                    part_arenas.push(FlatPaths::from_embedding(graph, &flat));
+                    part_embs.push(flat);
+                }
+                let prep = NodePrep::Internal {
+                    sh: Box::new(sh),
+                    flats,
+                    tables,
+                    po,
+                    arenas: part_arenas,
+                    embs: part_embs,
+                    bad_edge,
+                    worst_mstar,
+                };
+                (ledger, prep)
+            })
+        };
+        for (id, (ledger, prep)) in prepped.into_iter().enumerate() {
+            pre_ledger.merge(&ledger);
+            match prep {
+                NodePrep::Leaf { net } => leaf_nets[id] = Some(*net),
+                NodePrep::Internal {
+                    sh,
+                    flats,
+                    tables,
+                    po,
+                    arenas,
+                    embs,
+                    bad_edge,
+                    worst_mstar,
+                } => {
+                    max_parts = max_parts.max(hier.node(id).part_count());
+                    mstar_embs[id] = embs;
+                    shufflers[id] = Some(*sh);
+                    rounds_flat[id] = flats;
+                    round_tables[id] = tables;
+                    part_of[id] = po;
+                    mstar_flat[id] = arenas;
+                    mstar_edge[id] = bad_edge;
+                    mstar_sq[id] = worst_mstar;
                 }
             }
-            let mut flats = Vec::with_capacity(sh.rounds.len());
-            let mut tables = Vec::with_capacity(sh.rounds.len());
-            for round in &sh.rounds {
-                let flat = hier.flatten_from(id, &round.embedding);
-                flats.push(FlatPaths::from_embedding(graph, &flat));
-                tables.push(RoundTable::build(round, t));
-            }
-            let mut worst_mstar = 4u64;
-            let mut part_arenas = Vec::with_capacity(nd.parts.len());
-            let mut part_embs = Vec::with_capacity(nd.parts.len());
-            let mut bad_edge = vec![u32::MAX; graph.n()];
-            for p in &nd.parts {
-                let flat = hier.flatten_from(id, &p.matching_embedding);
-                let q = flat.quality().max(2) as u64;
-                worst_mstar = worst_mstar.max(q * q);
-                for (i, &(b, _)) in flat.virtual_edges().iter().enumerate() {
-                    bad_edge[b as usize] = i as u32;
-                }
-                part_arenas.push(FlatPaths::from_embedding(graph, &flat));
-                part_embs.push(flat);
-            }
-            mstar_embs[id] = part_embs;
-            shufflers[id] = Some(sh);
-            rounds_flat[id] = flats;
-            round_tables[id] = tables;
-            part_of[id] = po;
-            mstar_flat[id] = part_arenas;
-            mstar_edge[id] = bad_edge;
-            mstar_sq[id] = worst_mstar;
         }
 
         // Delegates and chains (Appendix D's all-to-best delegation).
@@ -240,14 +317,17 @@ impl Router {
         for (r, &b) in root_best.iter().enumerate() {
             best_rank[b as usize] = r as u32;
         }
-        let mut delegate = vec![u32::MAX; graph.n()];
-        let mut chain: Vec<Path> = (0..graph.n() as u32).map(Path::trivial).collect();
         let mut mroot_of = vec![u32::MAX; graph.n()];
         for (i, &(o, _)) in hier.mroot().iter().enumerate() {
             mroot_of[o as usize] = i as u32;
         }
         let mroot_flat = FlatPaths::from_embedding(graph, hier.mroot_embedding());
-        for v in 0..graph.n() as u32 {
+        // Each vertex's chain walks immutable per-node tables, so the
+        // vertices fan out across the thread budget too.
+        let mut delegate = vec![u32::MAX; graph.n()];
+        let mut chain: Vec<Path> = Vec::with_capacity(graph.n());
+        let walked = parallel::run_tasks(&budget, graph.n(), |vi| {
+            let v = vi as u32;
             let mut segs: Vec<Path> = Vec::new();
             let mut cur = v;
             if mroot_of[v as usize] != u32::MAX {
@@ -274,8 +354,11 @@ impl Router {
                 }
                 node = child;
             }
-            delegate[v as usize] = cur;
-            chain[v as usize] = concat_paths(v, segs);
+            (cur, concat_paths(v, segs))
+        });
+        for (v, (dele, path)) in walked.into_iter().enumerate() {
+            delegate[v] = dele;
+            chain.push(path);
         }
         let chain_flat = FlatPaths::from_paths(graph, chain.iter());
         drop(mstar_embs);

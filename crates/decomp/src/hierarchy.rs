@@ -17,11 +17,25 @@
 //!    (Property 3.1(3)); at the root, stragglers become `V ∖ W`,
 //!    covered by the `Mroot` matching (Lemma 3.5).
 //! 4. Recurse on each good child until the leaf threshold.
+//!
+//! # Staged parallel construction
+//!
+//! The recursion decomposes into independent tasks: within one
+//! cut-matching iteration the per-part probe/replay/split work touches
+//! only that part's state, and sibling subtrees share nothing but round
+//! accounting. [`Hierarchy::build`] therefore runs as a staged
+//! pipeline: probe proposals execute in parallel (packing stays
+//! sequential per iteration — the parts share the host's edge budget),
+//! and sibling subtrees build into private node arenas with forked
+//! [`RoundLedger`]s that splice back in part order. The arena splice
+//! reproduces the sequential DFS numbering exactly, so the output is
+//! byte-identical for every thread count
+//! ([`HierarchyParams::threads`]).
 
 use crate::cut_player::{deviation_mass, median_split, probe_vector, replay_walk};
 use crate::host::HostGraph;
-use crate::packing::{pack_matching_with, EscalationConfig, Packer};
-use congest_sim::{cost, RoundLedger};
+use crate::packing::{pack_matching_with, EscalationConfig, MatchingPacking, Packer};
+use congest_sim::{cost, parallel, RoundLedger, ThreadBudget};
 use expander_graphs::{metrics, Embedding, Graph, Path, VertexId};
 use std::error::Error;
 use std::fmt;
@@ -47,6 +61,12 @@ pub struct HierarchyParams {
     pub max_levels: u32,
     /// Initial packing caps (escalated geometrically).
     pub escalation: EscalationConfig,
+    /// Worker threads for the staged parallel build. `None` defers to
+    /// the `EXPANDER_BUILD_THREADS` environment variable and then
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// sequential path. The built hierarchy (node tables, embeddings,
+    /// ledger) is byte-identical for every thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for HierarchyParams {
@@ -59,6 +79,7 @@ impl Default for HierarchyParams {
             seed: 0xE5CA1ADE,
             max_levels: 8,
             escalation: EscalationConfig::default(),
+            threads: None,
         }
     }
 }
@@ -204,15 +225,16 @@ impl Hierarchy {
         let leaf_size = params.leaf_size.unwrap_or_else(|| (4 * k).max(48));
         let lambda = ((n as f64).log2() * params.lambda_factor).ceil().max(6.0) as u32;
 
-        let mut builder = Builder {
+        let threads = parallel::build_threads(params.threads);
+        let ctx = BuildCtx {
             graph,
             k,
             leaf_size,
             lambda,
             params: params.clone(),
-            nodes: Vec::new(),
-            ledger: RoundLedger::new(),
+            budget: ThreadBudget::new(threads),
         };
+        let mut builder = Builder { ctx: &ctx, nodes: Vec::new(), ledger: RoundLedger::new() };
 
         // Top-level game inside G itself.
         let root_host = HostGraph::from_graph(graph);
@@ -443,12 +465,23 @@ impl Hierarchy {
     }
 }
 
-struct Builder<'g> {
+/// Immutable context shared by every build task: the inputs, the
+/// resolved parameters, and the worker-thread permit pool.
+struct BuildCtx<'g> {
     graph: &'g Graph,
     k: usize,
     leaf_size: usize,
     lambda: u32,
     params: HierarchyParams,
+    budget: ThreadBudget,
+}
+
+/// Per-task mutable build state: a node arena (ids local to this
+/// builder) and a private round ledger. Sibling subtrees each get a
+/// fresh `Builder`; [`Builder::attach_parts`] splices their arenas and
+/// absorbs their ledgers in part order.
+struct Builder<'g, 'c> {
+    ctx: &'c BuildCtx<'g>,
     nodes: Vec<HierarchyNode>,
     ledger: RoundLedger,
 }
@@ -467,10 +500,28 @@ struct GamePart {
     embedding: Embedding,
 }
 
-impl<'g> Builder<'g> {
+/// One part's cut proposal for an iteration, produced by the parallel
+/// probe stage and consumed by the sequential packing stage.
+enum Proposal {
+    /// The part's deviation mass vanished: it is mixed.
+    Mixed,
+    /// A bisection of the active set, ready for the matching player.
+    Cut { sources: Vec<u32>, sinks: Vec<u32> },
+}
+
+impl Builder<'_, '_> {
     /// Plays the simultaneous cut-matching game over `vertices` inside
     /// `host`, charging construction rounds at flattened quality
     /// `flat_quality`.
+    ///
+    /// Each iteration runs in two stages. The *probe* stage computes
+    /// every part's replayed projection and cut proposal — work that
+    /// depends only on that part's own history, so it fans out across
+    /// the thread budget. The *packing* stage then consumes the
+    /// proposals strictly sequentially in the rotated part order: the
+    /// parts share one [`Packer`]'s edge budget (the games run
+    /// "simultaneously" in the paper), so capacity consumption must
+    /// stay ordered.
     fn partition_game(
         &mut self,
         host: &HostGraph,
@@ -478,8 +529,8 @@ impl<'g> Builder<'g> {
         level: u32,
         flat_quality: usize,
     ) -> GameOutcome {
-        let k = self.k;
-        let n_part = vertices.len().div_ceil(k);
+        let ctx = self.ctx;
+        let n_part = vertices.len().div_ceil(ctx.k);
         let parts: Vec<Vec<VertexId>> =
             vertices.chunks(n_part.max(1)).map(<[VertexId]>::to_vec).collect();
         let t = parts.len();
@@ -491,19 +542,20 @@ impl<'g> Builder<'g> {
         let mut history: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); t]; // local pairs
         let mut embeddings: Vec<Embedding> = vec![Embedding::new(); t];
         let mut mixed = vec![false; t];
+        // Scratch for the dead-source sweep (reset between uses).
+        let mut dead_mark = vec![false; host.n()];
 
-        for iter in 0..self.lambda {
-            let mut packer = Packer::new(host);
-            let mut progress = false;
-            for pi_raw in 0..t {
-                // Rotate processing order so no part always packs last.
-                let pi = (pi_raw + iter as usize) % t;
+        for iter in 0..ctx.lambda {
+            // Probe stage: per-part proposals, in parallel. A part's
+            // probe is a pure function of its own history/active state
+            // from previous iterations, so the fan-out is exact.
+            let mut proposals: Vec<Option<Proposal>> = parallel::run_tasks(&ctx.budget, t, |pi| {
                 if mixed[pi] || active[pi].len() < 4 {
-                    continue;
+                    return None;
                 }
                 // Fresh probe, replayed through this part's history
                 // (exactly R_{i-1}·r, see cut_player docs).
-                let seed = self
+                let seed = ctx
                     .params
                     .seed
                     .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(iter as u64 + 1))
@@ -517,18 +569,34 @@ impl<'g> Builder<'g> {
                 replay_walk(&history[pi], &mut probe);
                 let mass = deviation_mass(&probe, &active[pi]);
                 if mass < 1e-12 {
-                    mixed[pi] = true;
-                    continue;
+                    return Some(Proposal::Mixed);
                 }
                 let mu: Vec<f64> = active[pi].iter().map(|&l| probe[l as usize]).collect();
                 let sep = median_split(&mu);
                 let sources: Vec<u32> = sep.al.iter().map(|&i| active[pi][i]).collect();
                 let sinks: Vec<u32> = sep.ar.iter().map(|&i| active[pi][i]).collect();
+                Some(Proposal::Cut { sources, sinks })
+            });
+
+            // Packing stage: strictly sequential, shared edge budget.
+            let mut packer = Packer::new(host);
+            let mut progress = false;
+            for pi_raw in 0..t {
+                // Rotate processing order so no part always packs last.
+                let pi = (pi_raw + iter as usize) % t;
+                let (sources, sinks) = match proposals[pi].take() {
+                    None => continue,
+                    Some(Proposal::Mixed) => {
+                        mixed[pi] = true;
+                        continue;
+                    }
+                    Some(Proposal::Cut { sources, sinks }) => (sources, sinks),
+                };
                 let mut sink_cap = vec![0u32; host.n()];
                 for &s in &sinks {
                     sink_cap[s as usize] = 1;
                 }
-                let mut cfg = self.params.escalation;
+                let mut cfg = ctx.params.escalation;
                 cfg.dilation_cap = cfg.dilation_cap.max(2 * host_diam as u32 + 2);
                 let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
                 // Charge: cut player replays `iter` matchings (one H_X
@@ -549,16 +617,21 @@ impl<'g> Builder<'g> {
                 if !m.pairs.is_empty() {
                     progress = true;
                 }
+                let MatchingPacking { pairs, embedding, unmatched, .. } = m;
                 let local_pairs: Vec<(u32, u32)> =
-                    m.pairs.iter().map(|&(a, b)| (host.to_local(a), host.to_local(b))).collect();
+                    pairs.iter().map(|&(a, b)| (host.to_local(a), host.to_local(b))).collect();
                 history[pi].push(local_pairs);
-                for (a, b, p) in m.embedding.iter() {
-                    embeddings[pi].push(a, b, p.clone());
-                }
-                // Deactivate unmatched sources (sparse-cut side).
-                if !m.unmatched.is_empty() {
-                    let dead: Vec<u32> = m.unmatched.iter().map(|&v| host.to_local(v)).collect();
-                    active[pi].retain(|l| !dead.contains(l));
+                embeddings[pi] = std::mem::take(&mut embeddings[pi]).union(embedding);
+                // Deactivate unmatched sources (sparse-cut side) with a
+                // mark sweep over host-locals.
+                if !unmatched.is_empty() {
+                    for &v in &unmatched {
+                        dead_mark[host.to_local(v) as usize] = true;
+                    }
+                    active[pi].retain(|&l| !dead_mark[l as usize]);
+                    for &v in &unmatched {
+                        dead_mark[host.to_local(v) as usize] = false;
+                    }
                 }
             }
             if !progress && mixed.iter().all(|&m| m) {
@@ -576,19 +649,21 @@ impl<'g> Builder<'g> {
                 s
             };
             let failed = survivors.len() < (2 * parts[pi].len()).div_ceil(3)
-                || survivors.len() < self.params.min_child;
+                || survivors.len() < ctx.params.min_child;
             if failed {
                 leftover.extend_from_slice(&parts[pi]);
                 continue;
             }
             leftover.extend(parts[pi].iter().filter(|v| survivors.binary_search(v).is_err()));
-            // H_i restricted to survivors.
+            // H_i restricted to survivors; paths move, they are not
+            // cloned.
             let mut edges = Vec::new();
             let mut embedding = Embedding::new();
-            for (a, b, p) in embeddings[pi].iter() {
+            let (vedges, vpaths) = std::mem::take(&mut embeddings[pi]).into_parts();
+            for ((a, b), p) in vedges.into_iter().zip(vpaths) {
                 if survivors.binary_search(&a).is_ok() && survivors.binary_search(&b).is_ok() {
                     edges.push((a, b));
-                    embedding.push(a, b, p.clone());
+                    embedding.push(a, b, p);
                 }
             }
             out_parts.push(GamePart { survivors, edges, embedding });
@@ -622,7 +697,7 @@ impl<'g> Builder<'g> {
         }
         let sources: Vec<u32> = leftover.iter().map(|&v| host.to_local(v)).collect();
         let mut packer = Packer::new(host);
-        let mut cfg = self.params.escalation;
+        let mut cfg = self.ctx.params.escalation;
         cfg.max_escalations += 4; // leftover matching must try hard
         let m = pack_matching_with(&mut packer, &sources, &mut sink_cap, cfg);
         self.ledger.charge("pre/hierarchy/leftover", cost::route_once(&m.embedding.to_path_set()));
@@ -659,7 +734,7 @@ impl<'g> Builder<'g> {
                 }
                 let mut p2 = Packer::new(host);
                 let src2: Vec<u32> = outside.iter().map(|&v| host.to_local(v)).collect();
-                let mut cfg2 = self.params.escalation;
+                let mut cfg2 = self.ctx.params.escalation;
                 cfg2.max_escalations += 6;
                 let m2 = pack_matching_with(&mut p2, &src2, &mut cap2, cfg2);
                 self.ledger
@@ -707,11 +782,35 @@ impl<'g> Builder<'g> {
             (Vec::new(), Vec::new(), Embedding::new())
         };
 
-        // Recurse into children and assemble the parts.
+        // Recurse into the children and assemble the parts. Sibling
+        // subtrees are independent, so each builds into a private
+        // arena with a forked ledger; splicing the arenas back in part
+        // order reproduces the sequential DFS numbering byte for byte.
         let level = self.nodes[node_id].level;
+        let ctx = self.ctx;
+        let built: Vec<(Vec<HierarchyNode>, RoundLedger)> = {
+            let parent_flat = self.nodes[node_id].flat.as_ref();
+            let parent_ledger = &self.ledger;
+            parallel::map_tasks(&ctx.budget, game_parts, |_pi, gp| {
+                let mut sub = Builder { ctx, nodes: Vec::new(), ledger: parent_ledger.fork() };
+                let local_root = sub.build_subtree(None, parent_flat, gp, level + 1);
+                debug_assert_eq!(local_root, 0, "subtree root leads its arena");
+                (sub.nodes, sub.ledger)
+            })
+        };
         let mut parts = Vec::new();
-        for (pi, gp) in game_parts.into_iter().enumerate() {
-            let child = self.build_subtree(node_id, gp, level + 1);
+        for (pi, (sub_nodes, sub_ledger)) in built.into_iter().enumerate() {
+            let offset = self.nodes.len();
+            for mut nd in sub_nodes {
+                nd.id += offset;
+                nd.parent = Some(nd.parent.map_or(node_id, |p| p + offset));
+                for part in &mut nd.parts {
+                    part.child += offset;
+                }
+                self.nodes.push(nd);
+            }
+            self.ledger.merge(&sub_ledger);
+            let child = offset;
             let mut bad = std::mem::take(&mut bad_per_part[pi]);
             bad.sort_unstable();
             let mut all = self.nodes[child].vertices.clone();
@@ -728,21 +827,33 @@ impl<'g> Builder<'g> {
         Ok((parts, outside, mroot, mroot_embedding))
     }
 
-    fn build_subtree(&mut self, parent: NodeId, gp: GamePart, level: u32) -> NodeId {
+    /// Builds the subtree rooted at `gp` into this builder's arena and
+    /// returns its arena id. `parent` is the parent's id *within this
+    /// arena* (`None` when the parent lives in the caller's arena — the
+    /// splice in [`Builder::attach_parts`] rewrites it); `parent_flat`
+    /// is the parent's flatten embedding (`None` at the root, whose
+    /// virtual graph is `G` itself).
+    fn build_subtree(
+        &mut self,
+        parent: Option<NodeId>,
+        parent_flat: Option<&Embedding>,
+        gp: GamePart,
+        level: u32,
+    ) -> NodeId {
         let id = self.nodes.len();
         let mut embedding_to_parent = gp.embedding;
         let vertices = gp.survivors;
         let virtual_edges = gp.edges;
 
         // Flatten through the parent.
-        let flat = match &self.nodes[parent].flat {
+        let flat = match parent_flat {
             None => embedding_to_parent.clone(),
             Some(parent_flat) => parent_flat.compose_after(&embedding_to_parent),
         };
         let flat_quality = flat.quality().max(2);
 
         // Diameter + gap of H_X.
-        let host = HostGraph::from_edges(self.graph.n(), vertices.clone(), &virtual_edges);
+        let host = HostGraph::from_edges(self.ctx.graph.n(), vertices.clone(), &virtual_edges);
         let diameter = host.diameter_estimate();
         let spectral_gap = gap_of_virtual(&host);
 
@@ -751,7 +862,7 @@ impl<'g> Builder<'g> {
 
         self.nodes.push(HierarchyNode {
             id,
-            parent: Some(parent),
+            parent,
             level,
             vertices,
             virtual_edges,
@@ -765,14 +876,14 @@ impl<'g> Builder<'g> {
         });
 
         let n_here = self.nodes[id].vertices.len();
-        let splittable = n_here > self.leaf_size
-            && level < self.params.max_levels
-            && n_here / self.k >= self.params.min_child.max(4)
+        let splittable = n_here > self.ctx.leaf_size
+            && level < self.ctx.params.max_levels
+            && n_here / self.ctx.k >= self.ctx.params.min_child.max(4)
             && diameter != u32::MAX;
         if splittable {
             let vertices = self.nodes[id].vertices.clone();
             let edges = self.nodes[id].virtual_edges.clone();
-            let host = HostGraph::from_edges(self.graph.n(), vertices.clone(), &edges);
+            let host = HostGraph::from_edges(self.ctx.graph.n(), vertices.clone(), &edges);
             let fq = self.nodes[id].flat_quality;
             let outcome = self.partition_game(&host, &vertices, level, fq);
             if outcome.parts.len() >= 2 {

@@ -85,6 +85,13 @@ impl Embedding {
         PathSet::from_paths(self.paths.clone())
     }
 
+    /// Decomposes the embedding into its virtual edges and paths,
+    /// aligned by index — the move-based counterpart of iterating and
+    /// cloning every path.
+    pub fn into_parts(self) -> (Vec<(VertexId, VertexId)>, Vec<Path>) {
+        (self.edges, self.paths)
+    }
+
     /// Quality `Q(f)` of the embedding: the quality of its path set,
     /// computed without cloning the paths.
     pub fn quality(&self) -> usize {
@@ -246,6 +253,17 @@ mod tests {
         let composed = outer.compose_after(&inner);
         let mids: Vec<u32> = (0..2).map(|i| composed.path(i).vertices()[1]).collect();
         assert_eq!(mids, vec![5, 6], "round-robin over parallel copies");
+    }
+
+    #[test]
+    fn into_parts_keeps_alignment() {
+        let mut f = Embedding::new();
+        f.push(0, 2, path(&[0, 1, 2]));
+        f.push(3, 4, path(&[3, 4]));
+        let (edges, paths) = f.into_parts();
+        assert_eq!(edges, vec![(0, 2), (3, 4)]);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[1].vertices(), &[3, 4]);
     }
 
     #[test]

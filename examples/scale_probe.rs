@@ -1,0 +1,58 @@
+//! Scale probe: wall-clock of the staged parallel preprocessing
+//! pipeline at a configurable size.
+//!
+//! ```sh
+//! cargo run --release --example scale_probe                  # n = 2048
+//! SCALE_PROBE_N=65536 cargo run --release --example scale_probe
+//! EXPANDER_BUILD_THREADS=8 SCALE_PROBE_N=65536 \
+//!     cargo run --release --example scale_probe
+//! ```
+//!
+//! Prints per-stage timings (hierarchy, full preprocess, one
+//! permutation query) plus the charged-round totals, so thread-count
+//! scaling and the ROADMAP's 10⁵-vertex goal can be checked from one
+//! command.
+
+use expander_core::{Router, RouterConfig, RoutingInstance};
+use expander_decomp::{Hierarchy, HierarchyParams};
+use expander_graphs::generators;
+use std::time::Instant;
+
+fn main() {
+    let n: usize =
+        std::env::var("SCALE_PROBE_N").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(2048);
+    let threads = congest_sim::parallel::build_threads(None);
+    println!("scale probe: n = {n}, build threads = {threads}");
+
+    let t0 = Instant::now();
+    let g = generators::random_regular(n, 4, 42).expect("generator");
+    println!("generate 4-regular expander: {:.2?}", t0.elapsed());
+
+    let t1 = Instant::now();
+    let h = Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)).expect("hierarchy");
+    println!(
+        "Hierarchy::build: {:.2?}  ({} nodes, depth {}, {} charged rounds)",
+        t1.elapsed(),
+        h.nodes().len(),
+        h.depth(),
+        h.ledger().total()
+    );
+
+    let t2 = Instant::now();
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    println!(
+        "Router::preprocess: {:.2?}  ({} charged rounds)",
+        t2.elapsed(),
+        router.preprocessing_ledger().total()
+    );
+
+    let inst = RoutingInstance::permutation(n, 7);
+    let t3 = Instant::now();
+    let out = router.route(&inst).expect("valid instance");
+    assert!(out.all_delivered(), "undelivered tokens");
+    println!(
+        "route permutation (L = 1): {:.2?}  ({} charged rounds)",
+        t3.elapsed(),
+        out.ledger.total()
+    );
+}

@@ -7,8 +7,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] =
-    ["quickstart", "mst_expander", "clique_enumeration", "sorting_pipeline", "general_degree"];
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "mst_expander",
+    "clique_enumeration",
+    "sorting_pipeline",
+    "general_degree",
+    "scale_probe",
+];
 
 fn target_dir() -> PathBuf {
     std::env::var_os("CARGO_TARGET_DIR")
