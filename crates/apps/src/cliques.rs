@@ -10,7 +10,7 @@
 //! `Õ(n^{1−2/k})`, the paper's headline application bound.
 
 use expander_core::token::InstanceError;
-use expander_core::{Router, RoutingInstance};
+use expander_core::{QueryEngine, Router, RoutingInstance};
 use expander_graphs::Graph;
 use std::collections::{HashMap, HashSet};
 
@@ -28,7 +28,11 @@ pub struct CliqueOutcome {
     pub max_load: u64,
 }
 
-/// Enumerates all `k`-cliques of the router's graph (`k ∈ {3, 4, 5}`).
+/// Enumerates all `k`-cliques of the engine's graph (`k ∈ {3, 4, 5}`).
+///
+/// Takes the batch engine rather than a bare router so repeated
+/// listings (several `k` over one preprocessed graph) share its pooled
+/// query scratch.
 ///
 /// # Errors
 ///
@@ -37,9 +41,12 @@ pub struct CliqueOutcome {
 /// # Panics
 ///
 /// Panics if `k` is outside `3..=5`.
-pub fn enumerate_cliques(r: &Router, k: usize) -> Result<CliqueOutcome, InstanceError> {
+pub fn enumerate_cliques(
+    engine: &QueryEngine<'_>,
+    k: usize,
+) -> Result<CliqueOutcome, InstanceError> {
     assert!((3..=5).contains(&k), "k must be in 3..=5");
-    let g = r.graph();
+    let g = engine.router().graph();
     let n = g.n();
     let s = (n as f64).powf(1.0 / k as f64).ceil() as usize;
     let group_size = n.div_ceil(s);
@@ -73,7 +80,7 @@ pub fn enumerate_cliques(r: &Router, k: usize) -> Result<CliqueOutcome, Instance
     // One routing query ships all edge copies.
     let inst = RoutingInstance::from_triples(&triples);
     let max_load = inst.load(n) as u64;
-    let out = r.route(&inst)?;
+    let out = engine.route_one(&inst)?;
     debug_assert!(out.all_delivered());
 
     // Local listing at each responsible vertex.
@@ -220,7 +227,8 @@ pub fn enumerate_triangles_general(
                 Router::preprocess(&sub, expander_core::RouterConfig::for_epsilon(0.4))
             {
                 preprocessing_rounds += router.preprocessing_ledger().total();
-                let out = enumerate_cliques(&router, 3)?;
+                let engine = QueryEngine::new(&router);
+                let out = enumerate_cliques(&engine, 3)?;
                 count += out.count;
                 query_rounds += out.rounds;
                 continue;
@@ -295,8 +303,9 @@ mod tests {
     #[test]
     fn triangles_match_reference() {
         let r = router(128, 6, 1);
+        let engine = QueryEngine::new(&r);
         let reference = count_cliques_reference(r.graph(), 3);
-        let out = enumerate_cliques(&r, 3).expect("valid");
+        let out = enumerate_cliques(&engine, 3).expect("valid");
         assert_eq!(out.count, reference, "triangle count mismatch");
         assert!(out.rounds > 0);
     }
@@ -304,8 +313,9 @@ mod tests {
     #[test]
     fn four_cliques_match_reference() {
         let r = router(96, 8, 2);
+        let engine = QueryEngine::new(&r);
         let reference = count_cliques_reference(r.graph(), 4);
-        let out = enumerate_cliques(&r, 4).expect("valid");
+        let out = enumerate_cliques(&engine, 4).expect("valid");
         assert_eq!(out.count, reference, "4-clique count mismatch");
     }
 
@@ -346,7 +356,8 @@ mod tests {
         // The destination load is Õ(n^{1−2/k}): the k = 3 instance has
         // lighter *relative* load than shipping all edges to one place.
         let r = router(128, 6, 3);
-        let out = enumerate_cliques(&r, 3).expect("valid");
+        let engine = QueryEngine::new(&r);
+        let out = enumerate_cliques(&engine, 3).expect("valid");
         assert!(out.max_load > 0);
         assert!(
             out.max_load < out.tokens,

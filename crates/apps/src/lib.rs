@@ -19,13 +19,14 @@
 //!
 //! ```
 //! use expander_apps::mst;
-//! use expander_core::{Router, RouterConfig};
+//! use expander_core::{QueryEngine, Router, RouterConfig};
 //! use expander_graphs::generators;
 //!
 //! let g = generators::random_regular(128, 4, 7).expect("generator");
 //! let weights = generators::random_weights(&g, 3);
 //! let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
-//! let out = mst::minimum_spanning_tree(&router, &weights).expect("expander");
+//! let engine = QueryEngine::new(&router);
+//! let out = mst::minimum_spanning_tree(&engine, &weights).expect("expander");
 //! assert_eq!(out.edges.len(), g.n() - 1);
 //! ```
 

@@ -10,7 +10,7 @@
 
 use expander_core::ops::local_propagation;
 use expander_core::token::{InstanceError, SortInstance, SortToken};
-use expander_core::Router;
+use expander_core::QueryEngine;
 use expander_graphs::generators::WeightedEdges;
 use expander_graphs::UnionFind;
 
@@ -25,20 +25,22 @@ pub struct MstOutcome {
     pub phases: u32,
 }
 
-/// Computes the MST of the router's graph under `weights`.
+/// Computes the MST of the engine's graph under `weights`.
 ///
 /// Weights must be distinct (e.g. from
 /// [`expander_graphs::generators::random_weights`]) so the MST is
-/// unique.
+/// unique. Takes the batch engine like the sibling apps: every phase's
+/// propagation sort reuses its pooled scratch, and a caller-owned
+/// long-lived engine shares that warmth across runs.
 ///
 /// # Errors
 ///
 /// Propagates instance validation errors from the sorting primitives.
 pub fn minimum_spanning_tree(
-    r: &Router,
+    engine: &QueryEngine<'_>,
     weights: &WeightedEdges,
 ) -> Result<MstOutcome, InstanceError> {
-    let n = r.graph().n();
+    let n = engine.router().graph().n();
     let mut uf = UnionFind::new(n);
     let mut chosen: Vec<usize> = Vec::new();
     let mut rounds = 0u64;
@@ -69,7 +71,7 @@ pub fn minimum_spanning_tree(
             (0..n).map(|v| best_at[v].map_or(u64::MAX, |ei| weights.edges[ei].2)).collect();
         let vars: Vec<u64> = (0..n).map(|v| best_at[v].map_or(u64::MAX, |ei| ei as u64)).collect();
         let inst = SortInstance { tokens };
-        let prop = local_propagation(r, &inst, &tags, &vars)?;
+        let prop = local_propagation(engine, &inst, &tags, &vars)?;
         rounds += prop.rounds;
 
         // Apply the selected edges (each component's propagated value).
@@ -114,7 +116,7 @@ pub fn kruskal_reference(n: usize, weights: &WeightedEdges) -> Vec<(u32, u32, u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use expander_core::RouterConfig;
+    use expander_core::{Router, RouterConfig};
     use expander_graphs::generators;
 
     fn router(n: usize, seed: u64) -> Router {
@@ -126,7 +128,7 @@ mod tests {
     fn mst_matches_kruskal() {
         let r = router(128, 1);
         let weights = generators::random_weights(r.graph(), 2);
-        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        let out = minimum_spanning_tree(&QueryEngine::new(&r), &weights).expect("valid");
         let reference = kruskal_reference(128, &weights);
         assert_eq!(out.edges.len(), 127);
         assert_eq!(out.edges, reference, "distinct weights make the MST unique");
@@ -136,7 +138,7 @@ mod tests {
     fn phase_count_is_logarithmic() {
         let r = router(256, 2);
         let weights = generators::random_weights(r.graph(), 3);
-        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        let out = minimum_spanning_tree(&QueryEngine::new(&r), &weights).expect("valid");
         assert!(out.phases <= 16, "phases {}", out.phases);
         assert!(out.rounds > 0);
     }
@@ -145,7 +147,7 @@ mod tests {
     fn mst_total_weight_is_minimal() {
         let r = router(128, 3);
         let weights = generators::random_weights(r.graph(), 4);
-        let out = minimum_spanning_tree(&r, &weights).expect("valid");
+        let out = minimum_spanning_tree(&QueryEngine::new(&r), &weights).expect("valid");
         let ours: u128 = out.edges.iter().map(|&(_, _, w)| w as u128).sum();
         let reference: u128 =
             kruskal_reference(128, &weights).iter().map(|&(_, _, w)| w as u128).sum();

@@ -12,7 +12,7 @@
 
 use expander_core::ops::local_propagation;
 use expander_core::token::{InstanceError, SortInstance, SortToken};
-use expander_core::{Router, RoutingInstance};
+use expander_core::{JobOutcome, JobRef, QueryEngine, Router, RoutingInstance};
 use std::collections::BTreeMap;
 
 /// One processor's operation in a PRAM step.
@@ -27,9 +27,15 @@ pub enum PramOp {
 }
 
 /// A distributed PRAM over an expander router.
+///
+/// The machine owns a [`QueryEngine`] over the router: every step's
+/// routing/sorting instances run through the engine's pooled scratch
+/// (the write phase's conflict sort and delivery route ship as one
+/// batch), so long PRAM programs amortize per-query setup across all
+/// their steps.
 #[derive(Debug)]
 pub struct PramMachine<'r> {
-    router: &'r Router,
+    engine: QueryEngine<'r>,
     memory: Vec<u64>,
     /// Charged rounds across all steps.
     pub rounds: u64,
@@ -40,7 +46,12 @@ pub struct PramMachine<'r> {
 impl<'r> PramMachine<'r> {
     /// A machine with `cells` zero-initialized memory cells.
     pub fn new(router: &'r Router, cells: usize) -> Self {
-        PramMachine { router, memory: vec![0; cells], rounds: 0, steps: 0 }
+        PramMachine {
+            engine: QueryEngine::new(router),
+            memory: vec![0; cells],
+            rounds: 0,
+            steps: 0,
+        }
     }
 
     /// Current memory snapshot.
@@ -54,7 +65,7 @@ impl<'r> PramMachine<'r> {
     }
 
     fn owner(&self, cell: u64) -> u32 {
-        (cell % self.router.graph().n() as u64) as u32
+        (cell % self.engine.router().graph().n() as u64) as u32
     }
 
     /// Executes one synchronous PRAM step: `ops[p]` is processor `p`'s
@@ -70,7 +81,7 @@ impl<'r> PramMachine<'r> {
     /// Panics if `ops` has more entries than the graph has vertices or
     /// a cell index is out of range.
     pub fn step(&mut self, ops: &[PramOp]) -> Result<Vec<u64>, InstanceError> {
-        let n = self.router.graph().n();
+        let n = self.engine.router().graph().n();
         assert!(ops.len() <= n, "one op per processor");
         self.steps += 1;
 
@@ -93,7 +104,7 @@ impl<'r> PramMachine<'r> {
                 request.push((ps[0] as u32, self.owner(cell), cell));
             }
             let req_inst = RoutingInstance::from_triples(&request);
-            let out = self.router.route(&req_inst)?;
+            let out = self.engine.route_one(&req_inst)?;
             self.rounds += 2 * out.rounds(); // request + reply
 
             // Fan the fetched value out to all duplicate readers:
@@ -111,7 +122,7 @@ impl<'r> PramMachine<'r> {
             let tags: Vec<u64> = prop_tokens.iter().map(|t| t.payload).collect();
             let vars: Vec<u64> = prop_tokens.iter().map(|t| self.memory[t.key as usize]).collect();
             let prop = local_propagation(
-                self.router,
+                &self.engine,
                 &SortInstance { tokens: prop_tokens.clone() },
                 &tags,
                 &vars,
@@ -136,6 +147,8 @@ impl<'r> PramMachine<'r> {
         if !winners.is_empty() {
             // Conflict resolution = one sort (min id per cell), then one
             // routing instance carries the winning writes to owners.
+            // Both instances are static functions of the step's ops, so
+            // they ship as one engine batch.
             let write_tokens: Vec<(u32, u32, u64)> =
                 winners.iter().map(|(&cell, &(p, _))| (p as u32, self.owner(cell), cell)).collect();
             let sort_probe = SortInstance {
@@ -144,9 +157,11 @@ impl<'r> PramMachine<'r> {
                     .map(|&(src, _, cell)| SortToken { src, key: cell, payload: 0 })
                     .collect(),
             };
-            self.rounds += self.router.sort(&sort_probe)?.rounds();
-            let out = self.router.route(&RoutingInstance::from_triples(&write_tokens))?;
-            self.rounds += out.rounds();
+            let write_inst = RoutingInstance::from_triples(&write_tokens);
+            let batch =
+                self.engine.run_refs(&[JobRef::Sort(&sort_probe), JobRef::Route(&write_inst)])?;
+            debug_assert!(matches!(batch.outcomes[0], JobOutcome::Sort(_)));
+            self.rounds += batch.stats.total_rounds;
             for (&cell, &(_, v)) in &winners {
                 self.memory[cell as usize] = v;
             }

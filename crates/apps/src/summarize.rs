@@ -4,7 +4,7 @@
 
 use expander_core::ops::{local_aggregation, token_ranking};
 use expander_core::token::{InstanceError, SortInstance};
-use expander_core::Router;
+use expander_core::QueryEngine;
 
 /// Result of a summarization query.
 #[derive(Debug, Clone)]
@@ -19,18 +19,20 @@ pub struct SummaryOutcome {
 /// The `k` most frequent items among the instance's keys.
 ///
 /// Cost: one local aggregation (five sorts) plus one ranking pass over
-/// the `(count, item)` pairs (two sorts).
+/// the `(count, item)` pairs (two sorts). Takes the batch engine like
+/// the sibling apps, so repeated summarizations share its pooled
+/// query scratch.
 ///
 /// # Errors
 ///
 /// Propagates instance validation errors.
 pub fn top_k_frequent(
-    r: &Router,
+    engine: &QueryEngine<'_>,
     inst: &SortInstance,
     k: usize,
 ) -> Result<SummaryOutcome, InstanceError> {
-    let agg = local_aggregation(r, inst)?;
-    let rank = token_ranking(r, inst)?;
+    let agg = local_aggregation(engine, inst)?;
+    let rank = token_ranking(engine, inst)?;
     let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for t in &inst.tokens {
         *counts.entry(t.key).or_insert(0) += 1;
@@ -46,8 +48,11 @@ pub fn top_k_frequent(
 /// # Errors
 ///
 /// Propagates instance validation errors.
-pub fn count_distinct(r: &Router, inst: &SortInstance) -> Result<SummaryOutcome, InstanceError> {
-    let rank = token_ranking(r, inst)?;
+pub fn count_distinct(
+    engine: &QueryEngine<'_>,
+    inst: &SortInstance,
+) -> Result<SummaryOutcome, InstanceError> {
+    let rank = token_ranking(engine, inst)?;
     let distinct = rank.values.iter().copied().max().map_or(0, |m| m + 1);
     Ok(SummaryOutcome { items: vec![(distinct, distinct)], rounds: rank.rounds })
 }
@@ -55,7 +60,7 @@ pub fn count_distinct(r: &Router, inst: &SortInstance) -> Result<SummaryOutcome,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use expander_core::RouterConfig;
+    use expander_core::{Router, RouterConfig};
     use expander_graphs::generators;
 
     fn router(n: usize, seed: u64) -> Router {
@@ -81,7 +86,7 @@ mod tests {
             })
             .collect();
         let inst = SortInstance::from_triples(&triples);
-        let out = top_k_frequent(&r, &inst, 2).expect("valid");
+        let out = top_k_frequent(&QueryEngine::new(&r), &inst, 2).expect("valid");
         assert_eq!(out.items, vec![(7, 64), (3, 32)]);
         assert!(out.rounds > 0);
     }
@@ -93,7 +98,7 @@ mod tests {
         let mut keys: Vec<u64> = inst.tokens.iter().map(|t| t.key).collect();
         keys.sort_unstable();
         keys.dedup();
-        let out = count_distinct(&r, &inst).expect("valid");
+        let out = count_distinct(&QueryEngine::new(&r), &inst).expect("valid");
         assert_eq!(out.items[0].0, keys.len() as u64);
     }
 }

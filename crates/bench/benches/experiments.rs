@@ -13,7 +13,7 @@ use congest_sim::{path_sched, RoundLedger};
 use expander_apps::{cliques, mst, summarize};
 use expander_bench::{avg_query_rounds, build, fitted_exponent, section, sizes};
 use expander_core::equivalence::{route_via_sorting, sort_via_routing};
-use expander_core::{baselines, GeneralRouter, Router, RouterConfig};
+use expander_core::{baselines, GeneralRouter, QueryEngine, Router, RouterConfig};
 use expander_core::{RoutingInstance, SortInstance};
 use expander_decomp::{build_shuffler, ShufflerParams};
 use expander_graphs::{generators, metrics, Path, PathSet, SplitGraph};
@@ -122,7 +122,8 @@ fn e3_mst() {
     for &n in &n_sweep() {
         let b = build(n, 0.4, 13);
         let weights = generators::random_weights(&b.graph, 5);
-        let out = mst::minimum_spanning_tree(&b.router, &weights).expect("valid");
+        let out =
+            mst::minimum_spanning_tree(&QueryEngine::new(&b.router), &weights).expect("valid");
         let reference = mst::kruskal_reference(n, &weights);
         println!(
             "{n:>6} {:>8} {:>14} {:>10}",
@@ -147,7 +148,8 @@ fn e4_cliques() {
         for &n in &sizes(&[128, 256, 512]) {
             let g = generators::random_regular(n, d, 17).expect("generator");
             let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
-            let out = cliques::enumerate_cliques(&router, k).expect("valid");
+            let engine = QueryEngine::new(&router);
+            let out = cliques::enumerate_cliques(&engine, k).expect("valid");
             let reference = cliques::count_cliques_reference(&g, k);
             println!(
                 "{n:>6} {k:>3} {:>10} {:>10} {:>10} {:>14} {:>9}",
@@ -430,7 +432,7 @@ fn e13_summarize() {
         let triples: Vec<(u32, u64, u64)> =
             (0..n as u32).map(|v| (v, if v % 4 == 0 { 7 } else { v as u64 }, 0)).collect();
         let inst = SortInstance::from_triples(&triples);
-        let out = summarize::top_k_frequent(&b.router, &inst, 1).expect("valid");
+        let out = summarize::top_k_frequent(&QueryEngine::new(&b.router), &inst, 1).expect("valid");
         println!("{n:>6} {:>14} {:>16?}", out.rounds, out.items[0]);
     }
 }

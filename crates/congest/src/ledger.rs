@@ -39,7 +39,13 @@ impl RoundLedger {
             return;
         }
         self.total += rounds;
-        *self.by_phase.entry(phase.to_owned()).or_insert(0) += rounds;
+        // Only a phase's *first* charge allocates its key; the query
+        // hot path charges the same few phases thousands of times.
+        if let Some(slot) = self.by_phase.get_mut(phase) {
+            *slot += rounds;
+        } else {
+            self.by_phase.insert(phase.to_owned(), rounds);
+        }
     }
 
     /// Total charged rounds.
@@ -83,6 +89,14 @@ impl RoundLedger {
     pub fn absorb(&mut self, children: impl IntoIterator<Item = RoundLedger>) {
         for child in children {
             self.merge(&child);
+        }
+    }
+
+    /// Like [`absorb`](RoundLedger::absorb) but over borrowed ledgers —
+    /// the batch engine merges per-job ledgers it still owns elsewhere.
+    pub fn absorb_refs<'a>(&mut self, children: impl IntoIterator<Item = &'a RoundLedger>) {
+        for child in children {
+            self.merge(child);
         }
     }
 }
@@ -152,6 +166,20 @@ mod tests {
         parent.absorb([c1, c2]);
         assert_eq!(parent, seq, "forked charging must be byte-identical");
         assert_eq!(format!("{parent}"), format!("{seq}"));
+    }
+
+    #[test]
+    fn absorb_refs_matches_absorb() {
+        let mut c1 = RoundLedger::new();
+        c1.charge("a", 2);
+        let mut c2 = RoundLedger::new();
+        c2.charge("b", 3);
+        let mut by_value = RoundLedger::new();
+        by_value.absorb([c1.clone(), c2.clone()]);
+        let mut by_ref = RoundLedger::new();
+        by_ref.absorb_refs([&c1, &c2]);
+        assert_eq!(by_value, by_ref);
+        assert_eq!(by_ref.total(), 5);
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! The batched multi-query engine: shard many routing/sorting
+//! instances across a deterministic worker pool over one preprocessed
+//! [`Router`].
+//!
+//! The paper's headline is that one deterministic preprocessing pass
+//! amortizes across many queries (Theorem 1.1); this module makes the
+//! amortization physical. A [`QueryEngine`] accepts a batch of jobs
+//! ([`Job::Route`] / [`Job::Sort`]) and executes them on the same
+//! [`ThreadBudget`]/[`run_tasks`] worker pool the staged preprocessing
+//! build uses, with two cross-query savings:
+//!
+//! * **Pooled scratch** — per-query mutable state (the dense load
+//!   counters, counting-sort buckets, and `FlatMoveCost` accumulators
+//!   of `exec::Scratch`) is checked out of a `ScratchPool` and
+//!   returned after each job, so a batch of `B` queries allocates
+//!   `O(threads)` scratches instead of `O(B)`.
+//! * **Grouping amortization** — each scratch carries the per-worker
+//!   dummy-dispersal cache: the Task 3 dummy flock (2L tokens per
+//!   vertex, §6.3) is a pure function of `(node, L)`, so its dispersal,
+//!   final grouping, and round charges are computed once per key and
+//!   replayed for every subsequent query in the batch.
+//!
+//! Both are accelerators only: every job is a pure function of its
+//! instance and the router, jobs charge forked [`RoundLedger`]s that
+//! the batch absorbs in canonical job order, and the per-job outcomes
+//! are byte-identical to individual [`Router::route`]/[`Router::sort`]
+//! calls at every thread count and batch order
+//! (`tests/batch_determinism.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use expander_core::{QueryEngine, Router, RouterConfig, RoutingInstance};
+//! use expander_graphs::generators;
+//!
+//! let g = generators::random_regular(256, 4, 7).expect("generator");
+//! let router = Router::preprocess(&g, RouterConfig::default()).expect("expander");
+//! let engine = QueryEngine::new(&router);
+//! let batch: Vec<RoutingInstance> =
+//!     (0..8).map(|s| RoutingInstance::permutation(256, s)).collect();
+//! let (outcomes, stats) = engine.route_batch(&batch).expect("valid instances");
+//! assert!(outcomes.iter().all(|o| o.all_delivered()));
+//! assert_eq!(stats.jobs, 8);
+//! ```
+
+use crate::exec::Scratch;
+use crate::router::Router;
+use crate::token::{
+    InstanceError, QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome,
+};
+use congest_sim::parallel::{build_threads, run_tasks, ThreadBudget};
+use congest_sim::RoundLedger;
+use std::sync::Mutex;
+
+/// One owned job of a batch.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A Task 1 routing instance (Definition 4.1).
+    Route(RoutingInstance),
+    /// An expander-sorting instance (Theorem 5.6).
+    Sort(SortInstance),
+}
+
+impl Job {
+    /// Borrows the job as a [`JobRef`].
+    pub fn as_ref(&self) -> JobRef<'_> {
+        match self {
+            Job::Route(inst) => JobRef::Route(inst),
+            Job::Sort(inst) => JobRef::Sort(inst),
+        }
+    }
+}
+
+impl From<RoutingInstance> for Job {
+    fn from(inst: RoutingInstance) -> Job {
+        Job::Route(inst)
+    }
+}
+
+impl From<SortInstance> for Job {
+    fn from(inst: SortInstance) -> Job {
+        Job::Sort(inst)
+    }
+}
+
+/// One borrowed job of a batch (clone-free submission).
+#[derive(Debug, Clone, Copy)]
+pub enum JobRef<'a> {
+    /// A Task 1 routing instance (Definition 4.1).
+    Route(&'a RoutingInstance),
+    /// An expander-sorting instance (Theorem 5.6).
+    Sort(&'a SortInstance),
+}
+
+/// The outcome of one batch job, aligned with the submitted jobs.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Outcome of a [`Job::Route`].
+    Route(RoutingOutcome),
+    /// Outcome of a [`Job::Sort`].
+    Sort(SortOutcome),
+}
+
+impl JobOutcome {
+    /// The job's charged-round ledger.
+    pub fn ledger(&self) -> &RoundLedger {
+        match self {
+            JobOutcome::Route(out) => &out.ledger,
+            JobOutcome::Sort(out) => &out.ledger,
+        }
+    }
+
+    /// The job's execution statistics.
+    pub fn stats(&self) -> &QueryStats {
+        match self {
+            JobOutcome::Route(out) => &out.stats,
+            JobOutcome::Sort(out) => &out.stats,
+        }
+    }
+
+    /// Total charged rounds of the job.
+    pub fn rounds(&self) -> u64 {
+        self.ledger().total()
+    }
+
+    /// The routing outcome, if this was a route job.
+    pub fn into_route(self) -> Option<RoutingOutcome> {
+        match self {
+            JobOutcome::Route(out) => Some(out),
+            JobOutcome::Sort(_) => None,
+        }
+    }
+
+    /// The sorting outcome, if this was a sort job.
+    pub fn into_sort(self) -> Option<SortOutcome> {
+        match self {
+            JobOutcome::Sort(out) => Some(out),
+            JobOutcome::Route(_) => None,
+        }
+    }
+}
+
+/// Batch-level aggregate over the per-job outcomes, computed in
+/// canonical job order.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Every job's ledger absorbed in canonical job order.
+    pub merged: RoundLedger,
+    /// Sum of per-job charged rounds (equals `merged.total()`).
+    pub total_rounds: u64,
+    /// The worst single job's charged rounds.
+    pub max_rounds: u64,
+    /// Element-wise aggregate of the per-job [`QueryStats`] (sums for
+    /// counters, element-wise maxima for the load trace and the
+    /// congestion/dilation observations).
+    pub query: QueryStats,
+}
+
+impl BatchStats {
+    fn collect(outcomes: &[JobOutcome]) -> BatchStats {
+        let mut stats = BatchStats { jobs: outcomes.len(), ..BatchStats::default() };
+        stats.merged.absorb_refs(outcomes.iter().map(JobOutcome::ledger));
+        stats.total_rounds = stats.merged.total();
+        for out in outcomes {
+            stats.max_rounds = stats.max_rounds.max(out.rounds());
+            let q = out.stats();
+            stats.query.max_congestion = stats.query.max_congestion.max(q.max_congestion);
+            stats.query.max_dilation = stats.query.max_dilation.max(q.max_dilation);
+            stats.query.fallback_tokens += q.fallback_tokens;
+            stats.query.dispersion_violations += q.dispersion_violations;
+            stats.query.dispersion_checked += q.dispersion_checked;
+            stats.query.task3_calls += q.task3_calls;
+            stats.query.charged_sorts += q.charged_sorts;
+            if stats.query.max_load_trace.len() < q.max_load_trace.len() {
+                stats.query.max_load_trace.resize(q.max_load_trace.len(), 0);
+            }
+            for (i, &load) in q.max_load_trace.iter().enumerate() {
+                stats.query.max_load_trace[i] = stats.query.max_load_trace[i].max(load);
+            }
+        }
+        stats
+    }
+
+    /// The worst per-edge congestion observed by any job's measured
+    /// movement legs.
+    pub fn max_congestion(&self) -> u64 {
+        self.query.max_congestion
+    }
+
+    /// The worst path dilation observed by any job.
+    pub fn max_dilation(&self) -> u64 {
+        self.query.max_dilation
+    }
+}
+
+/// Outcome of a whole batch: per-job outcomes in submission order plus
+/// the batch aggregate.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-job outcomes, aligned with the submitted jobs.
+    pub outcomes: Vec<JobOutcome>,
+    /// The batch-level aggregate.
+    pub stats: BatchStats,
+}
+
+/// A checkout/return pool of query scratches.
+///
+/// Workers check a scratch out per job and return it afterwards, so a
+/// batch of `B` jobs materializes at most `max(live workers)` scratches
+/// — `O(threads)`, not `O(B)` — and each scratch's dummy-dispersal
+/// cache warms across all the jobs that pass through it.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    slots: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    /// Checks a scratch out (a fresh one if the pool is empty). The
+    /// single reset point is `Router::execute`, which re-targets the
+    /// scratch at its router before every job.
+    fn checkout(&self, r: &Router) -> Scratch {
+        self.slots.lock().expect("unpoisoned").pop().unwrap_or_else(|| Scratch::new(r))
+    }
+
+    /// Returns a scratch to the pool.
+    fn restore(&self, scratch: Scratch) {
+        self.slots.lock().expect("unpoisoned").push(scratch);
+    }
+}
+
+/// The batched multi-query engine over one preprocessed [`Router`].
+///
+/// See the [module docs](self) for the execution model. Engines are
+/// cheap to construct but long-lived ones are faster: the scratch pool
+/// and dummy caches warm across every batch (and every
+/// [`route_one`](QueryEngine::route_one)/
+/// [`sort_one`](QueryEngine::sort_one) call) served by the same engine.
+#[derive(Debug)]
+pub struct QueryEngine<'r> {
+    router: &'r Router,
+    threads: Option<usize>,
+    pool: ScratchPool,
+}
+
+impl<'r> QueryEngine<'r> {
+    /// An engine over `router` with the default worker count
+    /// (`EXPANDER_BUILD_THREADS`, then `available_parallelism`).
+    pub fn new(router: &'r Router) -> Self {
+        QueryEngine { router, threads: None, pool: ScratchPool::default() }
+    }
+
+    /// Overrides the worker-thread count (`None` restores the
+    /// environment-driven default; the count is clamped to ≥ 1).
+    /// Outputs are byte-identical for every setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The underlying preprocessed router.
+    pub fn router(&self) -> &'r Router {
+        self.router
+    }
+
+    /// Executes a batch of owned jobs. See [`run_refs`](Self::run_refs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid job's error (in job order) before any
+    /// job executes.
+    pub fn run(&self, jobs: &[Job]) -> Result<BatchOutcome, InstanceError> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(Job::as_ref).collect();
+        self.run_refs(&refs)
+    }
+
+    /// Executes a batch of borrowed jobs sharded across the worker
+    /// pool: every job is validated up front, then executed against a
+    /// pooled scratch with a forked ledger; outcomes come back in
+    /// submission order and the batch aggregate absorbs the per-job
+    /// ledgers in that same canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid job's error (in job order) before any
+    /// job executes.
+    pub fn run_refs(&self, jobs: &[JobRef<'_>]) -> Result<BatchOutcome, InstanceError> {
+        for &job in jobs {
+            self.router.validate(job)?;
+        }
+        let budget = ThreadBudget::new(build_threads(self.threads));
+        let outcomes = run_tasks(&budget, jobs.len(), |i| self.run_validated(jobs[i]));
+        let stats = BatchStats::collect(&outcomes);
+        Ok(BatchOutcome { outcomes, stats })
+    }
+
+    /// The single checkout → execute → restore protocol behind every
+    /// engine execution path. Each job charges a private ledger; batch
+    /// aggregates absorb them in canonical job order afterwards.
+    fn run_validated(&self, job: JobRef<'_>) -> JobOutcome {
+        let mut scratch = self.pool.checkout(self.router);
+        let out = self.router.execute(job, &mut scratch, RoundLedger::new());
+        self.pool.restore(scratch);
+        out
+    }
+
+    /// Routes a batch of Task 1 instances, returning the per-instance
+    /// outcomes (submission order) and the batch aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid instance's error before any executes.
+    pub fn route_batch(
+        &self,
+        insts: &[RoutingInstance],
+    ) -> Result<(Vec<RoutingOutcome>, BatchStats), InstanceError> {
+        let refs: Vec<JobRef<'_>> = insts.iter().map(JobRef::Route).collect();
+        let batch = self.run_refs(&refs)?;
+        let outs = batch
+            .outcomes
+            .into_iter()
+            .map(|o| o.into_route().expect("route job yields route outcome"))
+            .collect();
+        Ok((outs, batch.stats))
+    }
+
+    /// Sorts a batch of instances, returning the per-instance outcomes
+    /// (submission order) and the batch aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid instance's error before any executes.
+    pub fn sort_batch(
+        &self,
+        insts: &[SortInstance],
+    ) -> Result<(Vec<SortOutcome>, BatchStats), InstanceError> {
+        let refs: Vec<JobRef<'_>> = insts.iter().map(JobRef::Sort).collect();
+        let batch = self.run_refs(&refs)?;
+        let outs = batch
+            .outcomes
+            .into_iter()
+            .map(|o| o.into_sort().expect("sort job yields sort outcome"))
+            .collect();
+        Ok((outs, batch.stats))
+    }
+
+    /// Routes a single instance through the pooled scratch — for
+    /// callers that interleave queries with local work but still want
+    /// the cross-query amortization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token references a vertex outside the
+    /// graph.
+    pub fn route_one(&self, inst: &RoutingInstance) -> Result<RoutingOutcome, InstanceError> {
+        let job = JobRef::Route(inst);
+        self.router.validate(job)?;
+        Ok(self.run_validated(job).into_route().expect("route job yields route outcome"))
+    }
+
+    /// Sorts a single instance through the pooled scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token references a vertex outside the
+    /// graph.
+    pub fn sort_one(&self, inst: &SortInstance) -> Result<SortOutcome, InstanceError> {
+        let job = JobRef::Sort(inst);
+        self.router.validate(job)?;
+        Ok(self.run_validated(job).into_sort().expect("sort job yields sort outcome"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterConfig;
+    use expander_graphs::generators;
+
+    fn router(n: usize, seed: u64) -> Router {
+        let g = generators::random_regular(n, 4, seed).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    }
+
+    #[test]
+    fn batch_outcomes_match_individual_queries() {
+        let r = router(256, 1);
+        let engine = QueryEngine::new(&r).with_threads(Some(1));
+        let insts: Vec<RoutingInstance> =
+            (0..6).map(|s| RoutingInstance::permutation(256, s)).collect();
+        let (outs, stats) = engine.route_batch(&insts).expect("valid");
+        assert_eq!(stats.jobs, 6);
+        for (inst, out) in insts.iter().zip(&outs) {
+            let solo = r.route(inst).expect("valid");
+            assert!(out.all_delivered());
+            assert_eq!(out.positions, solo.positions);
+            assert_eq!(out.ledger, solo.ledger);
+            assert_eq!(format!("{:?}", out.stats), format!("{:?}", solo.stats));
+        }
+        let mut merged = RoundLedger::new();
+        merged.absorb_refs(outs.iter().map(|o| &o.ledger));
+        assert_eq!(stats.merged, merged);
+        assert_eq!(stats.total_rounds, merged.total());
+    }
+
+    #[test]
+    fn mixed_jobs_preserve_submission_order() {
+        let r = router(256, 2);
+        let engine = QueryEngine::new(&r);
+        let route = RoutingInstance::permutation(256, 3);
+        let sort = SortInstance::random(256, 1, 4);
+        let jobs = vec![Job::Sort(sort.clone()), Job::Route(route.clone()), Job::Sort(sort)];
+        let batch = engine.run(&jobs).expect("valid");
+        assert_eq!(batch.outcomes.len(), 3);
+        assert!(matches!(batch.outcomes[0], JobOutcome::Sort(_)));
+        assert!(matches!(batch.outcomes[1], JobOutcome::Route(_)));
+        assert!(matches!(batch.outcomes[2], JobOutcome::Sort(_)));
+        assert!(batch.stats.max_rounds <= batch.stats.total_rounds);
+        assert!(batch.stats.max_congestion() > 0);
+        assert!(batch.stats.max_dilation() > 0);
+    }
+
+    #[test]
+    fn invalid_job_fails_before_execution() {
+        let r = router(128, 3);
+        let engine = QueryEngine::new(&r);
+        let good = RoutingInstance::permutation(128, 1);
+        let bad = RoutingInstance::from_triples(&[(0, 9999, 0)]);
+        assert!(engine.route_batch(&[good, bad]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let r = router(128, 4);
+        let engine = QueryEngine::new(&r);
+        let batch = engine.run(&[]).expect("valid");
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.stats.jobs, 0);
+        assert_eq!(batch.stats.total_rounds, 0);
+    }
+
+    #[test]
+    fn single_query_helpers_match_router_calls() {
+        let r = router(256, 5);
+        let engine = QueryEngine::new(&r);
+        let inst = RoutingInstance::permutation(256, 6);
+        let a = engine.route_one(&inst).expect("valid");
+        let b = r.route(&inst).expect("valid");
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.ledger, b.ledger);
+        let sinst = SortInstance::random(256, 2, 7);
+        let sa = engine.sort_one(&sinst).expect("valid");
+        let sb = r.sort(&sinst).expect("valid");
+        assert_eq!(sa.positions, sb.positions);
+        assert_eq!(sa.ledger, sb.ledger);
+    }
+}

@@ -9,8 +9,12 @@
 //!   at doubled load, and let each dummy escort its real token home.
 //!
 //! Both run against the real [`Router`] primitives so the measured
-//! overhead factors are experiment E11's data.
+//! overhead factors are experiment E11's data. The oracle calls inside
+//! each reduction are data-independent of the local compare steps, so
+//! both reductions submit them as one [`QueryEngine`] batch instead of
+//! hand-rolling a loop of router calls.
 
+use crate::engine::QueryEngine;
 use crate::network::odd_even_layers;
 use crate::router::Router;
 use crate::token::{
@@ -55,20 +59,29 @@ pub fn sort_via_routing(r: &Router, inst: &SortInstance) -> Result<SortViaRoutin
         s.sort_unstable();
     }
 
+    // A layer's gather/scatter instances depend only on the network's
+    // static comparator structure, never on token values, so each
+    // layer's pair ships as one engine batch (one long-lived engine
+    // pools scratches and dummy caches across all the layers) while
+    // only one layer's instances are live at a time; the local compare
+    // replay stays sequential.
+    let engine = QueryEngine::new(r);
     let mut ledger = RoundLedger::new();
     let mut route_calls = 0u64;
     for layer in odd_even_layers(n) {
-        // Gather: the higher-ID endpoint ships its tokens to the lower.
-        let mut triples = Vec::new();
-        for &(a, b) in &layer {
-            for slot in 0..load {
-                triples.push((b as u32, a as u32, slot as u64));
+        for (label, forward) in [("equiv/f1/gather", true), ("equiv/f1/scatter", false)] {
+            let mut triples = Vec::new();
+            for &(a, b) in &layer {
+                let (src, dst) = if forward { (b, a) } else { (a, b) };
+                for slot in 0..load {
+                    triples.push((src as u32, dst as u32, slot as u64));
+                }
             }
-        }
-        if !triples.is_empty() {
-            let out = r.route(&RoutingInstance::from_triples(&triples))?;
-            ledger.charge("equiv/f1/gather", out.rounds());
-            route_calls += 1;
+            if !triples.is_empty() {
+                let out = engine.route_one(&RoutingInstance::from_triples(&triples))?;
+                ledger.charge(label, out.rounds());
+                route_calls += 1;
+            }
         }
         // Local compare: keep the smaller half at `a`.
         for &(a, b) in &layer {
@@ -78,18 +91,6 @@ pub fn sort_via_routing(r: &Router, inst: &SortInstance) -> Result<SortViaRoutin
             merged.sort_unstable();
             slots[b] = merged.split_off(load);
             slots[a] = merged;
-        }
-        // Scatter: the larger half returns along the same routes.
-        let mut triples = Vec::new();
-        for &(a, b) in &layer {
-            for slot in 0..load {
-                triples.push((a as u32, b as u32, slot as u64));
-            }
-        }
-        if !triples.is_empty() {
-            let out = r.route(&RoutingInstance::from_triples(&triples))?;
-            ledger.charge("equiv/f1/scatter", out.rounds());
-            route_calls += 1;
         }
     }
 
@@ -101,7 +102,10 @@ pub fn sort_via_routing(r: &Router, inst: &SortInstance) -> Result<SortViaRoutin
             }
         }
     }
-    Ok(SortViaRouting { outcome: SortOutcome { positions, ledger }, route_calls })
+    Ok(SortViaRouting {
+        outcome: SortOutcome { positions, ledger, stats: QueryStats::default() },
+        route_calls,
+    })
 }
 
 /// Result of the Lemma F.2 reduction.
@@ -132,8 +136,8 @@ pub fn route_via_sorting(
     let mut ledger = RoundLedger::new();
     let mut sort_calls = 0u64;
 
-    // Local aggregation + serialization: two charged sorts each,
-    // measured on the real tokens.
+    // Both sort instances (the aggregation probe and the pair sort) are
+    // static functions of the input, so they execute as one batch.
     let probe = SortInstance {
         tokens: inst
             .tokens
@@ -141,12 +145,6 @@ pub fn route_via_sorting(
             .map(|t| SortToken { src: t.src, key: t.dst as u64, payload: t.payload })
             .collect(),
     };
-    if !probe.tokens.is_empty() {
-        let probe_rounds = r.sort(&probe)?.rounds();
-        ledger.charge("equiv/f2/aggregate", probe_rounds);
-        ledger.charge("equiv/f2/serialize", probe_rounds);
-        sort_calls += 2;
-    }
 
     // Serial numbers per destination.
     let mut next_serial = vec![0u64; n];
@@ -167,8 +165,29 @@ pub fn route_via_sorting(
         }
     }
     let final_sort = SortInstance { tokens: combined };
-    if !final_sort.tokens.is_empty() {
-        let rounds = r.sort(&final_sort)?.rounds();
+
+    let mut instances: Vec<SortInstance> = Vec::new();
+    let probe_runs = !probe.tokens.is_empty();
+    if probe_runs {
+        instances.push(probe);
+    }
+    let final_runs = !final_sort.tokens.is_empty();
+    if final_runs {
+        instances.push(final_sort);
+    }
+    let engine = QueryEngine::new(r);
+    let (outs, _batch) = engine.sort_batch(&instances)?;
+    let mut outs = outs.into_iter();
+    if probe_runs {
+        // Local aggregation + serialization: two charged sorts each,
+        // measured on the real tokens.
+        let probe_rounds = outs.next().expect("probe outcome").rounds();
+        ledger.charge("equiv/f2/aggregate", probe_rounds);
+        ledger.charge("equiv/f2/serialize", probe_rounds);
+        sort_calls += 2;
+    }
+    if final_runs {
+        let rounds = outs.next().expect("pair-sort outcome").rounds();
         ledger.charge("equiv/f2/pair-sort", rounds);
         // The escort trip back costs the same as the dummies' journey.
         ledger.charge("equiv/f2/escort", rounds);

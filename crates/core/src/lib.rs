@@ -12,6 +12,11 @@
 //!   chains; [`Router::route`] answers a Task 1 instance in
 //!   `poly(ψ⁻¹)·log^{O(1/ε)} n` charged rounds; [`Router::sort`]
 //!   answers an expander-sorting instance (Theorem 5.6).
+//! * [`engine`] — the batched multi-query engine: [`QueryEngine`]
+//!   shards a batch of routing/sorting jobs across a deterministic
+//!   worker pool over one preprocessed router, with pooled per-worker
+//!   scratches and cross-query dummy-dispersal caching; outcomes are
+//!   byte-identical to individual queries at every thread count.
 //! * [`exec`] — the physical query execution: Task 2/Task 3 recursion,
 //!   shuffler-driven dispersal (Definition 6.1, Lemmas 6.2/6.6), the
 //!   meet-in-the-middle merge (§6.3), and the leaf case (§6.4).
@@ -41,6 +46,7 @@
 
 pub mod baselines;
 pub mod cost_model;
+pub mod engine;
 pub mod equivalence;
 pub mod exec;
 pub mod general;
@@ -49,6 +55,7 @@ pub mod ops;
 pub mod router;
 pub mod token;
 
+pub use engine::{BatchOutcome, BatchStats, Job, JobOutcome, JobRef, QueryEngine};
 pub use general::GeneralRouter;
 pub use router::{Router, RouterConfig};
 pub use token::{RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};

@@ -7,8 +7,15 @@
 //! remaining passes charge the same measured cost (the paper's
 //! reductions re-run the identical machinery). Result values are
 //! computed exactly per the definitions.
+//!
+//! Every primitive takes a [`QueryEngine`] rather than a bare
+//! [`Router`](crate::router::Router): the physical sort inside each
+//! call runs through the engine's pooled scratch, so pipelines that
+//! invoke these primitives repeatedly (MST phases, PRAM steps,
+//! summarization passes) amortize the per-query setup across calls —
+//! construct one engine per router and reuse it.
 
-use crate::router::Router;
+use crate::engine::QueryEngine;
 use crate::token::{InstanceError, SortInstance};
 
 /// Result of a token-level primitive: one value per token (aligned
@@ -21,8 +28,11 @@ pub struct OpOutcome {
     pub rounds: u64,
 }
 
-fn measured_sort_rounds(r: &Router, inst: &SortInstance) -> Result<u64, InstanceError> {
-    Ok(r.sort(inst)?.rounds())
+fn measured_sort_rounds(
+    engine: &QueryEngine<'_>,
+    inst: &SortInstance,
+) -> Result<u64, InstanceError> {
+    Ok(engine.sort_one(inst)?.rounds())
 }
 
 /// Token ranking (Theorem 5.7): each token learns the number of
@@ -31,8 +41,11 @@ fn measured_sort_rounds(r: &Router, inst: &SortInstance) -> Result<u64, Instance
 /// # Errors
 ///
 /// Propagates instance validation errors.
-pub fn token_ranking(r: &Router, inst: &SortInstance) -> Result<OpOutcome, InstanceError> {
-    let one_sort = measured_sort_rounds(r, inst)?;
+pub fn token_ranking(
+    engine: &QueryEngine<'_>,
+    inst: &SortInstance,
+) -> Result<OpOutcome, InstanceError> {
+    let one_sort = measured_sort_rounds(engine, inst)?;
     let mut keys: Vec<u64> = inst.tokens.iter().map(|t| t.key).collect();
     keys.sort_unstable();
     keys.dedup();
@@ -50,8 +63,11 @@ pub fn token_ranking(r: &Router, inst: &SortInstance) -> Result<OpOutcome, Insta
 /// # Errors
 ///
 /// Propagates instance validation errors.
-pub fn local_serialization(r: &Router, inst: &SortInstance) -> Result<OpOutcome, InstanceError> {
-    let one_sort = measured_sort_rounds(r, inst)?;
+pub fn local_serialization(
+    engine: &QueryEngine<'_>,
+    inst: &SortInstance,
+) -> Result<OpOutcome, InstanceError> {
+    let one_sort = measured_sort_rounds(engine, inst)?;
     let mut order: Vec<usize> = (0..inst.tokens.len()).collect();
     order.sort_by_key(|&i| (inst.tokens[i].key, inst.tokens[i].src, i));
     let mut values = vec![0u64; inst.tokens.len()];
@@ -73,8 +89,11 @@ pub fn local_serialization(r: &Router, inst: &SortInstance) -> Result<OpOutcome,
 /// # Errors
 ///
 /// Propagates instance validation errors.
-pub fn local_aggregation(r: &Router, inst: &SortInstance) -> Result<OpOutcome, InstanceError> {
-    let one_sort = measured_sort_rounds(r, inst)?;
+pub fn local_aggregation(
+    engine: &QueryEngine<'_>,
+    inst: &SortInstance,
+) -> Result<OpOutcome, InstanceError> {
+    let one_sort = measured_sort_rounds(engine, inst)?;
     let mut counts = std::collections::HashMap::new();
     for t in &inst.tokens {
         *counts.entry(t.key).or_insert(0u64) += 1;
@@ -93,7 +112,7 @@ pub fn local_aggregation(r: &Router, inst: &SortInstance) -> Result<OpOutcome, I
 /// Propagates instance validation errors; errors if the slices
 /// misalign.
 pub fn local_propagation(
-    r: &Router,
+    engine: &QueryEngine<'_>,
     inst: &SortInstance,
     tags: &[u64],
     vars: &[u64],
@@ -101,7 +120,7 @@ pub fn local_propagation(
     if tags.len() != inst.tokens.len() || vars.len() != inst.tokens.len() {
         return Err(InstanceError::new("tags/vars misaligned with tokens"));
     }
-    let one_sort = measured_sort_rounds(r, inst)?;
+    let one_sort = measured_sort_rounds(engine, inst)?;
     let mut leader: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
     for (i, t) in inst.tokens.iter().enumerate() {
         let entry = leader.entry(t.key).or_insert((tags[i], vars[i]));
@@ -116,7 +135,7 @@ pub fn local_propagation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::router::RouterConfig;
+    use crate::router::{Router, RouterConfig};
     use expander_graphs::generators;
 
     fn router(n: usize, seed: u64) -> Router {
@@ -127,6 +146,7 @@ mod tests {
     #[test]
     fn ranking_counts_distinct_smaller_keys() {
         let r = router(128, 1);
+        let engine = QueryEngine::new(&r);
         let inst = SortInstance::from_triples(&[
             (0, 10, 0),
             (1, 20, 0),
@@ -134,7 +154,7 @@ mod tests {
             (3, 30, 0),
             (4, 20, 0),
         ]);
-        let out = token_ranking(&r, &inst).expect("valid");
+        let out = token_ranking(&engine, &inst).expect("valid");
         assert_eq!(out.values, vec![0, 1, 0, 2, 1]);
         assert!(out.rounds > 0);
     }
@@ -142,8 +162,9 @@ mod tests {
     #[test]
     fn serialization_is_a_bijection_per_key() {
         let r = router(128, 2);
+        let engine = QueryEngine::new(&r);
         let inst = SortInstance::random(128, 2, 3);
-        let out = local_serialization(&r, &inst).expect("valid");
+        let out = local_serialization(&engine, &inst).expect("valid");
         let mut seen = std::collections::HashSet::new();
         let mut counts = std::collections::HashMap::new();
         for t in &inst.tokens {
@@ -158,25 +179,28 @@ mod tests {
     #[test]
     fn aggregation_counts_keys() {
         let r = router(128, 3);
+        let engine = QueryEngine::new(&r);
         let inst = SortInstance::from_triples(&[(0, 5, 0), (1, 5, 0), (2, 7, 0)]);
-        let out = local_aggregation(&r, &inst).expect("valid");
+        let out = local_aggregation(&engine, &inst).expect("valid");
         assert_eq!(out.values, vec![2, 2, 1]);
     }
 
     #[test]
     fn propagation_takes_min_tag_variable() {
         let r = router(128, 4);
+        let engine = QueryEngine::new(&r);
         let inst = SortInstance::from_triples(&[(0, 1, 0), (1, 1, 0), (2, 2, 0)]);
-        let out = local_propagation(&r, &inst, &[5, 3, 9], &[50, 30, 90]).expect("valid");
+        let out = local_propagation(&engine, &inst, &[5, 3, 9], &[50, 30, 90]).expect("valid");
         assert_eq!(out.values, vec![30, 30, 90]);
     }
 
     #[test]
     fn op_costs_scale_with_pass_count() {
         let r = router(128, 5);
+        let engine = QueryEngine::new(&r);
         let inst = SortInstance::random(128, 1, 6);
-        let rank = token_ranking(&r, &inst).expect("valid");
-        let serial = local_serialization(&r, &inst).expect("valid");
+        let rank = token_ranking(&engine, &inst).expect("valid");
+        let serial = local_serialization(&engine, &inst).expect("valid");
         assert_eq!(serial.rounds, 2 * rank.rounds);
     }
 }

@@ -1,7 +1,8 @@
 //! The public preprocessing/query API (Theorem 1.1).
 
 use crate::cost_model::CostModel;
-use crate::exec::Exec;
+use crate::engine::{JobOutcome, JobRef};
+use crate::exec::{Exec, Scratch};
 use crate::network::EmbeddedNetwork;
 use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::{cost, parallel, RoundLedger};
@@ -34,6 +35,10 @@ pub(crate) struct RoundTable {
     row_start: Vec<u32>,
     entries: Vec<RoundEntry>,
     edge_refs: Vec<u32>,
+    /// Per row: the largest `m_ij / 2` of its entries (0 for empty
+    /// rows) — the dispersal loop's early-out: a token group smaller
+    /// than `1 / row_half` floors every entry's move count to zero.
+    row_half: Vec<f64>,
 }
 
 impl RoundTable {
@@ -42,6 +47,7 @@ impl RoundTable {
         let mut table = RoundTable::default();
         for i in 0..t {
             table.row_start.push(table.entries.len() as u32);
+            let mut half_max = 0.0f64;
             for j in 0..t {
                 if j == i || round.fractional[i][j] <= 0.0 {
                     continue;
@@ -54,8 +60,10 @@ impl RoundTable {
                 }
                 let hi = table.edge_refs.len() as u32;
                 debug_assert!(hi > lo, "fractional mass without portal edges");
+                half_max = half_max.max(round.fractional[i][j] / 2.0);
                 table.entries.push(RoundEntry { m_ij: round.fractional[i][j], lo, hi });
             }
+            table.row_half.push(half_max);
         }
         table.row_start.push(table.entries.len() as u32);
         table
@@ -65,6 +73,13 @@ impl RoundTable {
     /// target-part order.
     pub(crate) fn row(&self, i: usize) -> &[RoundEntry] {
         &self.entries[self.row_start[i] as usize..self.row_start[i + 1] as usize]
+    }
+
+    /// The largest `m_ij / 2` of row `i` (see `row_half`). IEEE
+    /// multiplication is monotone, so `len · row_half_max < 1` proves
+    /// `⌊len · m_ij / 2⌋ = 0` for every entry of the row.
+    pub(crate) fn row_half_max(&self, i: usize) -> f64 {
+        self.row_half[i]
     }
 
     /// The packed portal edge refs of `entry`.
@@ -468,38 +483,88 @@ impl Router {
         &self.chain[v as usize]
     }
 
+    /// Validates a job's tokens against the graph's vertex range — the
+    /// shared precondition of [`Router::route`], [`Router::sort`], and
+    /// every engine batch.
+    pub(crate) fn validate(&self, job: JobRef<'_>) -> Result<(), InstanceError> {
+        let n = self.graph.n();
+        match job {
+            JobRef::Route(inst) => {
+                for t in &inst.tokens {
+                    if t.src as usize >= n || t.dst as usize >= n {
+                        return Err(InstanceError::new(format!(
+                            "token ({}, {}) outside vertex range",
+                            t.src, t.dst
+                        )));
+                    }
+                }
+            }
+            JobRef::Sort(inst) => {
+                for t in &inst.tokens {
+                    if t.src as usize >= n {
+                        return Err(InstanceError::new(format!("source {} outside range", t.src)));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one *validated* job: the single entry point behind
+    /// [`Router::route`], [`Router::sort`], and the batch engine. The
+    /// caller provides the (possibly pooled) scratch and the (possibly
+    /// batch-forked) ledger the query charges into.
+    pub(crate) fn execute(
+        &self,
+        job: JobRef<'_>,
+        scratch: &mut Scratch,
+        ledger: RoundLedger,
+    ) -> JobOutcome {
+        scratch.reset_for(self);
+        let exec = Exec::new(self, scratch, ledger);
+        match job {
+            JobRef::Route(inst) => JobOutcome::Route(exec.run_route(inst)),
+            JobRef::Sort(inst) => JobOutcome::Sort(exec.run_sort(inst)),
+        }
+    }
+
     /// Answers a Task 1 routing query (Definition 4.1).
+    ///
+    /// Each call builds a private scratch; batch workloads should go
+    /// through [`QueryEngine`](crate::engine::QueryEngine), which pools
+    /// scratches and amortizes the shared dispersal work.
     ///
     /// # Errors
     ///
     /// Returns an error if a token references a vertex outside the
     /// graph.
     pub fn route(&self, inst: &RoutingInstance) -> Result<RoutingOutcome, InstanceError> {
-        for t in &inst.tokens {
-            if t.src as usize >= self.graph.n() || t.dst as usize >= self.graph.n() {
-                return Err(InstanceError::new(format!(
-                    "token ({}, {}) outside vertex range",
-                    t.src, t.dst
-                )));
-            }
+        let job = JobRef::Route(inst);
+        self.validate(job)?;
+        match self.execute(job, &mut Scratch::new(self), RoundLedger::new()) {
+            JobOutcome::Route(out) => Ok(out),
+            JobOutcome::Sort(_) => unreachable!("route job produced a sort outcome"),
         }
-        Ok(Exec::new(self).run_route(inst))
     }
 
     /// Answers an expander-sorting query (Theorem 5.6 /
     /// `ExpanderSorting` of Appendix F).
+    ///
+    /// Each call builds a private scratch; batch workloads should go
+    /// through [`QueryEngine`](crate::engine::QueryEngine), which pools
+    /// scratches and amortizes the shared dispersal work.
     ///
     /// # Errors
     ///
     /// Returns an error if a token references a vertex outside the
     /// graph.
     pub fn sort(&self, inst: &SortInstance) -> Result<SortOutcome, InstanceError> {
-        for t in &inst.tokens {
-            if t.src as usize >= self.graph.n() {
-                return Err(InstanceError::new(format!("source {} outside range", t.src)));
-            }
+        let job = JobRef::Sort(inst);
+        self.validate(job)?;
+        match self.execute(job, &mut Scratch::new(self), RoundLedger::new()) {
+            JobOutcome::Sort(out) => Ok(out),
+            JobOutcome::Route(_) => unreachable!("sort job produced a route outcome"),
         }
-        Ok(Exec::new(self).run_sort(inst))
     }
 }
 

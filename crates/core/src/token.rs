@@ -68,6 +68,28 @@ impl RoutingInstance {
         RoutingInstance { tokens }
     }
 
+    /// A seeded *partial* permutation: `k` tokens with distinct random
+    /// sources and distinct random destinations (load `L = 1`, `k ≤ n`
+    /// tokens). The shape of multi-tenant query traffic: each query
+    /// touches a slice of the graph, not every vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn partial_permutation(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k <= n, "at most one token per source");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut srcs: Vec<u32> = (0..n as u32).collect();
+        srcs.shuffle(&mut rng);
+        let mut dsts: Vec<u32> = (0..n as u32).collect();
+        dsts.shuffle(&mut rng);
+        RoutingInstance {
+            tokens: (0..k)
+                .map(|i| RouteToken { src: srcs[i], dst: dsts[i], payload: i as u64 })
+                .collect(),
+        }
+    }
+
     /// The classic adversarial bit-reversal permutation: vertex `v`
     /// sends to the bit-reversal of `v` (requires `n` a power of two).
     ///
@@ -249,6 +271,11 @@ pub struct QueryStats {
     pub task3_calls: u64,
     /// Expander-sort subcalls charged via the cost model.
     pub charged_sorts: u64,
+    /// Worst per-edge congestion observed across the query's measured
+    /// movement legs (ingress, dispersal, M* hops, fallback, egress).
+    pub max_congestion: u64,
+    /// Worst path dilation (hops) observed across those legs.
+    pub max_dilation: u64,
 }
 
 /// Outcome of a routing query.
@@ -283,6 +310,9 @@ pub struct SortOutcome {
     pub positions: Vec<VertexId>,
     /// Charged rounds, by phase.
     pub ledger: RoundLedger,
+    /// Execution statistics (empty for reduction-level outcomes that
+    /// never touch the physical dispersal machinery).
+    pub stats: QueryStats,
 }
 
 impl SortOutcome {
@@ -336,6 +366,17 @@ mod tests {
         let inst = RoutingInstance::uniform_load(32, 3, 2);
         assert_eq!(inst.tokens.len(), 96);
         assert_eq!(inst.load(32), 3);
+    }
+
+    #[test]
+    fn partial_permutation_has_unit_load() {
+        let inst = RoutingInstance::partial_permutation(64, 16, 3);
+        assert_eq!(inst.tokens.len(), 16);
+        assert_eq!(inst.load(64), 1);
+        let srcs: std::collections::HashSet<u32> = inst.tokens.iter().map(|t| t.src).collect();
+        let dsts: std::collections::HashSet<u32> = inst.tokens.iter().map(|t| t.dst).collect();
+        assert_eq!(srcs.len(), 16);
+        assert_eq!(dsts.len(), 16);
     }
 
     #[test]
@@ -393,11 +434,23 @@ mod tests {
     #[test]
     fn sortedness_check_works() {
         let inst = SortInstance::from_triples(&[(0, 9, 0), (1, 1, 0), (2, 5, 0)]);
-        let good = SortOutcome { positions: vec![2, 0, 1], ledger: RoundLedger::new() };
+        let good = SortOutcome {
+            positions: vec![2, 0, 1],
+            ledger: RoundLedger::new(),
+            stats: QueryStats::default(),
+        };
         assert!(good.is_sorted(&inst, 3, 1));
-        let bad = SortOutcome { positions: vec![0, 1, 2], ledger: RoundLedger::new() };
+        let bad = SortOutcome {
+            positions: vec![0, 1, 2],
+            ledger: RoundLedger::new(),
+            stats: QueryStats::default(),
+        };
         assert!(!bad.is_sorted(&inst, 3, 1));
-        let overloaded = SortOutcome { positions: vec![0, 0, 0], ledger: RoundLedger::new() };
+        let overloaded = SortOutcome {
+            positions: vec![0, 0, 0],
+            ledger: RoundLedger::new(),
+            stats: QueryStats::default(),
+        };
         assert!(!overloaded.is_sorted(&inst, 3, 1));
         assert!(overloaded.is_sorted(&inst, 3, 3));
     }

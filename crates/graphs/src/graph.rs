@@ -222,28 +222,47 @@ impl Graph {
     /// vertices instead of `O(n)` — this sits on the query fallback
     /// path, where thousands of lookups per query add up.
     pub fn shortest_path(&self, src: VertexId, dst: VertexId) -> Option<Vec<VertexId>> {
+        let mut scratch = BfsScratch::default();
+        let mut path = Vec::new();
+        self.shortest_path_into(src, dst, &mut scratch, &mut path).then_some(path)
+    }
+
+    /// Allocation-free [`shortest_path`](Graph::shortest_path): writes
+    /// the vertex walk into `path` (cleared first) reusing `scratch`'s
+    /// buffers, and returns whether the endpoints are connected. Warm
+    /// repeated calls — the query fallback legs — allocate nothing.
+    pub fn shortest_path_into(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        scratch: &mut BfsScratch,
+        path: &mut Vec<VertexId>,
+    ) -> bool {
+        path.clear();
         if src == dst {
-            return Some(vec![src]);
+            path.push(src);
+            return true;
         }
         let n = self.n();
+        scratch.reset(n);
+        let BfsScratch { par_s, par_d, touched, front_s, front_d, next } = scratch;
         // Parent trees of the two searches; a vertex is visited by a
         // side iff its parent there is set.
-        let mut par_s = vec![u32::MAX; n];
-        let mut par_d = vec![u32::MAX; n];
         par_s[src as usize] = src;
         par_d[dst as usize] = dst;
-        let mut front_s = vec![src];
-        let mut front_d = vec![dst];
-        let mut next = Vec::new();
+        touched.push(src);
+        touched.push(dst);
+        front_s.push(src);
+        front_d.push(dst);
         let meet = 'search: loop {
             if front_s.is_empty() || front_d.is_empty() {
-                return None;
+                return false;
             }
             let from_src = front_s.len() <= front_d.len();
             let (frontier, this_par, other_par) = if from_src {
-                (&front_s, &mut par_s, &par_d)
+                (&*front_s, &mut *par_s, &*par_d)
             } else {
-                (&front_d, &mut par_d, &par_s)
+                (&*front_d, &mut *par_d, &*par_s)
             };
             next.clear();
             for &u in frontier {
@@ -252,6 +271,7 @@ impl Graph {
                         continue;
                     }
                     this_par[v as usize] = u;
+                    touched.push(v);
                     if other_par[v as usize] != u32::MAX {
                         // First meeting vertex after complete levels on
                         // both sides lies on a shortest path.
@@ -261,13 +281,12 @@ impl Graph {
                 }
             }
             if from_src {
-                std::mem::swap(&mut front_s, &mut next);
+                std::mem::swap(front_s, next);
             } else {
-                std::mem::swap(&mut front_d, &mut next);
+                std::mem::swap(front_d, next);
             }
         };
         // Stitch the two parent chains at the meeting vertex.
-        let mut path = Vec::new();
         let mut cur = meet;
         while cur != src {
             path.push(cur);
@@ -280,7 +299,7 @@ impl Graph {
             cur = par_d[cur as usize];
             path.push(cur);
         }
-        Some(path)
+        true
     }
 
     /// Whether the graph is connected (the empty graph counts as connected).
@@ -371,6 +390,39 @@ impl Graph {
             count += 1;
         }
         (comp, count as usize)
+    }
+}
+
+/// Reusable buffers for repeated
+/// [`shortest_path_into`](Graph::shortest_path_into) calls: the two
+/// parent trees, a touched list that resets them in `O(visited)`, and
+/// the frontier queues.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    par_s: Vec<u32>,
+    par_d: Vec<u32>,
+    touched: Vec<u32>,
+    front_s: Vec<u32>,
+    front_d: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// Clears the previous search and (grow-only) sizes for `n`
+    /// vertices.
+    fn reset(&mut self, n: usize) {
+        if self.par_s.len() < n {
+            self.par_s.resize(n, u32::MAX);
+            self.par_d.resize(n, u32::MAX);
+        }
+        for &v in &self.touched {
+            self.par_s[v as usize] = u32::MAX;
+            self.par_d[v as usize] = u32::MAX;
+        }
+        self.touched.clear();
+        self.front_s.clear();
+        self.front_d.clear();
+        self.next.clear();
     }
 }
 

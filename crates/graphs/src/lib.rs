@@ -44,7 +44,7 @@ pub mod union_find;
 
 pub use embedding::Embedding;
 pub use flat::FlatPaths;
-pub use graph::{Graph, VertexId};
+pub use graph::{BfsScratch, Graph, VertexId};
 pub use paths::{Path, PathSet};
 pub use split::SplitGraph;
 pub use union_find::UnionFind;

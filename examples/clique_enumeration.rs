@@ -19,7 +19,8 @@ fn main() {
             let g = generators::random_regular(n, d, 11).expect("generator");
             let router =
                 Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("expander input");
-            let out = cliques::enumerate_cliques(&router, k).expect("valid instance");
+            let engine = QueryEngine::new(&router);
+            let out = cliques::enumerate_cliques(&engine, k).expect("valid instance");
             let reference = cliques::count_cliques_reference(&g, k);
             assert_eq!(out.count, reference, "clique count mismatch at n={n}, k={k}");
             println!(

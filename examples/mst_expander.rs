@@ -12,8 +12,9 @@ fn main() {
         let weights = generators::random_weights(&g, 3);
         let router =
             Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("expander input");
+        let engine = QueryEngine::new(&router);
 
-        let out = mst::minimum_spanning_tree(&router, &weights).expect("valid instance");
+        let out = mst::minimum_spanning_tree(&engine, &weights).expect("valid instance");
         let reference = mst::kruskal_reference(n, &weights);
         assert_eq!(out.edges, reference, "distributed MST must equal Kruskal");
 

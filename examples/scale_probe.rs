@@ -13,7 +13,7 @@
 //! scaling and the ROADMAP's 10⁵-vertex goal can be checked from one
 //! command.
 
-use expander_core::{Router, RouterConfig, RoutingInstance};
+use expander_core::{QueryEngine, Router, RouterConfig, RoutingInstance};
 use expander_decomp::{Hierarchy, HierarchyParams};
 use expander_graphs::generators;
 use std::time::Instant;
@@ -54,5 +54,21 @@ fn main() {
         "route permutation (L = 1): {:.2?}  ({} charged rounds)",
         t3.elapsed(),
         out.ledger.total()
+    );
+
+    // Batch-engine throughput, so sweeps track the amortized query
+    // path alongside the single-query wall time.
+    let b = 8usize;
+    let batch: Vec<RoutingInstance> =
+        (0..b as u64).map(|s| RoutingInstance::permutation(n, 100 + s)).collect();
+    let engine = QueryEngine::new(&router);
+    let t4 = Instant::now();
+    let (outs, stats) = engine.route_batch(&batch).expect("valid instances");
+    let dt = t4.elapsed();
+    assert!(outs.iter().all(|o| o.all_delivered()), "undelivered batch tokens");
+    println!(
+        "engine batch (B = {b}, L = 1): {dt:.2?}  ({:.1} queries/s, {} total rounds)",
+        b as f64 / dt.as_secs_f64(),
+        stats.total_rounds
     );
 }

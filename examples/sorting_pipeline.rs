@@ -19,10 +19,12 @@ fn main() {
     assert!(sorted.is_sorted(&inst, n, 2));
     println!("native expander sort:    {:>12} rounds", sorted.rounds());
 
-    // Token-level primitives (Theorem 5.7, Corollaries 5.9/5.10).
-    let rank = ops::token_ranking(&router, &inst).expect("valid");
-    let serial = ops::local_serialization(&router, &inst).expect("valid");
-    let agg = ops::local_aggregation(&router, &inst).expect("valid");
+    // Token-level primitives (Theorem 5.7, Corollaries 5.9/5.10),
+    // pooled through one batch engine.
+    let engine = QueryEngine::new(&router);
+    let rank = ops::token_ranking(&engine, &inst).expect("valid");
+    let serial = ops::local_serialization(&engine, &inst).expect("valid");
+    let agg = ops::local_aggregation(&engine, &inst).expect("valid");
     println!("token ranking:           {:>12} rounds", rank.rounds);
     println!("local serialization:     {:>12} rounds", serial.rounds);
     println!("local aggregation:       {:>12} rounds", agg.rounds);
@@ -31,7 +33,7 @@ fn main() {
     let skewed: Vec<(u32, u64, u64)> =
         (0..n as u32).map(|v| (v, if v % 3 == 0 { 99 } else { v as u64 }, 0)).collect();
     let heavy =
-        summarize::top_k_frequent(&router, &SortInstance::from_triples(&skewed), 1).expect("valid");
+        summarize::top_k_frequent(&engine, &SortInstance::from_triples(&skewed), 1).expect("valid");
     println!(
         "top-1 frequent item:     key {} with count {} ({} rounds)",
         heavy.items[0].0, heavy.items[0].1, heavy.rounds

@@ -9,7 +9,7 @@
 //! flock and sat two orders of magnitude above the bound asserted
 //! here.
 
-use expander_core::{Router, RouterConfig, RoutingInstance};
+use expander_core::{QueryEngine, Router, RouterConfig, RoutingInstance};
 use expander_graphs::generators;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,4 +78,42 @@ fn query_allocations_do_not_scale_with_dispersal_rounds() {
     // Repeat queries must not trend upward (no per-round leak).
     let (_, again) = allocations_during(|| router.route(&inst).expect("valid"));
     assert!(again <= allocs + allocs / 4, "second query allocated more: {again} vs {allocs}");
+}
+
+#[test]
+fn pooled_batch_reuses_scratch_across_jobs() {
+    let n = 512usize;
+    let b = 16usize;
+    let g = generators::random_regular(n, 4, 7).expect("generator");
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let insts: Vec<RoutingInstance> =
+        (0..b as u64).map(|s| RoutingInstance::permutation(n, 40 + s)).collect();
+
+    // Status-quo cost of one cold query (fresh scratch, cold dummy
+    // dispersal) — the per-job bar the pooled engine must beat.
+    let (_, cold_solo) = allocations_during(|| router.route(&insts[0]).expect("valid"));
+
+    let engine = QueryEngine::new(&router).with_threads(Some(1));
+    // First batch warms the pool and the dummy caches.
+    let (first, _) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(first.0.iter().all(|o| o.all_delivered()));
+
+    // Steady state: with the pool warm, per-job allocations must drop
+    // well below a cold solo query's — the scratch (two edge-space
+    // vectors, the dense load counters) and the dummy flocks are reused,
+    // so what remains is per-job outputs (positions, ledger, stats) and
+    // the small per-node recursion vectors.
+    let (second, warm) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(second.0.iter().all(|o| o.all_delivered()));
+    let per_job_warm = warm / b as u64;
+    eprintln!("cold solo query: {cold_solo} allocations; warm pooled job: {per_job_warm}");
+    assert!(
+        2 * per_job_warm < cold_solo,
+        "warm pooled job allocates {per_job_warm}, cold solo query {cold_solo}"
+    );
+
+    // And the steady state really is steady: a third batch does not
+    // allocate more than the second (no growth per batch).
+    let (_, third) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(third <= warm + warm / 8, "third batch allocated more: {third} vs {warm}");
 }

@@ -3,7 +3,9 @@
 
 use expander_apps::{cliques, mst, summarize};
 use expander_core::equivalence::{route_via_sorting, sort_via_routing};
-use expander_core::{GeneralRouter, Router, RouterConfig, RoutingInstance, SortInstance};
+use expander_core::{
+    GeneralRouter, QueryEngine, Router, RouterConfig, RoutingInstance, SortInstance,
+};
 use expander_graphs::generators;
 
 fn routed_ok(router: &Router, inst: &RoutingInstance) {
@@ -144,16 +146,16 @@ fn applications_agree_with_references() {
     let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
 
     let weights = generators::random_weights(&g, 11);
-    let tree = mst::minimum_spanning_tree(&router, &weights).expect("valid");
+    let tree = mst::minimum_spanning_tree(&QueryEngine::new(&router), &weights).expect("valid");
     assert_eq!(tree.edges, mst::kruskal_reference(128, &weights));
 
-    let tri = cliques::enumerate_cliques(&router, 3).expect("valid");
+    let tri = cliques::enumerate_cliques(&QueryEngine::new(&router), 3).expect("valid");
     assert_eq!(tri.count, cliques::count_cliques_reference(&g, 3));
 
     let inst = SortInstance::from_triples(
         &(0..128u32).map(|v| (v, (v % 5) as u64, 0)).collect::<Vec<_>>(),
     );
-    let top = summarize::top_k_frequent(&router, &inst, 5).expect("valid");
+    let top = summarize::top_k_frequent(&QueryEngine::new(&router), &inst, 5).expect("valid");
     assert_eq!(top.items.len(), 5);
     // 128 = 5*25 + 3: keys 0,1,2 appear 26 times; 3,4 appear 25.
     assert!(top.items.iter().all(|&(_, c)| c == 25 || c == 26));

@@ -7,13 +7,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "mst_expander",
     "clique_enumeration",
     "sorting_pipeline",
     "general_degree",
     "scale_probe",
+    "batch_throughput",
 ];
 
 fn target_dir() -> PathBuf {

@@ -4,7 +4,7 @@
 //! expensive part) and arbitrary instances are thrown at it.
 
 use expander_core::ops;
-use expander_core::{Router, RouterConfig, RoutingInstance, SortInstance};
+use expander_core::{QueryEngine, Router, RouterConfig, RoutingInstance, SortInstance};
 use expander_graphs::{generators, Path, PathSet};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -82,7 +82,7 @@ proptest! {
     #[test]
     fn ranking_is_order_isomorphic(inst in sort_instance(2)) {
         let r = shared_router();
-        let out = ops::token_ranking(r, &inst).expect("valid");
+        let out = ops::token_ranking(&QueryEngine::new(r), &inst).expect("valid");
         for (i, a) in inst.tokens.iter().enumerate() {
             for (j, b) in inst.tokens.iter().enumerate() {
                 if a.key < b.key {
@@ -97,7 +97,7 @@ proptest! {
     #[test]
     fn serialization_is_bijective_per_key(inst in sort_instance(2)) {
         let r = shared_router();
-        let out = ops::local_serialization(r, &inst).expect("valid");
+        let out = ops::local_serialization(&QueryEngine::new(r), &inst).expect("valid");
         let mut seen = std::collections::HashSet::new();
         let mut count = std::collections::HashMap::new();
         for t in &inst.tokens {
@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn aggregation_matches_multiplicity(inst in sort_instance(2)) {
         let r = shared_router();
-        let out = ops::local_aggregation(r, &inst).expect("valid");
+        let out = ops::local_aggregation(&QueryEngine::new(r), &inst).expect("valid");
         let mut count = std::collections::HashMap::new();
         for t in &inst.tokens {
             *count.entry(t.key).or_insert(0u64) += 1;
