@@ -5,27 +5,41 @@
 //! The paper's headline is that one deterministic preprocessing pass
 //! amortizes across many queries (Theorem 1.1); this module makes the
 //! amortization physical. A [`QueryEngine`] accepts a batch of jobs
-//! ([`Job::Route`] / [`Job::Sort`]) and executes them on the same
+//! ([`Job::Route`] / [`Job::Sort`]), splits it into fusion groups of
+//! consecutive jobs, and executes the groups on the same
 //! [`ThreadBudget`]/[`run_tasks`] worker pool the staged preprocessing
-//! build uses, with two cross-query savings:
+//! build uses, with three cross-query savings:
 //!
 //! * **Pooled scratch** — per-query mutable state (the dense load
 //!   counters, counting-sort buckets, and `FlatMoveCost` accumulators
 //!   of `exec::Scratch`) is checked out of a `ScratchPool` and
-//!   returned after each job, so a batch of `B` queries allocates
+//!   returned after each group, so a batch of `B` queries allocates
 //!   `O(threads)` scratches instead of `O(B)`.
-//! * **Grouping amortization** — each scratch carries the per-worker
-//!   dummy-dispersal cache: the Task 3 dummy flock (2L tokens per
-//!   vertex, §6.3) is a pure function of `(node, L)`, so its dispersal,
-//!   final grouping, and round charges are computed once per key and
-//!   replayed for every subsequent query in the batch.
+//! * **Dummy-dispersal amortization** — each scratch carries the
+//!   per-worker dummy-dispersal cache: the Task 3 dummy flock (2L
+//!   tokens per vertex, §6.3) is a pure function of `(node, L)`, so
+//!   its dispersal, final grouping, and round charges are computed
+//!   once per key and replayed for every subsequent query — and a
+//!   fused group consumes one shared entry for all its jobs at once.
+//! * **Cross-job dispersal fusion** — the jobs of a group walk the
+//!   Task 2 tree in lockstep and each node's Task 3 dispersal runs as
+//!   one shared round plan over all of their flocks: per-job grouping
+//!   keys keep buckets, landing loads, and Lemma 6.6 traces per job,
+//!   charges demultiplex into per-job forked ledgers, and each job's
+//!   grouping/load accounting is maintained incrementally across
+//!   rounds instead of rescanned — which is what lets dense
+//!   full-permutation batches beat the ~2.9× dummy:real ceiling of
+//!   caching alone. [`with_fusion_width`](QueryEngine::with_fusion_width)
+//!   sizes the groups; width 1 selects the legacy per-job path as a
+//!   benchmarkable baseline.
 //!
-//! Both are accelerators only: every job is a pure function of its
-//! instance and the router, jobs charge forked [`RoundLedger`]s that
-//! the batch absorbs in canonical job order, and the per-job outcomes
-//! are byte-identical to individual [`Router::route`]/[`Router::sort`]
-//! calls at every thread count and batch order
-//! (`tests/batch_determinism.rs`).
+//! All three are accelerators only: every job is a pure function of
+//! its instance and the router, jobs charge forked [`RoundLedger`]s
+//! that the batch absorbs in canonical job order, and the per-job
+//! outcomes are byte-identical to individual
+//! [`Router::route`]/[`Router::sort`] calls at every thread count,
+//! batch order, and fusion width (`tests/batch_determinism.rs`,
+//! `tests/property.rs`).
 //!
 //! # Example
 //!
@@ -165,20 +179,7 @@ impl BatchStats {
         stats.total_rounds = stats.merged.total();
         for out in outcomes {
             stats.max_rounds = stats.max_rounds.max(out.rounds());
-            let q = out.stats();
-            stats.query.max_congestion = stats.query.max_congestion.max(q.max_congestion);
-            stats.query.max_dilation = stats.query.max_dilation.max(q.max_dilation);
-            stats.query.fallback_tokens += q.fallback_tokens;
-            stats.query.dispersion_violations += q.dispersion_violations;
-            stats.query.dispersion_checked += q.dispersion_checked;
-            stats.query.task3_calls += q.task3_calls;
-            stats.query.charged_sorts += q.charged_sorts;
-            if stats.query.max_load_trace.len() < q.max_load_trace.len() {
-                stats.query.max_load_trace.resize(q.max_load_trace.len(), 0);
-            }
-            for (i, &load) in q.max_load_trace.iter().enumerate() {
-                stats.query.max_load_trace[i] = stats.query.max_load_trace[i].max(load);
-            }
+            stats.query.absorb(out.stats());
         }
         stats
     }
@@ -237,18 +238,51 @@ impl ScratchPool {
 /// and dummy caches warm across every batch (and every
 /// [`route_one`](QueryEngine::route_one)/
 /// [`sort_one`](QueryEngine::sort_one) call) served by the same engine.
+///
+/// # Example
+///
+/// Build a router, submit a mixed route/sort batch, read the
+/// [`BatchStats`] aggregate:
+///
+/// ```
+/// use expander_core::{Job, QueryEngine, Router, RouterConfig, RoutingInstance, SortInstance};
+/// use expander_graphs::generators;
+///
+/// let g = generators::random_regular(256, 4, 7).expect("generator");
+/// let router = Router::preprocess(&g, RouterConfig::default()).expect("expander");
+/// let engine = QueryEngine::new(&router);
+/// let jobs = vec![
+///     Job::Route(RoutingInstance::permutation(256, 1)),
+///     Job::Sort(SortInstance::random(256, 2, 2)),
+///     Job::Route(RoutingInstance::partial_permutation(256, 64, 3)),
+/// ];
+/// let batch = engine.run(&jobs).expect("valid jobs");
+/// assert_eq!(batch.stats.jobs, 3);
+/// assert_eq!(batch.stats.total_rounds, batch.stats.merged.total());
+/// assert!(batch.stats.max_congestion() > 0 && batch.stats.max_dilation() > 0);
+/// assert_eq!(batch.outcomes.len(), jobs.len());
+/// ```
 #[derive(Debug)]
 pub struct QueryEngine<'r> {
     router: &'r Router,
     threads: Option<usize>,
+    fusion: Option<usize>,
     pool: ScratchPool,
 }
 
+/// Largest fusion-group size the automatic policy schedules: per-job
+/// fused state is `O(n)` memory, so auto-width groups stay bounded
+/// regardless of batch size. Explicit
+/// [`with_fusion_width`](QueryEngine::with_fusion_width) settings are
+/// not capped.
+const MAX_AUTO_FUSION_WIDTH: usize = 32;
+
 impl<'r> QueryEngine<'r> {
     /// An engine over `router` with the default worker count
-    /// (`EXPANDER_BUILD_THREADS`, then `available_parallelism`).
+    /// (`EXPANDER_BUILD_THREADS`, then `available_parallelism`) and the
+    /// automatic fusion-width policy.
     pub fn new(router: &'r Router) -> Self {
-        QueryEngine { router, threads: None, pool: ScratchPool::default() }
+        QueryEngine { router, threads: None, fusion: None, pool: ScratchPool::default() }
     }
 
     /// Overrides the worker-thread count (`None` restores the
@@ -258,6 +292,31 @@ impl<'r> QueryEngine<'r> {
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Overrides the dispersal fusion width: how many co-scheduled jobs
+    /// each worker executes as one fused group (one shared Task 3
+    /// round scan and one shared dummy-dispersal contribution per
+    /// `(node, L)` across the group).
+    ///
+    /// `Some(1)` selects the legacy per-job execution path (each job
+    /// scans its own flocks round by round) — the benchmarking
+    /// baseline. `None` (the default) restores the automatic policy:
+    /// split the batch evenly across the workers, capped at 32 jobs
+    /// per group. Outputs are byte-identical for every width.
+    #[must_use]
+    pub fn with_fusion_width(mut self, width: Option<usize>) -> Self {
+        self.fusion = width;
+        self
+    }
+
+    /// The fusion width that a batch of `jobs` would run at, given the
+    /// resolved worker count.
+    fn fusion_width(&self, jobs: usize, workers: usize) -> usize {
+        match self.fusion {
+            Some(w) => w.max(1),
+            None => jobs.div_ceil(workers.max(1)).clamp(1, MAX_AUTO_FUSION_WIDTH),
+        }
     }
 
     /// The underlying preprocessed router.
@@ -277,10 +336,13 @@ impl<'r> QueryEngine<'r> {
     }
 
     /// Executes a batch of borrowed jobs sharded across the worker
-    /// pool: every job is validated up front, then executed against a
-    /// pooled scratch with a forked ledger; outcomes come back in
-    /// submission order and the batch aggregate absorbs the per-job
-    /// ledgers in that same canonical order.
+    /// pool: every job is validated up front, then the batch splits
+    /// into fusion groups of consecutive jobs (submission order; see
+    /// [`with_fusion_width`](Self::with_fusion_width)) that workers
+    /// execute as fused units against pooled scratches, each job
+    /// charging a forked ledger; outcomes come back in submission order
+    /// and the batch aggregate absorbs the per-job ledgers in that same
+    /// canonical order.
     ///
     /// # Errors
     ///
@@ -290,8 +352,25 @@ impl<'r> QueryEngine<'r> {
         for &job in jobs {
             self.router.validate(job)?;
         }
-        let budget = ThreadBudget::new(build_threads(self.threads));
-        let outcomes = run_tasks(&budget, jobs.len(), |i| self.run_validated(jobs[i]));
+        let workers = build_threads(self.threads);
+        let budget = ThreadBudget::new(workers);
+        let width = self.fusion_width(jobs.len(), workers);
+        let outcomes = if width <= 1 {
+            // Legacy per-job path: every job re-runs its own dispersal
+            // scans (kept selectable as the fusion baseline).
+            run_tasks(&budget, jobs.len(), |i| self.run_validated(jobs[i]))
+        } else {
+            let n_groups = jobs.len().div_ceil(width);
+            let grouped = run_tasks(&budget, n_groups, |g| {
+                let lo = g * width;
+                let hi = (lo + width).min(jobs.len());
+                let mut scratch = self.pool.checkout(self.router);
+                let outs = crate::exec::run_fused(self.router, &mut scratch, &jobs[lo..hi]);
+                self.pool.restore(scratch);
+                outs
+            });
+            grouped.into_iter().flatten().collect()
+        };
         let stats = BatchStats::collect(&outcomes);
         Ok(BatchOutcome { outcomes, stats })
     }
@@ -420,6 +499,66 @@ mod tests {
         assert!(batch.stats.max_rounds <= batch.stats.total_rounds);
         assert!(batch.stats.max_congestion() > 0);
         assert!(batch.stats.max_dilation() > 0);
+    }
+
+    /// Every observable byte of one job outcome (positions included).
+    fn outcome_bytes(out: &JobOutcome) -> String {
+        match out {
+            JobOutcome::Route(o) => format!("route|{:?}|{:?}|{}", o.positions, o.stats, o.ledger),
+            JobOutcome::Sort(o) => format!("sort|{:?}|{:?}|{}", o.positions, o.stats, o.ledger),
+        }
+    }
+
+    #[test]
+    fn fusion_widths_are_unobservable() {
+        // Width 1 (the legacy per-job path), uneven groups (width 2
+        // over 5 jobs leaves a remainder group of 1), one whole-batch
+        // group, and the auto policy must all produce byte-identical
+        // outcomes.
+        let r = router(256, 9);
+        let route = RoutingInstance::permutation(256, 1);
+        let sparse = RoutingInstance::partial_permutation(256, 64, 2);
+        let sort = SortInstance::random(256, 2, 3);
+        let jobs = vec![
+            Job::Route(route.clone()),
+            Job::Sort(sort),
+            Job::Route(sparse),
+            Job::Route(RoutingInstance::default()),
+            Job::Route(route),
+        ];
+        let base = QueryEngine::new(&r)
+            .with_fusion_width(Some(1))
+            .with_threads(Some(1))
+            .run(&jobs)
+            .expect("valid");
+        for width in [Some(2), Some(jobs.len()), Some(100), None] {
+            let engine = QueryEngine::new(&r).with_fusion_width(width).with_threads(Some(1));
+            let out = engine.run(&jobs).expect("valid");
+            for (i, (a, b)) in base.outcomes.iter().zip(&out.outcomes).enumerate() {
+                assert_eq!(
+                    outcome_bytes(a),
+                    outcome_bytes(b),
+                    "job {i} differs at fusion width {width:?}"
+                );
+            }
+            assert_eq!(base.stats.merged, out.stats.merged);
+        }
+    }
+
+    #[test]
+    fn empty_instances_are_fine_in_fused_groups() {
+        let r = router(128, 10);
+        let engine = QueryEngine::new(&r).with_fusion_width(Some(4));
+        let jobs = vec![
+            Job::Route(RoutingInstance::default()),
+            Job::Sort(SortInstance::default()),
+            Job::Route(RoutingInstance::permutation(128, 4)),
+        ];
+        let batch = engine.run(&jobs).expect("valid");
+        assert_eq!(batch.outcomes.len(), 3);
+        assert_eq!(batch.outcomes[0].rounds(), 0, "empty route charges nothing");
+        assert_eq!(batch.outcomes[1].rounds(), 0, "empty sort charges nothing");
+        assert!(batch.outcomes[2].rounds() > 0);
     }
 
     #[test]

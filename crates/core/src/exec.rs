@@ -17,7 +17,29 @@
 //! sort over `part · t + mark` keys — all backed by a per-query
 //! scratch (`Scratch`) so the steady-state dispersal round loop
 //! performs no heap allocation and iterates in deterministic order.
+//!
+//! Two execution paths share this machinery and produce byte-identical
+//! outcomes: the per-job path (`Exec`, one job's flocks scanned round
+//! by round — [`Router::route`]/[`Router::sort`] and fusion width 1)
+//! and the fused path (`run_fused`, a batch group's flocks through one
+//! shared round plan with per-job grouping keys, incremental
+//! load/bucket maintenance, and a single shared dummy contribution per
+//! `(node, L)` — the engine's default).
+//!
+//! # Paper map
+//!
+//! | Paper concept | Here |
+//! |---------------|------|
+//! | Task 2 recursion (Definition 4.2) | `Exec::task2` / `task2_fused` |
+//! | §6.4 leaf delivery (three `I_AKS` passes) | leaf arm of the same |
+//! | Task 3 meet-in-the-middle (Definition 4.3, §6.3) | `Exec::task3` / `task3_fused` |
+//! | Lazy-walk dispersal (§6.1, Definition 6.1) | `Exec::disperse` / `disperse_fused` |
+//! | Dispersion envelope (Lemma 6.2) | the `check` epilogue of both |
+//! | Per-round max-load trace (Lemma 6.6) | `QueryStats::max_load_trace` upkeep |
+//! | Portal routing charges (§6.2) | the per-round portal charge in both |
+//! | Real/dummy pairing and escort-back (§6.3) | `Exec::merge` / `merge_fused`, `DummyEntry` |
 
+use crate::engine::{JobOutcome, JobRef};
 use crate::router::Router;
 use crate::token::{QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::RoundLedger;
@@ -119,19 +141,9 @@ impl FlatMoveCost {
         }
     }
 
-    /// Charges `times` traversals of an explicit path, resolving edge
-    /// ids through `g` (used by the cold fallback legs only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if some hop of `p` is not an edge of `g`.
-    pub fn add_path(&mut self, g: &Graph, p: &Path, times: u64) {
-        self.add_walk(g, p.vertices(), times);
-    }
-
     /// Charges `times` traversals of an explicit vertex walk (a path
     /// given as its vertex sequence), resolving edge ids through `g` —
-    /// the borrowed form [`add_path`](FlatMoveCost::add_path) wraps.
+    /// used by the cold fallback legs only.
     ///
     /// # Panics
     ///
@@ -369,6 +381,9 @@ pub(crate) struct Scratch {
     env_tot: Vec<f64>,
     /// Cached dummy dispersals, reused across the queries of a batch.
     dummies: DummyCache,
+    /// Pooled per-job incremental dispersal states for fused batch
+    /// groups (unused on the per-job path).
+    fused: Vec<FusedDisperse>,
     /// Identity of the router the buffers (and cache) belong to.
     router_tag: usize,
 }
@@ -433,10 +448,15 @@ impl Scratch {
     }
 }
 
-/// One query execution over a preprocessed [`Router`], charging into a
-/// caller-provided (possibly batch-forked) ledger and reusing a
-/// caller-provided (possibly pooled) scratch.
-pub(crate) struct Exec<'r, 's> {
+/// Per-query execution state over a preprocessed [`Router`]: the
+/// job's token positions/markers plus the (possibly batch-forked)
+/// ledger and stats it charges into.
+///
+/// The shared mutable buffers live in a caller-provided (possibly
+/// pooled) [`Scratch`] passed into each method, so one scratch can
+/// serve a single solo query or the co-scheduled job states of a
+/// fused batch group alike.
+pub(crate) struct Exec<'r> {
     r: &'r Router,
     ledger: RoundLedger,
     stats: QueryStats,
@@ -444,11 +464,10 @@ pub(crate) struct Exec<'r, 's> {
     marker: Vec<u32>,
     /// Per-token current part mark within the active Task 2 node.
     mark_of: Vec<u16>,
-    scratch: &'s mut Scratch,
 }
 
-impl<'r, 's> Exec<'r, 's> {
-    pub(crate) fn new(r: &'r Router, scratch: &'s mut Scratch, ledger: RoundLedger) -> Self {
+impl<'r> Exec<'r> {
+    pub(crate) fn new(r: &'r Router, ledger: RoundLedger) -> Self {
         Exec {
             r,
             ledger,
@@ -456,26 +475,40 @@ impl<'r, 's> Exec<'r, 's> {
             pos: Vec::new(),
             marker: Vec::new(),
             mark_of: Vec::new(),
-            scratch,
         }
     }
 
     /// Task 1 (Definition 4.1) via Appendix D's reduction.
-    pub(crate) fn run_route(mut self, inst: &RoutingInstance) -> RoutingOutcome {
-        let n = self.r.graph.n();
-        let hier = &self.r.hier;
-        let root = hier.root();
-        let load = inst.load(n).max(1) as u64;
-        self.pos = inst.tokens.iter().map(|t| t.src).collect();
-        let destinations: Vec<u32> = inst.tokens.iter().map(|t| t.dst).collect();
-        if inst.tokens.is_empty() {
-            return RoutingOutcome {
-                positions: Vec::new(),
-                destinations,
-                ledger: self.ledger,
-                stats: self.stats,
-            };
+    pub(crate) fn run_route(
+        mut self,
+        scratch: &mut Scratch,
+        inst: &RoutingInstance,
+    ) -> RoutingOutcome {
+        let root = self.r.hier.root();
+        match self.route_prologue(scratch, inst) {
+            Some(mut toks) => {
+                self.task2(scratch, root, &mut toks);
+                self.route_epilogue(scratch, inst)
+            }
+            None => self.route_epilogue(scratch, inst),
         }
+    }
+
+    /// Everything of a route job before Task 2: the translate charge,
+    /// the `Mroot` ingress, and the marker assignment. Returns the Task
+    /// 2 worklist, or `None` for an empty instance (job already done).
+    fn route_prologue(
+        &mut self,
+        scratch: &mut Scratch,
+        inst: &RoutingInstance,
+    ) -> Option<Vec<usize>> {
+        let n = self.r.graph.n();
+        let root = self.r.hier.root();
+        self.pos = inst.tokens.iter().map(|t| t.src).collect();
+        if inst.tokens.is_empty() {
+            return None;
+        }
+        let load = inst.load(n).max(1) as u64;
 
         // Appendix D: translate destination IDs to ranks with one
         // charged expander sort (IDs are dense here, so the effect is
@@ -483,15 +516,15 @@ impl<'r, 's> Exec<'r, 's> {
         self.ledger.charge("query/translate", self.r.cost.tsort(root, load));
 
         // Ingress: tokens starting outside W hop in along Mroot.
-        self.scratch.mc.reset();
+        scratch.mc.reset();
         for i in 0..self.pos.len() {
             let idx = self.r.mroot_of[self.pos[i] as usize];
             if idx != u32::MAX {
-                self.scratch.mc.add_flat(&self.r.mroot_flat, idx as usize, 1);
+                scratch.mc.add_flat(&self.r.mroot_flat, idx as usize, 1);
                 self.pos[i] = self.r.mroot_flat.target(idx as usize);
             }
         }
-        let ingress_cost = observe_mc(&mut self.stats, &self.scratch.mc);
+        let ingress_cost = observe_mc(&mut self.stats, &scratch.mc);
         self.ledger.charge("query/ingress", ingress_cost);
 
         // Markers: rank of the destination's delegate in the root best
@@ -504,9 +537,21 @@ impl<'r, 's> Exec<'r, 's> {
         debug_assert!(self.marker.iter().all(|&m| m != u32::MAX));
 
         self.mark_of.resize(inst.tokens.len(), 0);
-        let mut toks: Vec<usize> = (0..inst.tokens.len()).collect();
-        self.task2(root, &mut toks);
+        Some((0..inst.tokens.len()).collect())
+    }
 
+    /// Everything of a route job after Task 2: the chain egress and the
+    /// outcome assembly.
+    fn route_epilogue(mut self, scratch: &mut Scratch, inst: &RoutingInstance) -> RoutingOutcome {
+        let destinations: Vec<u32> = inst.tokens.iter().map(|t| t.dst).collect();
+        if inst.tokens.is_empty() {
+            return RoutingOutcome {
+                positions: Vec::new(),
+                destinations,
+                ledger: self.ledger,
+                stats: self.stats,
+            };
+        }
         // Sanity: every token now sits at its destination's delegate.
         for (i, t) in inst.tokens.iter().enumerate() {
             debug_assert_eq!(
@@ -517,12 +562,12 @@ impl<'r, 's> Exec<'r, 's> {
 
         // Egress: reversed delegate chains deliver to the final
         // destinations (the precomputed all-to-best routes, reversed).
-        self.scratch.mc.reset();
+        scratch.mc.reset();
         for (i, t) in inst.tokens.iter().enumerate() {
-            self.scratch.mc.add_flat(&self.r.chain_flat, t.dst as usize, 1);
+            scratch.mc.add_flat(&self.r.chain_flat, t.dst as usize, 1);
             self.pos[i] = t.dst;
         }
-        let delivery_cost = observe_mc(&mut self.stats, &self.scratch.mc);
+        let delivery_cost = observe_mc(&mut self.stats, &scratch.mc);
         self.ledger.charge("query/delivery", delivery_cost);
 
         RoutingOutcome { positions: self.pos, destinations, ledger: self.ledger, stats: self.stats }
@@ -531,24 +576,43 @@ impl<'r, 's> Exec<'r, 's> {
     /// Expander sorting (Theorem 5.6): chains to the best set, a
     /// charged network pass, then a Task 2 redistribution to the final
     /// owners.
-    pub(crate) fn run_sort(mut self, inst: &SortInstance) -> SortOutcome {
+    pub(crate) fn run_sort(mut self, scratch: &mut Scratch, inst: &SortInstance) -> SortOutcome {
+        let root = self.r.hier.root();
+        match self.sort_prologue(scratch, inst) {
+            Some((mut toks, owner)) => {
+                self.task2(scratch, root, &mut toks);
+                self.sort_epilogue(scratch, &owner)
+            }
+            None => SortOutcome { positions: Vec::new(), ledger: self.ledger, stats: self.stats },
+        }
+    }
+
+    /// Everything of a sort job before Task 2: the chain leg into
+    /// `X_best`, the charged network pass, and the owner/marker
+    /// assignment. Returns the Task 2 worklist plus each token's final
+    /// owner vertex, or `None` for an empty instance.
+    fn sort_prologue(
+        &mut self,
+        scratch: &mut Scratch,
+        inst: &SortInstance,
+    ) -> Option<(Vec<usize>, Vec<u32>)> {
         let n = self.r.graph.n();
         let hier = &self.r.hier;
         let root = hier.root();
         if inst.tokens.is_empty() {
-            return SortOutcome { positions: Vec::new(), ledger: self.ledger, stats: self.stats };
+            return None;
         }
         let total = inst.tokens.len();
         self.pos = inst.tokens.iter().map(|t| t.src).collect();
 
         // Step 1: forward chains into X_best (load-balanced by the
         // bounded delegate fan-in).
-        self.scratch.mc.reset();
+        scratch.mc.reset();
         for (i, t) in inst.tokens.iter().enumerate() {
-            self.scratch.mc.add_flat(&self.r.chain_flat, t.src as usize, 1);
+            scratch.mc.add_flat(&self.r.chain_flat, t.src as usize, 1);
             self.pos[i] = self.r.delegate[t.src as usize];
         }
-        let to_best_cost = observe_mc(&mut self.stats, &self.scratch.mc);
+        let to_best_cost = observe_mc(&mut self.stats, &scratch.mc);
         self.ledger.charge("query/sort/to-best", to_best_cost);
 
         // Step 2: the precomputed routable network over X_best
@@ -571,9 +635,9 @@ impl<'r, 's> Exec<'r, 's> {
             self.pos[i] = best[rank / cap as usize];
         }
 
-        // Step 3: route each token to its final owner (rank r goes to
-        // the vertex of rank ⌊r/L_out⌋), a Task 2 instance plus chain
-        // egress — this is what makes the result order-preserving.
+        // Step 3 markers: route each token to its final owner (rank r
+        // goes to the vertex of rank ⌊r/L_out⌋), a Task 2 instance plus
+        // chain egress — this is what makes the result order-preserving.
         let l_out = total.div_ceil(n).max(1);
         let owner: Vec<u32> = {
             let mut o = vec![0u32; total];
@@ -585,14 +649,18 @@ impl<'r, 's> Exec<'r, 's> {
         self.marker =
             owner.iter().map(|&w| self.r.best_rank[self.r.delegate[w as usize] as usize]).collect();
         self.mark_of.resize(total, 0);
-        let mut toks: Vec<usize> = (0..total).collect();
-        self.task2(root, &mut toks);
-        self.scratch.mc.reset();
+        Some(((0..total).collect(), owner))
+    }
+
+    /// Everything of a sort job after Task 2: the chain egress to the
+    /// owner vertices and the outcome assembly.
+    fn sort_epilogue(mut self, scratch: &mut Scratch, owner: &[u32]) -> SortOutcome {
+        scratch.mc.reset();
         for (i, &w) in owner.iter().enumerate() {
-            self.scratch.mc.add_flat(&self.r.chain_flat, w as usize, 1);
+            scratch.mc.add_flat(&self.r.chain_flat, w as usize, 1);
             self.pos[i] = w;
         }
-        let delivery_cost = observe_mc(&mut self.stats, &self.scratch.mc);
+        let delivery_cost = observe_mc(&mut self.stats, &scratch.mc);
         self.ledger.charge("query/sort/delivery", delivery_cost);
 
         SortOutcome { positions: self.pos, ledger: self.ledger, stats: self.stats }
@@ -604,7 +672,7 @@ impl<'r, 's> Exec<'r, 's> {
     /// `toks` is a reusable worklist slice: the recursion partitions it
     /// in place (stable, by part) and descends into disjoint subslices,
     /// so the whole Task 2 tree allocates no per-node vectors.
-    fn task2(&mut self, node: NodeId, toks: &mut [usize]) {
+    fn task2(&mut self, scratch: &mut Scratch, node: NodeId, toks: &mut [usize]) {
         if toks.is_empty() {
             return;
         }
@@ -616,10 +684,10 @@ impl<'r, 's> Exec<'r, 's> {
             for &t in toks.iter() {
                 let target = nd.vertices[self.marker[t] as usize];
                 self.pos[t] = target;
-                self.scratch.bump_vertex(target);
+                scratch.bump_vertex(target);
             }
-            let lc = self.scratch.max_vertex_load().max(1);
-            self.scratch.reset_vertices();
+            let lc = scratch.max_vertex_load().max(1);
+            scratch.reset_vertices();
             self.ledger.charge("query/task2/leaf", 6 * lc * r.cost.leafnet_unit[node]);
             self.stats.charged_sorts += 3;
             return;
@@ -648,11 +716,11 @@ impl<'r, 's> Exec<'r, 's> {
         }
 
         // Task 3: move every token into its marked part.
-        self.task3(node, toks);
+        self.task3(scratch, node, toks);
 
         // M* hop: tokens that landed on bad vertices follow the
         // matching into the good child (Property 3.1(3)).
-        self.scratch.mc.reset();
+        scratch.mc.reset();
         for &t in toks.iter() {
             let j = self.mark_of[t] as usize;
             let v = self.pos[t];
@@ -660,32 +728,32 @@ impl<'r, 's> Exec<'r, 's> {
             if child.vertices.binary_search(&v).is_err() {
                 let ei = r.mstar_edge[node][v as usize] as usize;
                 let fp = &r.mstar_flat[node][j];
-                self.scratch.mc.add_flat(fp, ei, 1);
+                scratch.mc.add_flat(fp, ei, 1);
                 self.pos[t] = fp.target(ei);
             }
         }
-        let mstar_cost = observe_mc(&mut self.stats, &self.scratch.mc);
+        let mstar_cost = observe_mc(&mut self.stats, &scratch.mc);
         self.ledger.charge("query/task2/mstar", mstar_cost);
 
         // Stable in-place partition by part (counting sort through the
         // scratch buckets), then recurse on the contiguous subslices.
         let t_parts = nd.parts.len();
-        let mut tmp = std::mem::take(&mut self.scratch.toks_tmp);
+        let mut tmp = std::mem::take(&mut scratch.toks_tmp);
         tmp.clear();
         tmp.extend_from_slice(toks);
         {
             let mark_of = &self.mark_of;
-            self.scratch.groups.build(t_parts, tmp.iter().map(|&t| u32::from(mark_of[t])));
+            scratch.groups.build(t_parts, tmp.iter().map(|&t| u32::from(mark_of[t])));
         }
         let mut w = 0;
         for j in 0..t_parts {
-            for &i in self.scratch.groups.group(j) {
+            for &i in scratch.groups.group(j) {
                 toks[w] = tmp[i as usize];
                 w += 1;
             }
         }
         debug_assert_eq!(w, toks.len());
-        self.scratch.toks_tmp = tmp;
+        scratch.toks_tmp = tmp;
         // Subslice boundaries by scanning marks: part j's tokens are
         // untouched until part j's own recursion, so the scan is safe
         // even though deeper levels rewrite `mark_of`.
@@ -695,7 +763,7 @@ impl<'r, 's> Exec<'r, 's> {
             while end < toks.len() && self.mark_of[toks[end]] as usize == j {
                 end += 1;
             }
-            self.task2(nd.parts[j].child, &mut toks[start..end]);
+            self.task2(scratch, nd.parts[j].child, &mut toks[start..end]);
             start = end;
         }
         debug_assert_eq!(start, toks.len());
@@ -704,52 +772,52 @@ impl<'r, 's> Exec<'r, 's> {
     /// Task 3 (Definition 4.3): the meet-in-the-middle dispersal.
     /// Token marks are read from `mark_of` (set by the caller's marker
     /// rewrite).
-    fn task3(&mut self, node: NodeId, toks: &[usize]) {
+    fn task3(&mut self, scratch: &mut Scratch, node: NodeId, toks: &[usize]) {
         self.stats.task3_calls += 1;
         // L: max real load on any vertex of X.
         for &tk in toks {
-            self.scratch.bump_vertex(self.pos[tk]);
+            scratch.bump_vertex(self.pos[tk]);
         }
-        let l = self.scratch.max_vertex_load().max(1);
-        self.scratch.reset_vertices();
+        let l = scratch.max_vertex_load().max(1);
+        scratch.reset_vertices();
 
         // Disperse the real tokens. The flock buffer lives in the
         // scratch; take it out for the duration of this call (the
         // recursion below only starts after it is returned).
-        let mut real = std::mem::take(&mut self.scratch.real);
+        let mut real = std::mem::take(&mut scratch.real);
         real.clear();
         real.pos.extend(toks.iter().map(|&tk| self.pos[tk]));
         real.mark.extend(toks.iter().map(|&tk| self.mark_of[tk]));
-        let _cost_real = self.disperse(node, &mut real, true);
+        let _cost_real = self.disperse(scratch, node, &mut real, true);
 
         // Dummies: 2L per vertex of X*_j, marked j, born at home. Their
         // dispersal is independent of the real tokens, so it is served
         // from the per-worker cache and only computed on the first
         // (node, L) encounter; the recorded charges replay here.
-        let entry = match self.scratch.dummies.take(node, l) {
+        let entry = match scratch.dummies.take(node, l) {
             Some(entry) => entry,
-            None => self.build_dummy_entry(node, l),
+            None => self.build_dummy_entry(scratch, node, l),
         };
         self.apply_dummy_entry(&entry);
 
         // Merge: pair reals with dummies of the same (part, mark);
         // each dummy escorts its real back home (§6.3).
-        self.merge(node, &mut real, &entry);
+        self.merge(scratch, node, &mut real, &entry);
         // The escort trip costs the same as the dummies' dispersal.
         self.ledger.charge("query/task3/reverse", entry.cost);
-        self.scratch.dummies.put(node, l, entry);
+        scratch.dummies.put(node, l, entry);
 
         for (i, &tk) in toks.iter().enumerate() {
             self.pos[tk] = real.pos[i];
         }
-        self.scratch.real = real;
+        scratch.real = real;
     }
 
     /// Constructs and disperses the `(node, l)` dummy flock, capturing
     /// its charges/stats into a cacheable [`DummyEntry`] instead of
     /// applying them (the caller applies entries uniformly on hit and
     /// miss alike).
-    fn build_dummy_entry(&mut self, node: NodeId, l: u64) -> DummyEntry {
+    fn build_dummy_entry(&mut self, scratch: &mut Scratch, node: NodeId, l: u64) -> DummyEntry {
         let r = self.r;
         let nd = r.hier.node(node);
         let t = nd.part_count();
@@ -772,7 +840,7 @@ impl<'r, 's> Exec<'r, 's> {
         let saved_sorts = std::mem::replace(&mut self.stats.charged_sorts, 0);
         let saved_congestion = std::mem::replace(&mut self.stats.max_congestion, 0);
         let saved_dilation = std::mem::replace(&mut self.stats.max_dilation, 0);
-        let cost = self.disperse(node, &mut flock, false);
+        let cost = self.disperse(scratch, node, &mut flock, false);
         let ledger = std::mem::replace(&mut self.ledger, saved_ledger);
         let trace = std::mem::replace(&mut self.stats.max_load_trace, saved_trace);
         let charged_sorts = std::mem::replace(&mut self.stats.charged_sorts, saved_sorts);
@@ -791,15 +859,11 @@ impl<'r, 's> Exec<'r, 's> {
                 .map(|(&pos, &mark)| u32::from(part_of[pos as usize]) * t as u32 + u32::from(mark)),
         );
         for &pos in &flock.pos {
-            self.scratch.bump_vertex(pos);
+            scratch.bump_vertex(pos);
         }
-        let mut loads: Vec<(u32, u64)> = self
-            .scratch
-            .vertex_touched
-            .iter()
-            .map(|&v| (v, self.scratch.vertex_load[v as usize]))
-            .collect();
-        self.scratch.reset_vertices();
+        let mut loads: Vec<(u32, u64)> =
+            scratch.vertex_touched.iter().map(|&v| (v, scratch.vertex_load[v as usize])).collect();
+        scratch.reset_vertices();
         loads.sort_unstable_by_key(|&(v, _)| v);
 
         DummyEntry {
@@ -822,12 +886,7 @@ impl<'r, 's> Exec<'r, 's> {
         self.stats.charged_sorts += entry.charged_sorts;
         self.stats.max_congestion = self.stats.max_congestion.max(entry.max_congestion);
         self.stats.max_dilation = self.stats.max_dilation.max(entry.max_dilation);
-        if self.stats.max_load_trace.len() < entry.trace.len() {
-            self.stats.max_load_trace.resize(entry.trace.len(), 0);
-        }
-        for (q, &load) in entry.trace.iter().enumerate() {
-            self.stats.max_load_trace[q] = self.stats.max_load_trace[q].max(load);
-        }
+        self.stats.absorb_trace_maxima(&entry.trace);
     }
 
     /// Lazy-walk dispersal over the node's shuffler (§6.1, Lemma 6.2).
@@ -837,8 +896,14 @@ impl<'r, 's> Exec<'r, 's> {
     /// per-vertex loads, per-part loads, and congestion accounting all
     /// reuse [`Scratch`](struct@Scratch) buffers, and every iteration
     /// order is dense-index ascending (deterministic by construction).
-    fn disperse(&mut self, node: NodeId, flock: &mut Flock, check: bool) -> u64 {
-        let Exec { r, ledger, stats, scratch, .. } = self;
+    fn disperse(
+        &mut self,
+        scratch: &mut Scratch,
+        node: NodeId,
+        flock: &mut Flock,
+        check: bool,
+    ) -> u64 {
+        let Exec { r, ledger, stats, .. } = self;
         let r = *r;
         let nd = r.hier.node(node);
         let t = nd.part_count();
@@ -986,8 +1051,8 @@ impl<'r, 's> Exec<'r, 's> {
     /// order must be deterministic or target choices (and charged
     /// costs) vary run to run. The dummy side (final buckets, landing
     /// loads, origins) comes precomputed from the [`DummyEntry`].
-    fn merge(&mut self, node: NodeId, real: &mut Flock, dummy: &DummyEntry) {
-        let Exec { r, ledger, stats, scratch, .. } = self;
+    fn merge(&mut self, scratch: &mut Scratch, node: NodeId, real: &mut Flock, dummy: &DummyEntry) {
+        let Exec { r, ledger, stats, .. } = self;
         let r = *r;
         let nd = r.hier.node(node);
         let t = nd.part_count();
@@ -1069,6 +1134,704 @@ impl<'r, 's> Exec<'r, 's> {
         // Postcondition: every real token is inside its marked part.
         debug_assert!((0..real.len()).all(|i| { part_of[real.pos[i] as usize] == real.mark[i] }));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-job dispersal fusion (the engine's fused round plan)
+// ---------------------------------------------------------------------------
+
+/// One job's incrementally maintained dispersal state inside a fused
+/// Task 3 call.
+///
+/// The per-job (solo) dispersal rebuilds its `(part, mark)` counting
+/// sort and rescans every token's vertex load on every shuffler round,
+/// even though a round only moves the `⌊(m_ij/2)·|T_il|⌋` tokens the
+/// dispersal tables select — the rescans are what caps dense batches
+/// near the dummy:real ratio. The fused round plan instead keeps each
+/// job's grouping and load accounting *live* across rounds:
+///
+/// * `buckets[part · t + mark]` holds the job's token indices in
+///   ascending order — exactly the bucket the per-round counting sort
+///   would produce, because that sort is stable over the ascending
+///   token scan. Moved tokens are drained from their bucket's consumed
+///   prefix and re-inserted in index order.
+/// * `vload`/`hist`/`pmax` maintain per-vertex loads and the per-part
+///   load maxima (the Lemma 6.6 quantities) under single-token
+///   increments/decrements, so round charges read them in `O(t)`.
+///
+/// Every maintained value is byte-identical to what the solo rescan
+/// computes; only the work to obtain it changes — proportional to the
+/// moved tokens and the buckets they leave or enter, instead of
+/// `O(tokens)` every round.
+#[derive(Debug, Default)]
+struct FusedDisperse {
+    /// Flock positions, aligned with the job's Task 2 worklist slice.
+    pos: Vec<u32>,
+    /// Flock marks (constant during a dispersal).
+    mark: Vec<u16>,
+    /// Token indices per `part · t + mark` key, ascending.
+    buckets: Vec<Vec<u32>>,
+    /// Per bucket: tokens consumed from its front in the current round.
+    moved_prefix: Vec<u32>,
+    /// Buckets with a nonzero consumed prefix this round.
+    touched_buckets: Vec<u32>,
+    /// This round's deferred `(token, new position)` moves.
+    moves: Vec<(u32, u32)>,
+    /// Staging buffer for the moves regrouped as `(new key, token)`.
+    pending: Vec<(u32, u32)>,
+    /// Per-vertex real-token load, live across all rounds.
+    vload: Vec<u32>,
+    /// Vertices whose `vload` went nonzero — the teardown list.
+    vtouched: Vec<u32>,
+    /// Per part: count of vertices currently at each load value ≥ 1.
+    hist: Vec<Vec<u32>>,
+    /// Per part: current maximum vertex load.
+    pmax: Vec<u32>,
+    /// Accumulated dispersal movement cost across rounds.
+    total_cost: u64,
+    /// Accumulated portal-routing charges across rounds (flushed as
+    /// one ledger charge per dispersal; per-phase sums make that
+    /// byte-identical to charging every round separately).
+    portal_total: u64,
+    /// The job's observed load `L` (the dummy-cache key at this node).
+    l: u64,
+}
+
+impl FusedDisperse {
+    /// Readies the state for a node with `t` parts over an `n`-vertex
+    /// graph. Grow-only; a pooled state re-prepares without allocating
+    /// once warm.
+    fn prepare(&mut self, n: usize, t: usize) {
+        self.pos.clear();
+        self.mark.clear();
+        if self.vload.len() < n {
+            self.vload.resize(n, 0);
+        }
+        if self.buckets.len() < t * t {
+            self.buckets.resize_with(t * t, Vec::new);
+        }
+        for b in &mut self.buckets[..t * t] {
+            b.clear();
+        }
+        self.moved_prefix.clear();
+        self.moved_prefix.resize(t * t, 0);
+        self.touched_buckets.clear();
+        self.moves.clear();
+        if self.hist.len() < t {
+            self.hist.resize_with(t, Vec::new);
+        }
+        self.pmax.clear();
+        self.pmax.resize(t, 0);
+        self.total_cost = 0;
+        self.portal_total = 0;
+        debug_assert!(self.vtouched.is_empty(), "prepare on a torn-down state");
+    }
+
+    /// Appends one token to the flock, bucketing it and counting its
+    /// load. Tokens must arrive in worklist order so every bucket stays
+    /// ascending.
+    fn push_token(&mut self, t: usize, pos: u32, mark: u16, part_of: &[u16]) {
+        let p = part_of[pos as usize];
+        debug_assert!(p != u16::MAX, "token outside the node");
+        let key = u32::from(p) * t as u32 + u32::from(mark);
+        let idx = self.pos.len() as u32;
+        self.pos.push(pos);
+        self.mark.push(mark);
+        self.buckets[key as usize].push(idx);
+        self.inc_load(pos, p as usize);
+    }
+
+    /// Counts one token landing on `v` (in part `p`).
+    fn inc_load(&mut self, v: u32, p: usize) {
+        let x = self.vload[v as usize];
+        self.vload[v as usize] = x + 1;
+        if x == 0 {
+            self.vtouched.push(v);
+        } else {
+            self.hist[p][x as usize] -= 1;
+        }
+        let hp = &mut self.hist[p];
+        if hp.len() <= (x + 1) as usize {
+            hp.resize(x as usize + 2, 0);
+        }
+        hp[(x + 1) as usize] += 1;
+        self.pmax[p] = self.pmax[p].max(x + 1);
+    }
+
+    /// Counts one token leaving `v` (in part `p`), stepping the part
+    /// maximum down when its last top-loaded vertex empties.
+    fn dec_load(&mut self, v: u32, p: usize) {
+        let x = self.vload[v as usize];
+        debug_assert!(x > 0, "decrement of an unloaded vertex");
+        self.vload[v as usize] = x - 1;
+        self.hist[p][x as usize] -= 1;
+        if x > 1 {
+            self.hist[p][(x - 1) as usize] += 1;
+        }
+        if self.pmax[p] == x && self.hist[p][x as usize] == 0 {
+            let mut m = x - 1;
+            while m > 0 && self.hist[p][m as usize] == 0 {
+                m -= 1;
+            }
+            self.pmax[p] = m;
+        }
+    }
+
+    /// Applies the round's deferred moves: drains every consumed bucket
+    /// prefix (the scan's round-start view must not shift underneath
+    /// it), then re-homes the moved tokens — load cells one by one,
+    /// bucket membership by staging each destination's arrivals and
+    /// folding them in with one backward in-place merge per touched
+    /// bucket. Work is proportional to the moved tokens and the
+    /// buckets they leave or enter, never the whole flock — this is
+    /// the fused path's round cost, replacing the solo path's full
+    /// regroup-and-rescan.
+    fn apply_moves(&mut self, t: usize, part_of: &[u16]) {
+        for &key in &self.touched_buckets {
+            let cnt = self.moved_prefix[key as usize] as usize;
+            self.buckets[key as usize].drain(..cnt);
+            self.moved_prefix[key as usize] = 0;
+        }
+        self.touched_buckets.clear();
+        let moves = std::mem::take(&mut self.moves);
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        for &(tok, new_pos) in &moves {
+            let old_pos = self.pos[tok as usize];
+            let old_p = part_of[old_pos as usize] as usize;
+            let new_p = part_of[new_pos as usize];
+            debug_assert!(new_p != u16::MAX, "token strayed outside the node");
+            self.dec_load(old_pos, old_p);
+            self.inc_load(new_pos, new_p as usize);
+            self.pos[tok as usize] = new_pos;
+            let new_key = u32::from(new_p) * t as u32 + u32::from(self.mark[tok as usize]);
+            pending.push((new_key, tok));
+        }
+        // Group arrivals by destination bucket, ascending token index
+        // within each (the bucket invariant), then merge each run into
+        // its — still sorted — destination from the back.
+        pending.sort_unstable();
+        let mut lo = 0usize;
+        while lo < pending.len() {
+            let key = pending[lo].0;
+            let mut hi = lo + 1;
+            while hi < pending.len() && pending[hi].0 == key {
+                hi += 1;
+            }
+            let bucket = &mut self.buckets[key as usize];
+            let old_len = bucket.len();
+            let new = &pending[lo..hi];
+            bucket.resize(old_len + new.len(), 0);
+            let (mut i, mut j, mut k) = (old_len, new.len(), bucket.len());
+            while j > 0 {
+                if i > 0 && bucket[i - 1] > new[j - 1].1 {
+                    bucket[k - 1] = bucket[i - 1];
+                    i -= 1;
+                } else {
+                    bucket[k - 1] = new[j - 1].1;
+                    j -= 1;
+                }
+                k -= 1;
+            }
+            lo = hi;
+        }
+        self.pending = pending;
+        self.moves = moves;
+        self.moves.clear();
+    }
+
+    /// Returns the state to its pooled resting shape: dense arrays
+    /// zeroed through the touched lists, histograms emptied.
+    fn teardown(&mut self, t: usize) {
+        for &v in &self.vtouched {
+            self.vload[v as usize] = 0;
+        }
+        self.vtouched.clear();
+        for hp in &mut self.hist[..t] {
+            hp.clear();
+        }
+    }
+}
+
+/// What a fused job carries besides its [`Exec`] state: the Task 2
+/// worklist and the data its epilogue needs.
+enum FusedKind<'a> {
+    /// A route job (epilogue needs the instance for the chain egress).
+    Route(&'a RoutingInstance),
+    /// A sort job (epilogue needs each token's owner vertex).
+    Sort(Vec<u32>),
+}
+
+/// One job of a fused batch group.
+struct FusedJob<'r, 'a> {
+    exec: Exec<'r>,
+    toks: Vec<usize>,
+    kind: FusedKind<'a>,
+}
+
+/// One job's contiguous worklist slice at the current Task 2 node.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    job: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Executes a group of co-scheduled jobs in lockstep over the Task 2
+/// recursion, fusing each node's Task 3 dispersal across the group:
+/// one shared round loop scans every job's flock with per-job grouping
+/// keys and per-job (forked-ledger) charge attribution, against a
+/// single dummy-dispersal entry per `(node, L)` shared by the whole
+/// group. Per-job outcomes are byte-identical to solo
+/// [`Router::route`]/[`Router::sort`] calls (`tests/batch_determinism`,
+/// `tests/property`).
+pub(crate) fn run_fused<'a>(
+    r: &Router,
+    scratch: &mut Scratch,
+    jobs: &[JobRef<'a>],
+) -> Vec<JobOutcome> {
+    scratch.reset_for(r);
+    let root = r.hier.root();
+    // Each job charges its own forked ledger: the demultiplexing
+    // targets every shared-scan charge site writes through.
+    let mut ledgers = RoundLedger::new().fork_many(jobs.len()).into_iter();
+    let mut slots: Vec<FusedJob<'_, 'a>> = jobs
+        .iter()
+        .map(|&job| {
+            let mut exec = Exec::new(r, ledgers.next().expect("one ledger per job"));
+            let (toks, kind) = match job {
+                JobRef::Route(inst) => {
+                    let toks = exec.route_prologue(scratch, inst).unwrap_or_default();
+                    (toks, FusedKind::Route(inst))
+                }
+                JobRef::Sort(inst) => match exec.sort_prologue(scratch, inst) {
+                    Some((toks, owner)) => (toks, FusedKind::Sort(owner)),
+                    None => (Vec::new(), FusedKind::Sort(Vec::new())),
+                },
+            };
+            FusedJob { exec, toks, kind }
+        })
+        .collect();
+
+    let spans: Vec<Span> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.toks.is_empty())
+        .map(|(job, s)| Span { job, lo: 0, hi: s.toks.len() })
+        .collect();
+    task2_fused(r, scratch, &mut slots, root, &spans);
+
+    slots
+        .into_iter()
+        .map(|slot| match slot.kind {
+            FusedKind::Route(inst) => JobOutcome::Route(slot.exec.route_epilogue(scratch, inst)),
+            FusedKind::Sort(owner) => JobOutcome::Sort(slot.exec.sort_epilogue(scratch, &owner)),
+        })
+        .collect()
+}
+
+/// Task 2 over every span's worklist slice in lockstep: per-job marker
+/// rewrites, one fused Task 3 per node, per-job `M*` hops and stable
+/// partitions, then recursion into each part with the surviving spans.
+fn task2_fused(
+    r: &Router,
+    scratch: &mut Scratch,
+    slots: &mut [FusedJob<'_, '_>],
+    node: NodeId,
+    spans: &[Span],
+) {
+    if spans.is_empty() {
+        return;
+    }
+    let nd = r.hier.node(node);
+    if nd.is_leaf() {
+        // §6.4 leaf case, per job (see `Exec::task2`).
+        for sp in spans {
+            let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+            for &t in &toks[sp.lo..sp.hi] {
+                let target = nd.vertices[exec.marker[t] as usize];
+                exec.pos[t] = target;
+                scratch.bump_vertex(target);
+            }
+            let lc = scratch.max_vertex_load().max(1);
+            scratch.reset_vertices();
+            exec.ledger.charge("query/task2/leaf", 6 * lc * r.cost.leafnet_unit[node]);
+            exec.stats.charged_sorts += 3;
+        }
+        return;
+    }
+
+    // Marker rewrite per job: global best rank -> (part, local rank).
+    let prefix = &r.best_prefix[node];
+    for sp in spans {
+        let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+        for &t in &toks[sp.lo..sp.hi] {
+            let iz = exec.marker[t];
+            let j = match prefix.binary_search(&iz) {
+                Ok(p) => {
+                    let mut p = p;
+                    while p + 1 < prefix.len() && prefix[p + 1] == iz {
+                        p += 1;
+                    }
+                    p
+                }
+                Err(ins) => ins - 1,
+            };
+            debug_assert!(j < nd.parts.len(), "marker {iz} beyond best count");
+            exec.mark_of[t] = j as u16;
+            exec.marker[t] = iz - prefix[j];
+        }
+    }
+
+    // Fused Task 3: every job's flock through one shared round plan.
+    task3_fused(r, scratch, slots, node, spans);
+
+    // M* hop per job (Property 3.1(3)).
+    for sp in spans {
+        let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+        scratch.mc.reset();
+        for &t in &toks[sp.lo..sp.hi] {
+            let j = exec.mark_of[t] as usize;
+            let v = exec.pos[t];
+            let child = r.hier.node(nd.parts[j].child);
+            if child.vertices.binary_search(&v).is_err() {
+                let ei = r.mstar_edge[node][v as usize] as usize;
+                let fp = &r.mstar_flat[node][j];
+                scratch.mc.add_flat(fp, ei, 1);
+                exec.pos[t] = fp.target(ei);
+            }
+        }
+        let mstar_cost = observe_mc(&mut exec.stats, &scratch.mc);
+        exec.ledger.charge("query/task2/mstar", mstar_cost);
+    }
+
+    // Stable per-job partition by part, collecting the child spans.
+    let t_parts = nd.parts.len();
+    let mut child_spans: Vec<Vec<Span>> = vec![Vec::new(); t_parts];
+    for sp in spans {
+        let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+        let slice = &mut toks[sp.lo..sp.hi];
+        let mut tmp = std::mem::take(&mut scratch.toks_tmp);
+        tmp.clear();
+        tmp.extend_from_slice(slice);
+        {
+            let mark_of = &exec.mark_of;
+            scratch.groups.build(t_parts, tmp.iter().map(|&t| u32::from(mark_of[t])));
+        }
+        let mut w = 0;
+        for j in 0..t_parts {
+            for &i in scratch.groups.group(j) {
+                slice[w] = tmp[i as usize];
+                w += 1;
+            }
+        }
+        debug_assert_eq!(w, slice.len());
+        scratch.toks_tmp = tmp;
+        let mut start = 0usize;
+        for (j, child) in child_spans.iter_mut().enumerate() {
+            let mut end = start;
+            while end < slice.len() && exec.mark_of[slice[end]] as usize == j {
+                end += 1;
+            }
+            if end > start {
+                child.push(Span { job: sp.job, lo: sp.lo + start, hi: sp.lo + end });
+            }
+            start = end;
+        }
+        debug_assert_eq!(start, slice.len());
+    }
+    for (j, child) in child_spans.iter().enumerate() {
+        task2_fused(r, scratch, slots, nd.parts[j].child, child);
+    }
+}
+
+/// Task 3 fused across the group: per-job flocks dispersed through one
+/// shared round loop ([`disperse_fused`]), then merged against a single
+/// shared [`DummyEntry`] per distinct `(node, L)`.
+fn task3_fused(
+    r: &Router,
+    scratch: &mut Scratch,
+    slots: &mut [FusedJob<'_, '_>],
+    node: NodeId,
+    spans: &[Span],
+) {
+    let nd = r.hier.node(node);
+    let t = nd.part_count();
+    let n = r.graph.n();
+
+    // Per-job prep: observed load L, flock segment, incremental state.
+    // The states live in the scratch pool; take them for the call.
+    let mut states = std::mem::take(&mut scratch.fused);
+    if states.len() < spans.len() {
+        states.resize_with(spans.len(), FusedDisperse::default);
+    }
+    for (ai, sp) in spans.iter().enumerate() {
+        let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+        exec.stats.task3_calls += 1;
+        for &tk in &toks[sp.lo..sp.hi] {
+            scratch.bump_vertex(exec.pos[tk]);
+        }
+        let l = scratch.max_vertex_load().max(1);
+        scratch.reset_vertices();
+        let st = &mut states[ai];
+        st.prepare(n, t);
+        st.l = l;
+        let part_of = &r.part_of[node];
+        for &tk in &toks[sp.lo..sp.hi] {
+            st.push_token(t, exec.pos[tk], exec.mark_of[tk], part_of);
+        }
+    }
+
+    disperse_fused(r, scratch, slots, &mut states, spans, node);
+
+    // One shared dummy entry per distinct observed load: taken from the
+    // cross-batch cache or built once — never once per job.
+    let mut entries: Vec<(u64, DummyEntry)> = Vec::new();
+    for st in &states[..spans.len()] {
+        if !entries.iter().any(|&(l, _)| l == st.l) {
+            let entry = match scratch.dummies.take(node, st.l) {
+                Some(entry) => entry,
+                None => Exec::new(r, RoundLedger::new()).build_dummy_entry(scratch, node, st.l),
+            };
+            entries.push((st.l, entry));
+        }
+    }
+
+    // Per job: replay the dummy charges, merge, charge the escort trip,
+    // write the final positions back into the worklist.
+    for (ai, sp) in spans.iter().enumerate() {
+        let FusedJob { exec, toks, .. } = &mut slots[sp.job];
+        let st = &mut states[ai];
+        let entry =
+            &entries.iter().find(|&&(l, _)| l == st.l).expect("entry built for every load").1;
+        exec.apply_dummy_entry(entry);
+        merge_fused(r, scratch, exec, st, node, entry);
+        exec.ledger.charge("query/task3/reverse", entry.cost);
+        for (i, &tk) in toks[sp.lo..sp.hi].iter().enumerate() {
+            exec.pos[tk] = st.pos[i];
+        }
+        st.teardown(t);
+    }
+    for (l, entry) in entries {
+        scratch.dummies.put(node, l, entry);
+    }
+    scratch.fused = states;
+}
+
+/// The fused dispersal round loop (§6.1, Lemma 6.2): one scan per
+/// round over the union of the group's flocks. Each job contributes
+/// its round-start buckets and per-part load maxima (incrementally
+/// maintained, not rescanned), charges its own ledger, and accumulates
+/// its own congestion/dilation through the shared scratch accumulator
+/// — reset between jobs so the per-job demultiplexing is exact.
+fn disperse_fused(
+    r: &Router,
+    scratch: &mut Scratch,
+    slots: &mut [FusedJob<'_, '_>],
+    states: &mut [FusedDisperse],
+    spans: &[Span],
+    node: NodeId,
+) {
+    let nd = r.hier.node(node);
+    let t = nd.part_count();
+    let sh = r.shufflers[node].as_ref().expect("internal node has shuffler");
+    let part_of = &r.part_of[node];
+    let lambda = sh.rounds.len();
+    for sp in spans {
+        let stats = &mut slots[sp.job].exec.stats;
+        if stats.max_load_trace.len() < lambda {
+            stats.max_load_trace.resize(lambda, 0);
+        }
+    }
+
+    for q in 0..lambda {
+        let flat = &r.rounds_flat[node][q];
+        let table = &r.round_tables[node][q];
+        for (ai, sp) in spans.iter().enumerate() {
+            let exec = &mut slots[sp.job].exec;
+            let st = &mut states[ai];
+            // Round-start per-part maxima: the previous round's
+            // post-move load trace (Lemma 6.6) and this round's portal
+            // charge (§6.2) read them straight off the incremental
+            // accounting.
+            if q > 0 {
+                let round_max = st.pmax[..t].iter().copied().max().unwrap_or(0) as usize;
+                let slot = &mut exec.stats.max_load_trace[q - 1];
+                *slot = (*slot).max(round_max);
+            }
+            let mut portal_charge = 0u64;
+            for (j, part) in nd.parts.iter().enumerate() {
+                if st.pmax[j] > 0 {
+                    portal_charge = portal_charge
+                        .max(2 * u64::from(st.pmax[j]) * r.cost.tsort_unit[part.child]);
+                    exec.stats.charged_sorts += 2;
+                }
+            }
+            st.portal_total += portal_charge;
+
+            // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j,
+            // scanning this job's round-start buckets.
+            scratch.mc.reset();
+            for i in 0..t {
+                let row_half_max = table.row_half_max(i);
+                for l in 0..t {
+                    let key = i * t + l;
+                    let bucket = &st.buckets[key];
+                    if bucket.is_empty() || (bucket.len() as f64) * row_half_max < 1.0 {
+                        continue;
+                    }
+                    let mut cursor = 0usize;
+                    for entry in table.row(i) {
+                        let cnt = (entry.m_ij / 2.0 * bucket.len() as f64).floor() as usize;
+                        if cnt == 0 {
+                            continue;
+                        }
+                        let refs = table.edge_refs(entry);
+                        debug_assert!(!refs.is_empty(), "portal entry without edges");
+                        for c in 0..cnt {
+                            if cursor >= bucket.len() {
+                                break;
+                            }
+                            let tok = bucket[cursor];
+                            cursor += 1;
+                            let packed = refs[c % refs.len()];
+                            let ei = (packed >> 1) as usize;
+                            // Orient the path from part i towards part j.
+                            let target =
+                                if packed & 1 == 1 { flat.source(ei) } else { flat.target(ei) };
+                            scratch.mc.add_flat(flat, ei, 1);
+                            st.moves.push((tok, target));
+                        }
+                    }
+                    if cursor > 0 {
+                        st.moved_prefix[key] = cursor as u32;
+                        st.touched_buckets.push(key as u32);
+                    }
+                }
+            }
+            st.total_cost += observe_mc(&mut exec.stats, &scratch.mc);
+            st.apply_moves(t, part_of);
+        }
+    }
+
+    // Per-job epilogue: final-round trace, the dispersal charge, and
+    // the Lemma 6.2 dispersion-envelope check.
+    for (ai, sp) in spans.iter().enumerate() {
+        let exec = &mut slots[sp.job].exec;
+        let st = &mut states[ai];
+        if lambda > 0 {
+            let max_load = st.pmax[..t].iter().copied().max().unwrap_or(0) as usize;
+            let slot = &mut exec.stats.max_load_trace[lambda - 1];
+            *slot = (*slot).max(max_load);
+        }
+        exec.ledger.charge("query/task3/portal", st.portal_total);
+        exec.ledger.charge("query/task3/disperse", st.total_cost);
+        if t >= 2 {
+            let lambda = sh.rounds.len() as f64;
+            let err = sh.final_potential().sqrt();
+            scratch.env_count.clear();
+            scratch.env_count.resize(t * t, 0.0);
+            scratch.env_tot.clear();
+            scratch.env_tot.resize(t, 0.0);
+            for idx in 0..st.pos.len() {
+                let p = part_of[st.pos[idx] as usize] as usize;
+                let l = st.mark[idx] as usize;
+                scratch.env_count[p * t + l] += 1.0;
+                scratch.env_tot[l] += 1.0;
+            }
+            for p in 0..t {
+                for (l, &tot) in scratch.env_tot.iter().enumerate() {
+                    if tot == 0.0 {
+                        continue;
+                    }
+                    exec.stats.dispersion_checked += 1;
+                    let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
+                    if scratch.env_count[p * t + l] > bound {
+                        exec.stats.dispersion_violations += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// §6.3 merge for one fused job: identical pairing and charges to
+/// [`Exec::merge`], but the real-token groups and per-part load maxima
+/// come from the job's incremental dispersal state instead of a
+/// rebuild, and the dummy side comes from the group-shared entry.
+fn merge_fused(
+    r: &Router,
+    scratch: &mut Scratch,
+    exec: &mut Exec<'_>,
+    st: &mut FusedDisperse,
+    node: NodeId,
+    dummy: &DummyEntry,
+) {
+    let nd = r.hier.node(node);
+    let t = nd.part_count();
+    let part_of = &r.part_of[node];
+
+    // Combined per-part load: dummy landings joined with the live real
+    // loads, then the real-only maxima (see `Exec::merge` — same
+    // values, no rescan of the real flock).
+    for pl in &mut scratch.part_load[..t] {
+        *pl = 0;
+    }
+    for &(v, dummies_here) in &dummy.loads {
+        let p = part_of[v as usize] as usize;
+        scratch.part_load[p] =
+            scratch.part_load[p].max(dummies_here + u64::from(st.vload[v as usize]));
+    }
+    for (p, &m) in st.pmax[..t].iter().enumerate() {
+        scratch.part_load[p] = scratch.part_load[p].max(u64::from(m));
+    }
+    let mut merge_charge = 0u64;
+    for (j, part) in nd.parts.iter().enumerate() {
+        if scratch.part_load[j] > 0 {
+            merge_charge = merge_charge.max(scratch.part_load[j] * r.cost.tsort_unit[part.child]);
+            exec.stats.charged_sorts += 1;
+        }
+    }
+    exec.ledger.charge("query/task3/merge", merge_charge);
+
+    scratch.fallback_mc.reset();
+    for rr in &mut scratch.fallback_rr[..t] {
+        *rr = 0;
+    }
+    for key in 0..t * t {
+        let reals = &st.buckets[key];
+        if reals.is_empty() {
+            continue;
+        }
+        let dummies = dummy.groups.group(key);
+        for (k, &ri) in reals.iter().enumerate() {
+            let ri = ri as usize;
+            if k < dummies.len() {
+                st.pos[ri] = dummy.origin[dummies[k] as usize];
+            } else {
+                // Fallback: not enough dummies landed here.
+                let lp = key % t;
+                let target_part = &nd.parts[lp].all;
+                let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
+                scratch.fallback_rr[lp] += 1;
+                if r.graph.shortest_path_into(
+                    st.pos[ri],
+                    target,
+                    &mut scratch.bfs,
+                    &mut scratch.path_buf,
+                ) {
+                    scratch.fallback_mc.add_walk(&r.graph, &scratch.path_buf, 1);
+                }
+                st.pos[ri] = target;
+                exec.stats.fallback_tokens += 1;
+            }
+        }
+    }
+    let fallback_cost = observe_mc(&mut exec.stats, &scratch.fallback_mc);
+    exec.ledger.charge("query/task3/fallback", fallback_cost);
+
+    // Postcondition: every real token is inside its marked part.
+    debug_assert!((0..st.pos.len()).all(|i| part_of[st.pos[i] as usize] == st.mark[i]));
 }
 
 #[cfg(test)]

@@ -1,8 +1,31 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The deterministic expander-routing engine of Chang–Huang–Su
 //! (PODC 2024), built on the hierarchical decomposition and shufflers
 //! of [`expander_decomp`].
+//!
+//! # Paper map
+//!
+//! Where each concept of Chang–Huang–Su (arXiv:2405.03908) lives; see
+//! `docs/ARCHITECTURE.md` at the repository root for the full
+//! crate-level map.
+//!
+//! | Paper concept | Module |
+//! |---------------|--------|
+//! | Theorem 1.1 preprocessing/query API | [`router`] |
+//! | Task 1 routing (Definition 4.1), Appendix D reduction | [`router`], [`exec`] |
+//! | Task 2 recursion (Definition 4.2), §6.4 leaf case | [`exec`] |
+//! | Task 3 dispersal (Definition 4.3) — §6, Lemmas 6.2/6.6 | [`exec`] |
+//! | Portal routing §6.2, merge §6.3 charges | [`exec`], [`cost_model`] |
+//! | §6.5 cost recurrences (measured `Q(·)`) | [`cost_model`] |
+//! | Expander sorting (Theorem 5.6) | [`router`], [`exec`] |
+//! | Sorting applications (Theorem 5.7, Lemma 5.8, Cor. 5.9/5.10) | [`ops`] |
+//! | Sorting networks (§6.4's `I_AKS`, substituted by Batcher) | [`network`] |
+//! | Routing ⇄ sorting equivalence (Appendix F) | [`equivalence`] |
+//! | Arbitrary degrees via the expander split `G⋄` (Appendix E) | [`general`] |
+//! | Instances, outcomes, load `L`, query statistics | [`token`] |
+//! | Batched/fused multi-query amortization (Theorem 1.1 at scale) | [`engine`] |
+//! | §1.2 comparison baselines (GKS17, CS20, shortest path) | [`baselines`] |
 //!
 //! # What lives here
 //!
@@ -15,8 +38,9 @@
 //! * [`engine`] — the batched multi-query engine: [`QueryEngine`]
 //!   shards a batch of routing/sorting jobs across a deterministic
 //!   worker pool over one preprocessed router, with pooled per-worker
-//!   scratches and cross-query dummy-dispersal caching; outcomes are
-//!   byte-identical to individual queries at every thread count.
+//!   scratches, cross-query dummy-dispersal caching, and cross-job
+//!   dispersal fusion; outcomes are byte-identical to individual
+//!   queries at every thread count and fusion width.
 //! * [`exec`] — the physical query execution: Task 2/Task 3 recursion,
 //!   shuffler-driven dispersal (Definition 6.1, Lemmas 6.2/6.6), the
 //!   meet-in-the-middle merge (§6.3), and the leaf case (§6.4).

@@ -521,10 +521,10 @@ impl Router {
         ledger: RoundLedger,
     ) -> JobOutcome {
         scratch.reset_for(self);
-        let exec = Exec::new(self, scratch, ledger);
+        let exec = Exec::new(self, ledger);
         match job {
-            JobRef::Route(inst) => JobOutcome::Route(exec.run_route(inst)),
-            JobRef::Sort(inst) => JobOutcome::Sort(exec.run_sort(inst)),
+            JobRef::Route(inst) => JobOutcome::Route(exec.run_route(scratch, inst)),
+            JobRef::Sort(inst) => JobOutcome::Sort(exec.run_sort(scratch, inst)),
         }
     }
 
@@ -533,6 +533,19 @@ impl Router {
     /// Each call builds a private scratch; batch workloads should go
     /// through [`QueryEngine`](crate::engine::QueryEngine), which pools
     /// scratches and amortizes the shared dispersal work.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use expander_core::{Router, RouterConfig, RoutingInstance};
+    /// use expander_graphs::generators;
+    ///
+    /// let g = generators::random_regular(256, 4, 7).expect("generator");
+    /// let router = Router::preprocess(&g, RouterConfig::default()).expect("expander");
+    /// let outcome = router.route(&RoutingInstance::permutation(256, 42)).expect("valid");
+    /// assert!(outcome.all_delivered());
+    /// assert!(outcome.rounds() > 0, "queries charge CONGEST rounds");
+    /// ```
     ///
     /// # Errors
     ///

@@ -1,4 +1,19 @@
-//! Routing and sorting instances and their outcomes.
+//! Routing and sorting instances and their outcomes — the data model
+//! of the paper's task definitions.
+//!
+//! * [`RoutingInstance`] / [`RouteToken`] — a Task 1 instance
+//!   (Definition 4.1): every vertex sources and sinks at most `L`
+//!   tokens; [`RoutingInstance::load`] computes that `L`. Named
+//!   workload constructors (permutations, bit reversal, transpose,
+//!   hotspots) feed the experiment harness.
+//! * [`SortInstance`] / [`SortToken`] — an expander-sorting instance
+//!   (Theorem 5.6 / Appendix F): at most `L` tokens per vertex, keys
+//!   to end up non-decreasing in vertex-ID order.
+//! * [`RoutingOutcome`] / [`SortOutcome`] — final token positions plus
+//!   the charged-round [`RoundLedger`] (Fact 2.2 accounting) and the
+//!   paper-facing [`QueryStats`]: the Lemma 6.6 per-round load trace,
+//!   Lemma 6.2 dispersion-envelope checks, and the observed
+//!   congestion/dilation of every measured movement leg.
 
 use congest_sim::RoundLedger;
 use expander_graphs::VertexId;
@@ -276,6 +291,35 @@ pub struct QueryStats {
     pub max_congestion: u64,
     /// Worst path dilation (hops) observed across those legs.
     pub max_dilation: u64,
+}
+
+impl QueryStats {
+    /// Folds an element-wise maximum of a per-round load trace (the
+    /// Lemma 6.6 quantity) into this record's trace, extending it as
+    /// needed — used when replaying a cached dummy dispersal and when
+    /// aggregating a batch.
+    pub fn absorb_trace_maxima(&mut self, trace: &[usize]) {
+        if self.max_load_trace.len() < trace.len() {
+            self.max_load_trace.resize(trace.len(), 0);
+        }
+        for (slot, &load) in self.max_load_trace.iter_mut().zip(trace) {
+            *slot = (*slot).max(load);
+        }
+    }
+
+    /// Folds another record into `self` the way batch aggregation
+    /// does: sums for the counters, element-wise maxima for the load
+    /// trace and the congestion/dilation observations.
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.max_congestion = self.max_congestion.max(other.max_congestion);
+        self.max_dilation = self.max_dilation.max(other.max_dilation);
+        self.fallback_tokens += other.fallback_tokens;
+        self.dispersion_violations += other.dispersion_violations;
+        self.dispersion_checked += other.dispersion_checked;
+        self.task3_calls += other.task3_calls;
+        self.charged_sorts += other.charged_sorts;
+        self.absorb_trace_maxima(&other.max_load_trace);
+    }
 }
 
 /// Outcome of a routing query.

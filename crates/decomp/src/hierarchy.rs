@@ -494,6 +494,11 @@ struct GameOutcome {
     leftover: Vec<VertexId>,
 }
 
+/// Result of attaching one node's parts: the built [`HierarchyPart`]s,
+/// the root-only unmatched vertex set, its `Mroot` matching pairs, and
+/// their embedding.
+type AttachedParts = (Vec<HierarchyPart>, Vec<VertexId>, Vec<(VertexId, VertexId)>, Embedding);
+
 struct GamePart {
     survivors: Vec<VertexId>,
     edges: Vec<(VertexId, VertexId)>,
@@ -675,15 +680,13 @@ impl Builder<'_, '_> {
     /// Matches the leftover pool into the surviving parts, builds the
     /// [`HierarchyPart`]s (recursing into children), and returns the
     /// root-only unmatched set plus its `Mroot` embedding.
-    #[allow(clippy::type_complexity)]
     fn attach_parts(
         &mut self,
         node_id: NodeId,
         host: &HostGraph,
         outcome: GameOutcome,
         is_root: bool,
-    ) -> Result<(Vec<HierarchyPart>, Vec<VertexId>, Vec<(VertexId, VertexId)>, Embedding), BuildError>
-    {
+    ) -> Result<AttachedParts, BuildError> {
         let GameOutcome { parts: game_parts, leftover } = outcome;
         // Sink capacity 1 on every survivor: M* must be a matching.
         let mut sink_cap = vec![0u32; host.n()];

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Graph substrate for the deterministic expander-routing reproduction.
 //!

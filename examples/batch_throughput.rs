@@ -1,6 +1,8 @@
 //! Batch-engine throughput: B routing queries through [`QueryEngine`]
 //! versus the same B queries as sequential `Router::route` calls, with
-//! queries/sec at 1 thread and at the environment's thread count.
+//! queries/sec at 1 thread and at the environment's thread count —
+//! plus the legacy per-job engine path (fusion width 1) so the
+//! cross-job dispersal fusion win is visible against its own baseline.
 //!
 //! ```sh
 //! cargo run --release --example batch_throughput            # n = 512, B = 64
@@ -26,7 +28,14 @@ fn run_shape(router: &Router, label: &str, insts: &[RoutingInstance], threads: u
     let seq = t1.elapsed();
     assert!(solo.iter().all(RoutingOutcome::all_delivered), "undelivered tokens");
 
-    // Engine, one worker: the pooled-scratch + dummy-cache win alone.
+    // Engine, one worker, per-job path: the pooled-scratch +
+    // dummy-cache win alone (the pre-fusion engine).
+    let engine_pj = QueryEngine::new(router).with_threads(Some(1)).with_fusion_width(Some(1));
+    let t2 = Instant::now();
+    let (outs_pj, _stats_pj) = engine_pj.route_batch(insts).expect("valid instances");
+    let perjob = t2.elapsed();
+
+    // Engine, one worker, fused: cross-job dispersal fusion on top.
     let engine1 = QueryEngine::new(router).with_threads(Some(1));
     let t2 = Instant::now();
     let (outs1, stats1) = engine1.route_batch(insts).expect("valid instances");
@@ -38,7 +47,9 @@ fn run_shape(router: &Router, label: &str, insts: &[RoutingInstance], threads: u
     let (outs_n, _stats_n) = engine_n.route_batch(insts).expect("valid instances");
     let many = t3.elapsed();
 
-    for ((a, o1), on) in solo.iter().zip(&outs1).zip(&outs_n) {
+    for (((a, opj), o1), on) in solo.iter().zip(&outs_pj).zip(&outs1).zip(&outs_n) {
+        assert_eq!(a.positions, opj.positions, "per-job engine diverged from sequential");
+        assert_eq!(a.ledger, opj.ledger, "per-job engine ledger diverged");
         assert_eq!(a.positions, o1.positions, "engine(1) diverged from sequential");
         assert_eq!(a.ledger, o1.ledger, "engine(1) ledger diverged");
         assert_eq!(a.positions, on.positions, "engine(N) diverged from sequential");
@@ -49,7 +60,12 @@ fn run_shape(router: &Router, label: &str, insts: &[RoutingInstance], threads: u
     println!("--- {label} ---");
     println!("sequential Router::route ×{b}: {seq:.2?}  ({:.1} queries/s)", qps(seq));
     println!(
-        "QueryEngine (threads = 1):     {one:.2?}  ({:.1} queries/s, {:.2}× sequential)",
+        "QueryEngine (per-job, 1 thr):  {perjob:.2?}  ({:.1} queries/s, {:.2}× sequential)",
+        qps(perjob),
+        seq.as_secs_f64() / perjob.as_secs_f64()
+    );
+    println!(
+        "QueryEngine (fused, 1 thr):    {one:.2?}  ({:.1} queries/s, {:.2}× sequential)",
         qps(one),
         seq.as_secs_f64() / one.as_secs_f64()
     );
@@ -66,7 +82,7 @@ fn run_shape(router: &Router, label: &str, insts: &[RoutingInstance], threads: u
         stats1.max_congestion(),
         stats1.max_dilation()
     );
-    println!("outputs byte-identical across sequential / engine(1) / engine({threads})");
+    println!("outputs byte-identical across sequential / per-job / fused / engine({threads})");
 }
 
 fn main() {

@@ -4,7 +4,9 @@
 //! expensive part) and arbitrary instances are thrown at it.
 
 use expander_core::ops;
-use expander_core::{QueryEngine, Router, RouterConfig, RoutingInstance, SortInstance};
+use expander_core::{
+    Job, JobOutcome, QueryEngine, Router, RouterConfig, RoutingInstance, SortInstance,
+};
 use expander_graphs::{generators, Path, PathSet};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -17,6 +19,30 @@ fn shared_router() -> &'static Router {
         let g = generators::random_regular(N, 4, 77).expect("generator");
         Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
     })
+}
+
+/// Shared routers for the fusion-equivalence property (one per size,
+/// preprocessing amortized across all cases).
+fn fusion_router(n: usize) -> &'static Router {
+    static R64: OnceLock<Router> = OnceLock::new();
+    static R256: OnceLock<Router> = OnceLock::new();
+    let build = move || {
+        let g = generators::random_regular(n, 4, 1234).expect("generator");
+        Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+    };
+    match n {
+        64 => R64.get_or_init(build),
+        256 => R256.get_or_init(build),
+        _ => unreachable!("unsupported fusion test size"),
+    }
+}
+
+/// Every observable byte of one batch-job outcome.
+fn outcome_fingerprint(out: &JobOutcome) -> String {
+    match out {
+        JobOutcome::Route(o) => format!("route|{:?}|{:?}|{}", o.positions, o.stats, o.ledger),
+        JobOutcome::Sort(o) => format!("sort|{:?}|{:?}|{}", o.positions, o.stats, o.ledger),
+    }
 }
 
 /// An arbitrary routing instance with load at most `max_l`.
@@ -120,6 +146,48 @@ proptest! {
         for (i, t) in inst.tokens.iter().enumerate() {
             prop_assert_eq!(out.values[i], count[&t.key]);
         }
+    }
+
+    #[test]
+    fn fused_batches_match_per_job_path(
+        n_pick in 0usize..2,
+        shape in proptest::collection::vec((0u64..1_000_000, 0usize..3), 1..9),
+        width_pick in 0usize..3,
+    ) {
+        // Cross-job dispersal fusion is an accelerator only: for random
+        // mixed-density batches (dense permutations, sparse partial
+        // permutations, sorts) the fused outcomes must be byte-identical
+        // to the per-job baseline path at every fusion width.
+        let n = [64usize, 256][n_pick];
+        let r = fusion_router(n);
+        let jobs: Vec<Job> = shape
+            .iter()
+            .map(|&(seed, kind)| match kind {
+                0 => Job::Route(RoutingInstance::permutation(n, seed)),
+                1 => Job::Route(RoutingInstance::partial_permutation(n, n / 4, seed)),
+                _ => Job::Sort(SortInstance::random(n, 1 + (seed as usize % 2), seed)),
+            })
+            .collect();
+        let b = jobs.len();
+        let width = [1usize, 2, b][width_pick];
+        let base = QueryEngine::new(r)
+            .with_fusion_width(Some(1))
+            .with_threads(Some(1))
+            .run(&jobs)
+            .expect("valid batch");
+        let fused = QueryEngine::new(r)
+            .with_fusion_width(Some(width))
+            .with_threads(Some(1))
+            .run(&jobs)
+            .expect("valid batch");
+        for (i, (a, b)) in base.outcomes.iter().zip(&fused.outcomes).enumerate() {
+            prop_assert_eq!(
+                outcome_fingerprint(a),
+                outcome_fingerprint(b),
+                "job {} differs at fusion width {}", i, width
+            );
+        }
+        prop_assert_eq!(&base.stats.merged, &fused.stats.merged);
     }
 
     #[test]
