@@ -25,6 +25,7 @@
 //! | Arbitrary degrees via the expander split `G⋄` (Appendix E) | [`general`] |
 //! | Instances, outcomes, load `L`, query statistics | [`token`] |
 //! | Batched/fused multi-query amortization (Theorem 1.1 at scale) | [`engine`] |
+//! | Corollary 1.4 general graphs via expander decomposition | [`decomposed`] |
 //! | §1.2 comparison baselines (GKS17, CS20, shortest path) | [`baselines`] |
 //!
 //! # What lives here
@@ -53,6 +54,11 @@
 //! * [`baselines`] — the GKS17 randomized random-walk router, a
 //!   CS20-style per-query-recomputation router, and a naive
 //!   shortest-path router, for the comparison experiments.
+//! * [`decomposed`] — graceful degradation on general graphs
+//!   (Corollary 1.4): [`RoutedDecomposition`] splits a non-expander
+//!   into expander pieces, routes within each, and reports
+//!   cross-piece tokens as structured [`Undeliverable`] outcomes
+//!   instead of panicking.
 //!
 //! # Example
 //!
@@ -70,6 +76,7 @@
 
 pub mod baselines;
 pub mod cost_model;
+pub mod decomposed;
 pub mod engine;
 pub mod equivalence;
 pub mod exec;
@@ -79,6 +86,10 @@ pub mod ops;
 pub mod router;
 pub mod token;
 
+pub use decomposed::{
+    DecomposedConfig, DecomposedOutcome, FallbackReason, RoutedDecomposition, Undeliverable,
+    UndeliverableReason,
+};
 pub use engine::{BatchOutcome, BatchStats, Job, JobOutcome, JobRef, QueryEngine};
 pub use general::GeneralRouter;
 pub use router::{Router, RouterConfig};

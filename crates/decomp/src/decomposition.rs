@@ -65,7 +65,16 @@ pub fn expander_decomposition(g: &Graph, phi: f64, seed: u64) -> ExpanderDecompo
         guard += 1;
         assert!(guard <= 8 * n + 16, "decomposition failed to terminate");
         if set.len() <= 2 {
-            clusters.push(set);
+            // A 2-set handed down from a sweep-cut side can be a
+            // disconnected pair; clusters must stay connected, so
+            // split it into singletons. Empty sets (empty graph) are
+            // dropped entirely.
+            if set.len() == 2 && !g.has_edge(set[0], set[1]) {
+                clusters.push(vec![set[0]]);
+                clusters.push(vec![set[1]]);
+            } else if !set.is_empty() {
+                clusters.push(set);
+            }
             continue;
         }
         let (sub, map) = g.induced_subgraph(&set);
@@ -214,6 +223,29 @@ mod tests {
         check_partition(&g, &d);
         assert!(d.cut_fraction <= 0.3, "removed {:.3} of edges, budget 0.3", d.cut_fraction);
         assert!(d.ledger.total() > 0, "construction rounds charged");
+    }
+
+    #[test]
+    fn clusters_are_always_connected() {
+        // Includes a graph with isolated vertices and bridge-heavy
+        // trees whose sweep-cut sides can be disconnected pairs.
+        let mut zoo = vec![
+            generators::bridge_tree(7, 4),
+            generators::path(40),
+            Graph::from_edges(10, &[(0, 1), (4, 5), (8, 9)]),
+        ];
+        zoo.push(generators::bridged_expanders(16, 4, 1, 3).unwrap());
+        for g in zoo {
+            let d = expander_decomposition(&g, 0.3, 11);
+            check_partition(&g, &d);
+            for c in &d.clusters {
+                assert!(!c.is_empty(), "no empty clusters");
+                if c.len() >= 2 {
+                    let (sub, _) = g.induced_subgraph(c);
+                    assert!(sub.is_connected(), "cluster {c:?} is disconnected");
+                }
+            }
+        }
     }
 
     #[test]

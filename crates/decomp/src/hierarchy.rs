@@ -111,6 +111,17 @@ pub enum BuildError {
         /// Vertices left outside and unmatched.
         unmatched: usize,
     },
+    /// The force-attach stage (Property 3.1(1), DESIGN.md substitution
+    /// 5) could not connect a leftover vertex to any surviving part:
+    /// the node's virtual graph stranded it. Weak expanders off the
+    /// certification happy path can reach this; it was an `assert!`
+    /// before the robustness audit.
+    Stranded {
+        /// The vertex that could not be attached.
+        vertex: VertexId,
+        /// Hierarchy level of the node whose attach failed (root = 0).
+        level: u32,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -122,6 +133,11 @@ impl fmt::Display for BuildError {
                 f,
                 "root covers only {covered} vertices; {unmatched} stragglers cannot be \
                  matched in (weak expander or packing caps too tight)"
+            ),
+            BuildError::Stranded { vertex, level } => write!(
+                f,
+                "vertex {vertex} stranded at level {level}: the virtual graph disconnects \
+                 it from every surviving part during force-attach"
             ),
         }
     }
@@ -759,7 +775,11 @@ impl Builder<'_, '_> {
         } else {
             // Internal nodes must cover X exactly (Property 3.1(1));
             // force-attach stragglers via shortest paths (DESIGN.md
-            // substitution 5).
+            // substitution 5). A straggler the virtual graph
+            // disconnects from every surviving part is a structured
+            // build failure, not a panic: hostile (non-expander)
+            // inputs do reach this stage.
+            let level = self.nodes[node_id].level;
             for &v in &m.unmatched {
                 let l = host.to_local(v);
                 let dist = host.bfs_local(&[l]);
@@ -767,20 +787,27 @@ impl Builder<'_, '_> {
                     .filter(|&u| sink_cap[u] > 0 && dist[u] != u32::MAX)
                     .min_by_key(|&u| dist[u]);
                 let Some(target) = target else {
-                    // Totally unreachable: drop into part 0 with a
-                    // trivial path (connectivity guards make this rare).
-                    bad_per_part[0].push(v);
+                    // No surviving part has free capacity reachable
+                    // from `v`; fall back to part 0's first survivor if
+                    // the host still connects them.
                     let g = game_parts[0].survivors[0];
+                    let Some(path) = shortest_in_host(host, v, g) else {
+                        return Err(BuildError::Stranded { vertex: v, level });
+                    };
+                    bad_per_part[0].push(v);
                     matching_per_part[0].push((v, g));
-                    paths_per_part[0].push(v, g, shortest_in_host(host, v, g));
+                    paths_per_part[0].push(v, g, path);
                     continue;
                 };
                 sink_cap[target] -= 1;
                 let g = host.to_global(target as u32);
                 let pi = part_of_survivor[target];
+                let Some(path) = shortest_in_host(host, v, g) else {
+                    return Err(BuildError::Stranded { vertex: v, level });
+                };
                 bad_per_part[pi].push(v);
                 matching_per_part[pi].push((v, g));
-                paths_per_part[pi].push(v, g, shortest_in_host(host, v, g));
+                paths_per_part[pi].push(v, g, path);
             }
             (Vec::new(), Vec::new(), Embedding::new())
         };
@@ -791,18 +818,23 @@ impl Builder<'_, '_> {
         // order reproduces the sequential DFS numbering byte for byte.
         let level = self.nodes[node_id].level;
         let ctx = self.ctx;
-        let built: Vec<(Vec<HierarchyNode>, RoundLedger)> = {
+        // Per-task results stay `Result`s until the splice loop below
+        // consumes them in part order, so the *first* failing part (in
+        // canonical order, not thread completion order) reports — the
+        // surfaced error is thread-count invariant.
+        let built: Vec<Result<(Vec<HierarchyNode>, RoundLedger), BuildError>> = {
             let parent_flat = self.nodes[node_id].flat.as_ref();
             let parent_ledger = &self.ledger;
             parallel::map_tasks(&ctx.budget, game_parts, |_pi, gp| {
                 let mut sub = Builder { ctx, nodes: Vec::new(), ledger: parent_ledger.fork() };
-                let local_root = sub.build_subtree(None, parent_flat, gp, level + 1);
+                let local_root = sub.build_subtree(None, parent_flat, gp, level + 1)?;
                 debug_assert_eq!(local_root, 0, "subtree root leads its arena");
-                (sub.nodes, sub.ledger)
+                Ok((sub.nodes, sub.ledger))
             })
         };
         let mut parts = Vec::new();
-        for (pi, (sub_nodes, sub_ledger)) in built.into_iter().enumerate() {
+        for (pi, built_part) in built.into_iter().enumerate() {
+            let (sub_nodes, sub_ledger) = built_part?;
             let offset = self.nodes.len();
             for mut nd in sub_nodes {
                 nd.id += offset;
@@ -842,7 +874,7 @@ impl Builder<'_, '_> {
         parent_flat: Option<&Embedding>,
         gp: GamePart,
         level: u32,
-    ) -> NodeId {
+    ) -> Result<NodeId, BuildError> {
         let id = self.nodes.len();
         let mut embedding_to_parent = gp.embedding;
         let vertices = gp.survivors;
@@ -890,13 +922,14 @@ impl Builder<'_, '_> {
             let fq = self.nodes[id].flat_quality;
             let outcome = self.partition_game(&host, &vertices, level, fq);
             if outcome.parts.len() >= 2 {
-                let (parts, _, _, _) = self
-                    .attach_parts(id, &host, outcome, false)
-                    .expect("only the root attach can fail");
+                // Both the root and recursive attaches can fail on
+                // hostile input (RootCoverage at the root, Stranded
+                // anywhere); propagate instead of expecting.
+                let (parts, _, _, _) = self.attach_parts(id, &host, outcome, false)?;
                 self.nodes[id].parts = parts;
             }
         }
-        id
+        Ok(id)
     }
 
     fn compute_best(&self, id: NodeId, cache: &mut Vec<Option<Vec<VertexId>>>) -> Vec<VertexId> {
@@ -917,7 +950,10 @@ impl Builder<'_, '_> {
     }
 }
 
-fn shortest_in_host(host: &HostGraph, from: VertexId, to: VertexId) -> Path {
+/// BFS shortest path between two host vertices, `None` when the host
+/// graph disconnects them (reachable with hostile, non-expander input —
+/// callers surface [`BuildError::Stranded`] instead of panicking).
+fn shortest_in_host(host: &HostGraph, from: VertexId, to: VertexId) -> Option<Path> {
     let lf = host.to_local(from);
     let lt = host.to_local(to);
     // BFS with parents.
@@ -936,7 +972,9 @@ fn shortest_in_host(host: &HostGraph, from: VertexId, to: VertexId) -> Path {
             }
         }
     }
-    assert!(parent[lt as usize] != u32::MAX, "host disconnected in shortest_in_host");
+    if parent[lt as usize] == u32::MAX {
+        return None;
+    }
     let mut walk = vec![lt];
     let mut cur = lt;
     while cur != lf {
@@ -944,7 +982,7 @@ fn shortest_in_host(host: &HostGraph, from: VertexId, to: VertexId) -> Path {
         walk.push(cur);
     }
     walk.reverse();
-    host.path_to_global(&walk)
+    Some(host.path_to_global(&walk))
 }
 
 fn gap_of_virtual(host: &HostGraph) -> f64 {
@@ -1120,6 +1158,31 @@ mod tests {
             Hierarchy::build(&g2, HierarchyParams::default()).unwrap_err(),
             BuildError::TooSmall { .. }
         ));
+    }
+
+    #[test]
+    fn hostile_inputs_build_or_error_structurally() {
+        // Off-the-happy-path topologies: the build must return a
+        // structured BuildError (or succeed), never panic — the
+        // contract the graceful-decomposition fallback layer rests on.
+        let zoo: Vec<(&str, Graph)> = vec![
+            ("barbell", generators::barbell(40)),
+            ("bridge_tree", generators::bridge_tree(5, 16)),
+            ("ring", generators::ring(128)),
+            ("path", generators::path(96)),
+            ("ring_of_cliques", generators::ring_of_cliques(6, 12)),
+            ("power_law", generators::power_law(128, 2, 3).expect("generator")),
+            ("thin_bridge", generators::bridged_expanders(64, 4, 1, 5).expect("generator")),
+        ];
+        for (name, g) in zoo {
+            match Hierarchy::build(&g, HierarchyParams::for_epsilon(0.4)) {
+                Ok(h) => assert!(!h.nodes().is_empty(), "{name}: built an empty hierarchy"),
+                Err(e) => {
+                    let msg = format!("{e}");
+                    assert!(!msg.is_empty(), "{name}: error must render");
+                }
+            }
+        }
     }
 
     #[test]

@@ -47,11 +47,14 @@ impl Error for GenerateError {}
 /// assert!((0..64).all(|v| g.degree(v) == 3));
 /// ```
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GenerateError> {
+    if n == 0 {
+        return Err(GenerateError::new("n must be positive"));
+    }
     if !(n * d).is_multiple_of(2) {
         return Err(GenerateError::new("n * d must be even"));
     }
     if d >= n {
-        return Err(GenerateError::new("degree must be < n"));
+        return Err(GenerateError::new(format!("degree {d} must be < n = {n}")));
     }
     if d == 0 {
         return Err(GenerateError::new("degree must be positive"));
@@ -158,8 +161,18 @@ pub fn torus2d(w: usize, h: usize) -> Graph {
     Graph::from_edges(w * h, &edges)
 }
 
-/// Erdős–Rényi `G(n, p)` with a fixed seed.
-pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+/// Erdős–Rényi `G(n, p)` with a fixed seed. `p = 0.0` yields the empty
+/// graph on `n` vertices and `p = 1.0` the complete graph, both
+/// well-formed.
+///
+/// # Errors
+///
+/// Returns an error if `p` is not a probability (outside `[0, 1]` or
+/// NaN).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GenerateError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GenerateError::new(format!("edge probability {p} outside [0, 1]")));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n as u32 {
@@ -169,7 +182,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
             }
         }
     }
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_edges(n, &edges))
 }
 
 /// Margulis–Gabber–Galil 8-regular expander on `m × m` vertices over
@@ -244,9 +257,12 @@ pub fn ring_of_cliques(c: usize, s: usize) -> Graph {
 ///
 /// # Errors
 ///
-/// Propagates [`random_regular`] failures.
+/// Returns an error if `hubs` is zero or at least `n / 4`, and
+/// propagates [`random_regular`] failures.
 pub fn hub_expander(n: usize, hubs: usize, seed: u64) -> Result<Graph, GenerateError> {
-    assert!(hubs >= 1 && hubs < n / 4, "hub count out of range");
+    if hubs == 0 || hubs >= n / 4 {
+        return Err(GenerateError::new(format!("hub count {hubs} out of range for n = {n}")));
+    }
     let base = random_regular(n, 4, seed)?;
     let mut edges: Vec<(u32, u32)> = base.edges().collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -271,7 +287,10 @@ pub fn hub_expander(n: usize, hubs: usize, seed: u64) -> Result<Graph, GenerateE
 ///
 /// # Errors
 ///
-/// Propagates [`random_regular`] failures.
+/// Propagates [`random_regular`] failures. Degenerate cluster counts
+/// are well-defined instead of panicking: zero blocks (or zero
+/// vertices per block) yield the empty graph, and a single block is
+/// just that block with no bridges.
 pub fn planted_partition(
     blocks: usize,
     per: usize,
@@ -279,12 +298,17 @@ pub fn planted_partition(
     bridges: usize,
     seed: u64,
 ) -> Result<Graph, GenerateError> {
-    assert!(blocks >= 2, "need at least two blocks");
+    if blocks == 0 || per == 0 {
+        return Ok(Graph::from_edges(0, &[]));
+    }
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for b in 0..blocks {
         let base = (b * per) as u32;
         let block = random_regular(per, d, seed.wrapping_add(b as u64 * 101))?;
         edges.extend(block.edges().map(|(u, v)| (base + u, base + v)));
+    }
+    if blocks == 1 {
+        return Ok(Graph::from_edges(per, &edges));
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C);
     for b in 0..blocks {
@@ -300,6 +324,166 @@ pub fn planted_partition(
         }
     }
     Ok(Graph::from_edges(blocks * per, &edges))
+}
+
+/// A power-law (preferential-attachment, Barabási–Albert style) graph:
+/// starts from a small seed clique, then every new vertex attaches
+/// `attach` edges to existing vertices sampled proportionally to their
+/// current degree. Degree distribution has a heavy tail — the shape of
+/// real-world internet/social topologies, and nothing like a regular
+/// expander.
+///
+/// # Errors
+///
+/// Returns an error if `attach` is zero or `n` is too small to seed
+/// the attachment process (`n <= attach`).
+pub fn power_law(n: usize, attach: usize, seed: u64) -> Result<Graph, GenerateError> {
+    if attach == 0 {
+        return Err(GenerateError::new("attach count must be positive"));
+    }
+    if n <= attach {
+        return Err(GenerateError::new(format!("n = {n} too small for attach = {attach}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core = attach + 1;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Seed clique on the first `attach + 1` vertices.
+    for u in 0..core as u32 {
+        for v in (u + 1)..core as u32 {
+            edges.push((u, v));
+        }
+    }
+    // Endpoint pool: each vertex appears once per incident edge, so a
+    // uniform draw from the pool is a degree-proportional draw.
+    let mut pool: Vec<u32> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    for v in core as u32..n as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+        let mut tries = 0usize;
+        while chosen.len() < attach && tries < 64 * attach {
+            tries += 1;
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        // Pool exhaustion fallback (tiny graphs): deterministic sweep.
+        for t in 0..v {
+            if chosen.len() >= attach {
+                break;
+            }
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t.min(v), t.max(v)));
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Two random `d`-regular expanders of `half` vertices each, joined by
+/// exactly `bridges` evenly spread edges. Sweeping `bridges` moves the
+/// conductance of the joint cut from far-below to above any fixed
+/// certification threshold `φ` — the *near-threshold* regime the
+/// hierarchy's expansion certification sees right at its failure
+/// boundary.
+///
+/// # Errors
+///
+/// Returns an error if `bridges` is zero (the result would be
+/// disconnected — use [`disconnected_expanders`] for that) or exceeds
+/// `half²`, and propagates [`random_regular`] failures.
+pub fn bridged_expanders(
+    half: usize,
+    d: usize,
+    bridges: usize,
+    seed: u64,
+) -> Result<Graph, GenerateError> {
+    if bridges == 0 {
+        return Err(GenerateError::new("bridges must be positive (see disconnected_expanders)"));
+    }
+    if bridges > half * half {
+        return Err(GenerateError::new(format!("{bridges} bridges > half² = {}", half * half)));
+    }
+    let a = random_regular(half, d, seed)?;
+    let b = random_regular(half, d, seed.wrapping_add(0x5EED))?;
+    let mut edges: Vec<(u32, u32)> = a.edges().collect();
+    edges.extend(b.edges().map(|(u, v)| (u + half as u32, v + half as u32)));
+    // Evenly spread deterministic bridges: the i-th bridge joins
+    // `i mod half` on the left to `(i·17 + i/half) mod half` on the
+    // right, dedup'd by construction for bridges <= half².
+    let mut used = HashSet::new();
+    let mut placed = 0usize;
+    let mut i = 0usize;
+    while placed < bridges {
+        let u = (i % half) as u32;
+        let v = ((i.wrapping_mul(17) + i / half) % half + half) as u32;
+        i += 1;
+        if used.insert((u, v)) {
+            edges.push((u, v));
+            placed += 1;
+        }
+    }
+    Ok(Graph::from_edges(2 * half, &edges))
+}
+
+/// `pieces` disjoint random `d`-regular expanders of `per` vertices
+/// each, with **no** edges between pieces — the canonical disconnected
+/// input that single-hierarchy construction must reject and graceful
+/// decomposition must handle.
+///
+/// # Errors
+///
+/// Returns an error if `pieces` is zero, and propagates
+/// [`random_regular`] failures.
+pub fn disconnected_expanders(
+    pieces: usize,
+    per: usize,
+    d: usize,
+    seed: u64,
+) -> Result<Graph, GenerateError> {
+    if pieces == 0 {
+        return Err(GenerateError::new("need at least one piece"));
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for p in 0..pieces {
+        let base = (p * per) as u32;
+        let g = random_regular(per, d, seed.wrapping_add(p as u64 * 7919))?;
+        edges.extend(g.edges().map(|(u, v)| (base + u, base + v)));
+    }
+    Ok(Graph::from_edges(pieces * per, &edges))
+}
+
+/// A bridge-heavy topology: `cliques` cliques of `size` vertices
+/// arranged on a binary-tree skeleton, consecutive levels joined by a
+/// single bridge edge each. Every inter-clique edge is a cut edge, so
+/// conductance collapses and the graph shatters into `cliques` pieces
+/// under any expander decomposition.
+///
+/// # Panics
+///
+/// Panics if `cliques == 0` or `size < 2`.
+pub fn bridge_tree(cliques: usize, size: usize) -> Graph {
+    assert!(cliques >= 1 && size >= 2, "need >= 1 clique of size >= 2");
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for c in 0..cliques {
+        let base = (c * size) as u32;
+        for u in 0..size as u32 {
+            for v in (u + 1)..size as u32 {
+                edges.push((base + u, base + v));
+            }
+        }
+        if c > 0 {
+            // Bridge to the binary-tree parent clique, staggered entry
+            // points so bridges do not all share a vertex.
+            let parent = ((c - 1) / 2 * size) as u32;
+            edges.push((parent + (c % size) as u32, base));
+        }
+    }
+    Graph::from_edges(cliques * size, &edges)
 }
 
 /// A weighted edge list over a graph, used by the MST application.
@@ -398,6 +582,105 @@ mod tests {
         let g = hub_expander(256, 4, 5).expect("generator");
         assert!(g.is_connected());
         assert!(g.max_degree() > 16, "hubs should have high degree");
+    }
+
+    #[test]
+    fn random_regular_degenerate_inputs_error_cleanly() {
+        assert!(random_regular(0, 0, 0).is_err(), "n = 0");
+        assert!(random_regular(0, 2, 0).is_err(), "n = 0, d > 0");
+        assert!(random_regular(1, 0, 0).is_err(), "n = 1, d = 0");
+        assert!(random_regular(1, 1, 0).is_err(), "n = 1, d >= n");
+        assert!(random_regular(8, 8, 0).is_err(), "d = n");
+        assert!(random_regular(8, 11, 0).is_err(), "d > n");
+    }
+
+    #[test]
+    fn erdos_renyi_probability_extremes() {
+        let empty = erdos_renyi(16, 0.0, 1).expect("p = 0 is valid");
+        assert_eq!(empty.n(), 16);
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi(16, 1.0, 1).expect("p = 1 is valid");
+        assert_eq!(full.m(), 16 * 15 / 2);
+        assert!(erdos_renyi(16, -0.1, 1).is_err());
+        assert!(erdos_renyi(16, 1.5, 1).is_err());
+        assert!(erdos_renyi(16, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn planted_partition_degenerate_cluster_counts() {
+        let none = planted_partition(0, 16, 4, 2, 1).expect("0 blocks = empty graph");
+        assert_eq!(none.n(), 0);
+        let empty_blocks = planted_partition(3, 0, 4, 2, 1).expect("0 per = empty graph");
+        assert_eq!(empty_blocks.n(), 0);
+        let single = planted_partition(1, 16, 4, 2, 1).expect("1 block = the block");
+        assert_eq!(single.n(), 16);
+        assert!(single.is_connected());
+        assert!((0..16).all(|v| single.degree(v) == 4), "no bridges on a single block");
+        assert!(planted_partition(2, 16, 16, 2, 1).is_err(), "d >= per propagates");
+    }
+
+    #[test]
+    fn hub_expander_rejects_bad_hub_counts() {
+        assert!(hub_expander(128, 0, 1).is_err());
+        assert!(hub_expander(128, 32, 1).is_err(), "hubs >= n / 4");
+        assert!(hub_expander(4, 1, 1).is_err(), "n / 4 too small for any hub");
+    }
+
+    #[test]
+    fn power_law_has_a_heavy_tail() {
+        let g = power_law(512, 3, 11).expect("generator");
+        assert_eq!(g.n(), 512);
+        assert!(g.is_connected(), "attachment keeps the graph connected");
+        assert!(g.max_degree() >= 20, "hubs emerge: max degree {}", g.max_degree());
+        let med = {
+            let mut degs: Vec<usize> = (0..512).map(|v| g.degree(v)).collect();
+            degs.sort_unstable();
+            degs[256]
+        };
+        assert!(med <= 6, "most vertices stay near the attach count, median {med}");
+        assert!(power_law(16, 0, 1).is_err());
+        assert!(power_law(3, 3, 1).is_err());
+    }
+
+    #[test]
+    fn power_law_is_deterministic() {
+        let a = power_law(128, 2, 5).unwrap();
+        let b = power_law(128, 2, 5).unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bridged_expanders_sweep_conductance() {
+        let thin = bridged_expanders(64, 4, 1, 3).expect("generator");
+        assert!(thin.is_connected());
+        let phi_thin = metrics::conductance_lower_bound(&thin, 5);
+        let thick = bridged_expanders(64, 4, 64, 3).expect("generator");
+        let phi_thick = metrics::conductance_lower_bound(&thick, 5);
+        assert!(
+            phi_thin < phi_thick,
+            "more bridges, better conductance: {phi_thin} vs {phi_thick}"
+        );
+        assert!(bridged_expanders(8, 2, 0, 1).is_err(), "0 bridges is disconnected");
+        assert!(bridged_expanders(4, 2, 17, 1).is_err(), "too many bridges");
+    }
+
+    #[test]
+    fn disconnected_expanders_are_disconnected() {
+        let g = disconnected_expanders(3, 32, 4, 7).expect("generator");
+        assert_eq!(g.n(), 96);
+        assert!(!g.is_connected());
+        let (_, count) = g.components();
+        assert_eq!(count, 3);
+        assert!(disconnected_expanders(0, 32, 4, 7).is_err());
+    }
+
+    #[test]
+    fn bridge_tree_is_bridge_heavy() {
+        let g = bridge_tree(7, 8);
+        assert_eq!(g.n(), 56);
+        assert!(g.is_connected());
+        let phi = metrics::conductance_lower_bound(&g, 9);
+        assert!(phi < 0.05, "bridges collapse conductance: {phi}");
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Edge-list ingestion: text/CSV snapshots → canonical [`Graph`].
+//!
+//! Real-world topology snapshots (SNAP, CAIDA, the Internet topology
+//! zoo) arrive as plain-text edge lists with arbitrary vertex labels,
+//! comments, and inconsistent separators. This module parses them into
+//! the workspace's [`Graph`] with a *canonical, deterministic* vertex
+//! renumbering: the same set of edges produces byte-identical graphs
+//! regardless of line order, separator choice, or label spelling order
+//! in the file. That canonicalization is what lets the determinism
+//! suites treat parsed graphs exactly like seeded generator output.
+//!
+//! * [`parse_edge_list`] / [`parse_edge_list_with`] — text → graph,
+//!   with structured [`ParseError`]s carrying the offending line.
+//! * [`write_edge_list`] — graph → text, the inverse; a
+//!   parse → write → parse round trip is byte-identical.
+//!
+//! # Canonicalization
+//!
+//! 1. Vertex labels are collected and sorted: numerically when *every*
+//!    label parses as an unsigned integer (ties like `007` vs `7`
+//!    broken lexicographically), lexicographically otherwise. Ranks in
+//!    that order become the [`VertexId`]s.
+//! 2. Edges are lowered to id pairs `(min, max)` and sorted, so the
+//!    CSR adjacency layout never depends on input line order.
+
+use crate::graph::{Graph, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong on a line of an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A data line did not have 2 fields (or 3 with a numeric weight).
+    FieldCount {
+        /// Fields found on the line.
+        found: usize,
+    },
+    /// The third (weight) field was not a number.
+    BadWeight {
+        /// The unparseable field.
+        field: String,
+    },
+    /// An edge joined a vertex to itself and the options forbid it.
+    SelfLoop {
+        /// The looping label.
+        label: String,
+    },
+}
+
+/// Error from [`parse_edge_list`], pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list parse error at line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::FieldCount { found } => {
+                write!(f, "expected `u v` (optionally `u v w`), found {found} field(s)")
+            }
+            ParseErrorKind::BadWeight { field } => {
+                write!(f, "weight field `{field}` is not a number")
+            }
+            ParseErrorKind::SelfLoop { label } => {
+                write!(f, "self-loop at `{label}` (enable `allow_self_loops` to skip)")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Tolerance knobs for [`parse_edge_list_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Silently skip self-loops instead of failing (real-world
+    /// snapshots contain them; [`Graph`] does not represent them).
+    pub allow_self_loops: bool,
+    /// Collapse parallel copies of an edge into one.
+    pub dedup_parallel: bool,
+}
+
+impl IngestOptions {
+    /// Lenient options for messy real-world snapshots: self-loops are
+    /// skipped and parallel edges collapsed.
+    pub fn lenient() -> Self {
+        IngestOptions { allow_self_loops: true, dedup_parallel: true }
+    }
+}
+
+/// A parsed graph plus the original vertex labels, aligned with the
+/// canonical [`VertexId`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledGraph {
+    /// The canonical graph.
+    pub graph: Graph,
+    /// `labels[v]` is the input label of vertex `v`.
+    pub labels: Vec<String>,
+}
+
+impl LabeledGraph {
+    /// The canonical id of an input label, if present (linear scan;
+    /// intended for tests and small lookups).
+    pub fn id_of(&self, label: &str) -> Option<VertexId> {
+        self.labels.iter().position(|l| l == label).map(|i| i as VertexId)
+    }
+}
+
+/// Parses a whitespace/CSV edge list with default (strict)
+/// [`IngestOptions`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+///
+/// # Example
+///
+/// ```
+/// let lg = expander_graphs::ingest::parse_edge_list("a b\nb c\n# comment\nc a\n").unwrap();
+/// assert_eq!(lg.graph.n(), 3);
+/// assert_eq!(lg.graph.m(), 3);
+/// assert_eq!(lg.labels, ["a", "b", "c"]);
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<LabeledGraph, ParseError> {
+    parse_edge_list_with(text, IngestOptions::default())
+}
+
+/// Parses a whitespace/CSV edge list under the given options.
+///
+/// Accepted line shapes, after stripping `#`/`%` comments and blank
+/// lines: `u v` or `u v w` with a numeric weight `w` (parsed and
+/// discarded — this workspace's routing is unweighted). Fields may be
+/// separated by any mix of whitespace, commas, and semicolons. Labels
+/// are arbitrary non-separator tokens. An empty input yields the empty
+/// graph.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+pub fn parse_edge_list_with(text: &str, opts: IngestOptions) -> Result<LabeledGraph, ParseError> {
+    let is_sep = |c: char| c.is_whitespace() || c == ',' || c == ';';
+    let mut raw_edges: Vec<(String, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split(['#', '%']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(is_sep).filter(|f| !f.is_empty()).collect();
+        match fields.len() {
+            2 => {}
+            3 => {
+                if fields[2].parse::<f64>().is_err() {
+                    return Err(ParseError {
+                        line: i + 1,
+                        kind: ParseErrorKind::BadWeight { field: fields[2].to_owned() },
+                    });
+                }
+            }
+            found => {
+                return Err(ParseError { line: i + 1, kind: ParseErrorKind::FieldCount { found } })
+            }
+        }
+        if fields[0] == fields[1] {
+            if opts.allow_self_loops {
+                continue;
+            }
+            return Err(ParseError {
+                line: i + 1,
+                kind: ParseErrorKind::SelfLoop { label: fields[0].to_owned() },
+            });
+        }
+        raw_edges.push((fields[0].to_owned(), fields[1].to_owned()));
+    }
+
+    // Canonical renumbering: collect labels, sort (numerically when
+    // uniformly numeric, ties and the general case lexicographically),
+    // rank.
+    let mut labels: Vec<String> = Vec::with_capacity(2 * raw_edges.len());
+    for (a, b) in &raw_edges {
+        labels.push(a.clone());
+        labels.push(b.clone());
+    }
+    labels.sort_unstable();
+    labels.dedup();
+    let numeric = labels.iter().all(|l| l.parse::<u64>().is_ok());
+    if numeric {
+        labels.sort_by(|a, b| {
+            let (na, nb) = (a.parse::<u64>().expect("checked"), b.parse::<u64>().expect("checked"));
+            na.cmp(&nb).then_with(|| a.cmp(b))
+        });
+    }
+    let id_of = |label: &str| -> u32 {
+        if numeric {
+            let key = label.parse::<u64>().expect("checked");
+            labels
+                .binary_search_by(|l| {
+                    l.parse::<u64>().expect("checked").cmp(&key).then_with(|| l.as_str().cmp(label))
+                })
+                .expect("label present") as u32
+        } else {
+            labels.binary_search_by(|l| l.as_str().cmp(label)).expect("label present") as u32
+        }
+    };
+
+    let mut edges: Vec<(VertexId, VertexId)> = raw_edges
+        .iter()
+        .map(|(a, b)| {
+            let (x, y) = (id_of(a), id_of(b));
+            (x.min(y), x.max(y))
+        })
+        .collect();
+    // Canonical edge order: the CSR layout must not depend on input
+    // line order.
+    edges.sort_unstable();
+    if opts.dedup_parallel {
+        edges.dedup();
+    }
+    Ok(LabeledGraph { graph: Graph::from_edges(labels.len(), &edges), labels })
+}
+
+/// Serializes a [`LabeledGraph`] back to a plain `u v` edge list, one
+/// line per edge (parallel copies included), in canonical edge order.
+/// Reparsing the output reproduces the graph byte for byte.
+pub fn write_edge_list(lg: &LabeledGraph) -> String {
+    let mut out = String::new();
+    for (u, v) in lg.graph.edges() {
+        out.push_str(&lg.labels[u as usize]);
+        out.push(' ');
+        out.push_str(&lg.labels[v as usize]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a plain [`Graph`] as an edge list over its numeric ids.
+pub fn graph_to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_whitespace_list() {
+        let lg = parse_edge_list("0 1\n1 2\n2 0\n").expect("parse");
+        assert_eq!(lg.graph.n(), 3);
+        assert_eq!(lg.graph.m(), 3);
+        assert_eq!(lg.labels, ["0", "1", "2"]);
+    }
+
+    #[test]
+    fn csv_comments_and_blank_lines() {
+        let text = "# a comment\na,b\n\nb;c 2.5\n  % trailing\nc\ta # inline\n";
+        let lg = parse_edge_list(text).expect("parse");
+        assert_eq!(lg.graph.n(), 3);
+        assert_eq!(lg.graph.m(), 3);
+    }
+
+    #[test]
+    fn numeric_labels_sort_numerically() {
+        let lg = parse_edge_list("10 2\n2 1\n").expect("parse");
+        assert_eq!(lg.labels, ["1", "2", "10"]);
+        assert_eq!(lg.id_of("10"), Some(2));
+    }
+
+    #[test]
+    fn renumbering_is_line_order_invariant() {
+        let a = parse_edge_list("5 3\n3 9\n9 5\n").expect("parse");
+        let b = parse_edge_list("9 5\n5 3\n3 9\n").expect("parse");
+        assert_eq!(a, b, "same edges, different line order, must canonicalize");
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = parse_edge_list("0 1\nlonely\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseErrorKind::FieldCount { found: 1 });
+        let err = parse_edge_list("0 1 2 3\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::FieldCount { found: 4 });
+        let err = parse_edge_list("0 1 heavy\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadWeight { .. }));
+        let err = parse_edge_list("0 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseErrorKind::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn lenient_options_skip_loops_and_dedup() {
+        let lg = parse_edge_list_with("0 0\n0 1\n1 0\n", IngestOptions::lenient()).expect("parse");
+        assert_eq!(lg.graph.n(), 2);
+        assert_eq!(lg.graph.m(), 1, "parallel copies collapsed, loop skipped");
+        let strict = parse_edge_list("0 1\n1 0\n").expect("parse");
+        assert_eq!(strict.graph.m(), 2, "strict mode keeps parallel copies");
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_graph() {
+        let lg = parse_edge_list("").expect("parse");
+        assert_eq!(lg.graph.n(), 0);
+        assert_eq!(lg.graph.m(), 0);
+        let lg = parse_edge_list("# only comments\n\n").expect("parse");
+        assert_eq!(lg.graph.n(), 0);
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let text = "c a\na b 1.5\nb c\nb a\n";
+        let first = parse_edge_list(text).expect("parse");
+        let written = write_edge_list(&first);
+        let second = parse_edge_list(&written).expect("reparse");
+        assert_eq!(first, second);
+        assert_eq!(written, write_edge_list(&second));
+    }
+
+    #[test]
+    fn graph_to_edge_list_round_trips() {
+        let g = crate::generators::hypercube(3);
+        let lg = parse_edge_list(&graph_to_edge_list(&g)).expect("parse");
+        assert_eq!(lg.graph, g);
+    }
+}

@@ -7,8 +7,12 @@
 //!
 //! * [`Graph`] — a compact CSR undirected (multi)graph with BFS helpers.
 //! * [`generators`] — seeded generators for expander families (random
-//!   regular, hypercube, Margulis) and low-conductance negative controls
-//!   (ring, torus, barbell).
+//!   regular, hypercube, Margulis), low-conductance negative controls
+//!   (ring, torus, barbell), and the adversarial topology zoo
+//!   (power-law, near-threshold bridged expanders, disconnected
+//!   pieces, bridge-heavy clique trees).
+//! * [`ingest`] — text/CSV edge-list parsing with canonical
+//!   deterministic vertex renumbering, for real-world snapshots.
 //! * [`metrics`] — conductance/sparsity, exact for tiny graphs, spectral
 //!   (Cheeger) estimates for large ones.
 //! * [`Path`], [`PathSet`] — path collections with the paper's
@@ -37,6 +41,7 @@ pub mod embedding;
 pub mod flat;
 pub mod generators;
 pub mod graph;
+pub mod ingest;
 pub mod metrics;
 pub mod paths;
 pub mod split;
@@ -45,6 +50,7 @@ pub mod union_find;
 pub use embedding::Embedding;
 pub use flat::FlatPaths;
 pub use graph::{BfsScratch, Graph, VertexId};
+pub use ingest::{parse_edge_list, write_edge_list, IngestOptions, LabeledGraph, ParseError};
 pub use paths::{Path, PathSet};
 pub use split::SplitGraph;
 pub use union_find::UnionFind;

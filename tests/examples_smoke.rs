@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "mst_expander",
     "clique_enumeration",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 7] = [
     "general_degree",
     "scale_probe",
     "batch_throughput",
+    "zoo_report",
 ];
 
 fn target_dir() -> PathBuf {

@@ -1,0 +1,78 @@
+//! Determinism of the text-ingestion path: parsed graphs are canonical
+//! regardless of input line order, round-trip byte-identically, and
+//! feed hierarchy builds that are thread-count invariant — mirroring
+//! `parallel_determinism.rs` for graphs that arrive as edge lists
+//! instead of generator output.
+
+use expander_decomp::{Hierarchy, HierarchyParams};
+use expander_graphs::{generators, ingest};
+
+/// Canonical edge-list text of a 4-regular expander, as a real-world
+/// snapshot would arrive.
+fn snapshot_text(n: usize, seed: u64) -> String {
+    let g = generators::random_regular(n, 4, seed).expect("generator");
+    ingest::graph_to_edge_list(&g)
+}
+
+/// A deterministic line shuffle: reverse, then interleave halves — no
+/// line survives in place for any input of more than two lines.
+fn shuffle_lines(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let rev: Vec<&str> = lines.iter().rev().copied().collect();
+    let half = rev.len() / 2;
+    let mut out = Vec::with_capacity(rev.len());
+    for i in 0..half {
+        out.push(rev[i]);
+        out.push(rev[half + i]);
+    }
+    if rev.len() % 2 == 1 {
+        out.push(rev[rev.len() - 1]);
+    }
+    out.join("\n") + "\n"
+}
+
+#[test]
+fn parsed_graph_is_line_order_invariant() {
+    let text = snapshot_text(128, 0xFEED);
+    let shuffled = shuffle_lines(&text);
+    assert_ne!(text, shuffled, "the shuffle must actually reorder lines");
+    let a = ingest::parse_edge_list(&text).expect("parses");
+    let b = ingest::parse_edge_list(&shuffled).expect("parses");
+    assert_eq!(a.labels, b.labels, "canonical labels differ");
+    assert_eq!(a.graph, b.graph, "canonical CSR differs under line reorder");
+}
+
+#[test]
+fn serialize_reparse_is_byte_identical() {
+    for seed in [1u64, 2, 3] {
+        let text = snapshot_text(96, seed);
+        let parsed = ingest::parse_edge_list(&text).expect("parses");
+        let rewritten = ingest::write_edge_list(&parsed);
+        let reparsed = ingest::parse_edge_list(&rewritten).expect("reparses");
+        assert_eq!(parsed, reparsed, "seed {seed}: round-trip not byte-identical");
+    }
+}
+
+#[test]
+fn hierarchy_from_parsed_graph_is_thread_count_invariant() {
+    let text = snapshot_text(256, 0xD17E);
+    let shuffled = shuffle_lines(&text);
+    let g_canon = ingest::parse_edge_list(&text).expect("parses").graph;
+    let g_shuf = ingest::parse_edge_list(&shuffled).expect("parses").graph;
+    assert_eq!(g_canon, g_shuf, "parsing is line-order invariant");
+
+    let params = |threads: usize| HierarchyParams {
+        epsilon: 0.4,
+        threads: Some(threads),
+        ..HierarchyParams::default()
+    };
+    let seq = Hierarchy::build(&g_canon, params(1)).expect("sequential build");
+    let par = Hierarchy::build(&g_shuf, params(4)).expect("parallel build");
+    assert_eq!(seq.ledger(), par.ledger(), "ledger differs");
+    assert_eq!(
+        format!("{:?}", seq.nodes()),
+        format!("{:?}", par.nodes()),
+        "node tables differ between sequential/canonical and parallel/shuffled"
+    );
+    assert_eq!(seq.mroot(), par.mroot(), "Mroot differs");
+}
