@@ -152,10 +152,17 @@ impl VertexProgram for BroadcastProgram {
 }
 
 /// Broadcasts `payload` from `root`; returns the learned values.
-pub fn broadcast(sim: &Simulator<'_>, root: VertexId, payload: u64) -> (Vec<u64>, RunStats) {
+/// `None` marks vertices the wave never reached — a disconnected
+/// component, or the simulator's round cap cutting the run short
+/// (`stats.completed` is `false` in the latter case).
+pub fn broadcast(
+    sim: &Simulator<'_>,
+    root: VertexId,
+    payload: u64,
+) -> (Vec<Option<u64>>, RunStats) {
     let mut programs = BroadcastProgram::instances(sim.graph().n(), root, payload);
     let stats = sim.run(&mut programs);
-    let values = programs.iter().map(|p| p.value.expect("connected graph")).collect();
+    let values = programs.iter().map(|p| p.value).collect();
     (values, stats)
 }
 
@@ -204,6 +211,9 @@ impl ConvergecastProgram {
             self.sent = true;
             return;
         }
+        // The parent array comes from `bfs_tree` over this same
+        // adjacency, so a non-root vertex's parent is always one of
+        // its neighbors.
         let slot = neighbors.iter().position(|&u| u == self.parent).expect("parent is a neighbor");
         out.send(slot, self.acc);
         self.sent = true;
@@ -237,13 +247,20 @@ impl VertexProgram for ConvergecastProgram {
     }
 }
 
-/// Sums `values` up the BFS tree of `root`; returns the total and the
-/// combined stats of the BFS and convergecast phases.
-pub fn convergecast_sum(sim: &Simulator<'_>, root: VertexId, values: &[u64]) -> (u64, RunStats) {
+/// Sums `values` over `root`'s component up its BFS tree; returns the
+/// total and the combined stats of the BFS and convergecast phases.
+/// `None` means the simulator's round cap cut the convergecast short
+/// before the root heard from all its children (`stats.completed` is
+/// `false` then).
+pub fn convergecast_sum(
+    sim: &Simulator<'_>,
+    root: VertexId,
+    values: &[u64],
+) -> (Option<u64>, RunStats) {
     let (_, parent, s1) = bfs_tree(sim, root);
     let mut programs = ConvergecastProgram::instances(&parent, values);
     let s2 = sim.run(&mut programs);
-    let total = programs[root as usize].result.expect("root learns the sum");
+    let total = programs[root as usize].result;
     let stats = RunStats {
         rounds: s1.rounds + s2.rounds,
         messages: s1.messages + s2.messages,
@@ -350,7 +367,7 @@ mod tests {
         let sim = Simulator::new(&g);
         let (values, stats) = broadcast(&sim, 7, 424242);
         assert!(stats.completed);
-        assert!(values.iter().all(|&v| v == 424242));
+        assert!(values.iter().all(|&v| v == Some(424242)));
     }
 
     #[test]
@@ -360,7 +377,7 @@ mod tests {
         let values: Vec<u64> = (0..g.n() as u64).collect();
         let (total, stats) = convergecast_sum(&sim, 0, &values);
         assert!(stats.completed);
-        assert_eq!(total, (g.n() as u64 - 1) * g.n() as u64 / 2);
+        assert_eq!(total, Some((g.n() as u64 - 1) * g.n() as u64 / 2));
     }
 
     #[test]

@@ -30,18 +30,22 @@ pub struct BaselineOutcome {
 }
 
 /// Greedy store-and-forward along BFS shortest paths (executed, not
-/// charged).
+/// charged). Tokens whose endpoints are disconnected are left behind
+/// and reported through `delivered: false` rather than panicking.
 pub fn direct_shortest_path(g: &Graph, inst: &RoutingInstance) -> BaselineOutcome {
     let mut paths = PathSet::new();
+    let mut delivered = true;
     for t in &inst.tokens {
         if t.src == t.dst {
             continue;
         }
-        let p = g.shortest_path(t.src, t.dst).expect("connected graph");
-        paths.push(Path::new(p));
+        match g.shortest_path(t.src, t.dst) {
+            Some(p) => paths.push(Path::new(p)),
+            None => delivered = false,
+        }
     }
     let result = path_sched::schedule(&paths);
-    BaselineOutcome { rounds: result.greedy_rounds, delivered: true }
+    BaselineOutcome { rounds: result.greedy_rounds, delivered }
 }
 
 /// The GKS17-style randomized router: lazy random walks to the mixing

@@ -1,0 +1,792 @@
+//! Churn-tolerant routing: the degradation ladder and the seeded
+//! fault-injection harness.
+//!
+//! The paper's Theorem 1.1 preprocesses a *static* expander. Under
+//! churn — edge and vertex insertions/removals arriving between query
+//! batches — this module keeps every query on a route-or-report
+//! contract through a deterministic degradation ladder:
+//!
+//! 1. [`DeliveryMode::Hierarchical`] — the graph has not mutated since
+//!    the router was derived: full Theorem 1.1 routing.
+//! 2. [`DeliveryMode::Repaired`] — pending edits fold in through
+//!    [`Router::repair`]: spliced hierarchy subtrees keep their
+//!    preprocessing and the result is byte-identical to a
+//!    from-scratch preprocess on the mutated graph.
+//! 3. [`DeliveryMode::Rebuilt`] — repair refused (vertex churn, the
+//!    damage threshold, a lost expander precondition): one full
+//!    [`Router::preprocess`] attempt.
+//! 4. [`DeliveryMode::Decomposed`] — the live graph no longer
+//!    certifies as a single expander: route through
+//!    [`RoutedDecomposition`] (Corollary 1.4), reporting cross-piece
+//!    tokens as structured [`Undeliverable`] outcomes.
+//! 5. [`DeliveryMode::DirectBfs`] — structural attempts are in
+//!    backoff: charged BFS delivery on the live graph, unreachable
+//!    tokens reported, never a panic.
+//!
+//! Backoff is deterministic and counted in *edits*, not wall-clock:
+//! after `f` consecutive failed hierarchy attempts the ladder waits
+//! for `2^f` further edits (capped by
+//! [`ChurnConfig::max_backoff_edits`]) before paying for another
+//! structure build, so a hot churn loop cannot thrash preprocessing.
+//! Between attempts, queries ride the epoch-tagged decomposition
+//! cache when the graph is unchanged and drop to charged BFS when it
+//! is not.
+//!
+//! [`ChurnDriver`] is the harness: four seeded fault schedules
+//! ([`ChurnSchedule`]) injected against live query batches, with every
+//! round's outcome checked by [`DecomposedOutcome::verify`] and
+//! recorded (delivery rate, repair latency, congestion/dilation) for
+//! the percentile report.
+
+use crate::decomposed::{
+    route_by_bfs, DecomposedConfig, DecomposedOutcome, RoutedDecomposition, Undeliverable,
+    UndeliverableReason,
+};
+use crate::router::Router;
+use crate::token::{InstanceError, QueryStats, RoutingInstance, RoutingOutcome};
+use congest_sim::RoundLedger;
+use expander_decomp::RepairReport;
+use expander_graphs::{Graph, GraphEdit, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`ChurnRouter`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Parameters for every structural rung: the hierarchy/shuffler
+    /// knobs of the router rungs and the cut budget of the
+    /// decomposition rung.
+    pub decomposed: DecomposedConfig,
+    /// Cap on the exponential backoff between structure-build
+    /// attempts, counted in edits.
+    pub max_backoff_edits: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig { decomposed: DecomposedConfig::default(), max_backoff_edits: 256 }
+    }
+}
+
+impl ChurnConfig {
+    /// A configuration with the given hierarchy ε and defaults
+    /// elsewhere.
+    pub fn for_epsilon(epsilon: f64) -> Self {
+        ChurnConfig { decomposed: DecomposedConfig::for_epsilon(epsilon), ..Default::default() }
+    }
+}
+
+/// Which rung of the degradation ladder served a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeliveryMode {
+    /// The preprocessed router was current: full Theorem 1.1 routing.
+    Hierarchical,
+    /// Pending edits were folded in by [`Router::repair`] first.
+    Repaired,
+    /// The router was rebuilt from scratch first.
+    Rebuilt,
+    /// Routed through the expander decomposition (Corollary 1.4).
+    Decomposed,
+    /// Charged BFS on the live graph (structural attempts in backoff).
+    DirectBfs,
+}
+
+impl fmt::Display for DeliveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeliveryMode::Hierarchical => "hierarchical",
+            DeliveryMode::Repaired => "repaired",
+            DeliveryMode::Rebuilt => "rebuilt",
+            DeliveryMode::Decomposed => "decomposed",
+            DeliveryMode::DirectBfs => "direct-bfs",
+        })
+    }
+}
+
+/// Outcome of a [`ChurnRouter::route`] call: the structured delivery
+/// result plus which ladder rung produced it.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// The delivery outcome, on the same route-or-report contract as
+    /// [`RoutedDecomposition::route`]: every token is either at its
+    /// destination or reported in `outcome.undeliverable`.
+    pub outcome: DecomposedOutcome,
+    /// The ladder rung that served the query.
+    pub mode: DeliveryMode,
+    /// The repair report, when the [`DeliveryMode::Repaired`] rung
+    /// served it.
+    pub repair: Option<RepairReport>,
+    /// Wall-clock time spent repairing or rebuilding structures before
+    /// this query could run (zero when the ladder was warm).
+    pub repair_latency: Duration,
+}
+
+/// A routing frontend that survives graph churn.
+///
+/// Owns the live graph. [`ChurnRouter::apply`] mutates it and queues
+/// the edits; [`ChurnRouter::route`] walks the degradation ladder (see
+/// the module docs) to keep every query on the route-or-report
+/// contract regardless of what the edits did to the expander
+/// preconditions.
+///
+/// # Example
+///
+/// ```
+/// use expander_core::churn::{ChurnConfig, ChurnRouter, DeliveryMode};
+/// use expander_core::RoutingInstance;
+/// use expander_graphs::{generators, GraphEdit};
+///
+/// let g = generators::random_regular(256, 4, 7).expect("generator");
+/// let mut cr = ChurnRouter::new(&g, ChurnConfig::default());
+/// let (u, v) = g.edges().next().expect("edge");
+/// cr.apply(&[GraphEdit::RemoveEdge(u, v)]);
+/// let out = cr.route(&RoutingInstance::permutation(256, 3)).expect("valid");
+/// assert_eq!(out.mode, DeliveryMode::Repaired);
+/// assert!(out.outcome.fully_delivered());
+/// ```
+pub struct ChurnRouter {
+    graph: Graph,
+    config: ChurnConfig,
+    router: Option<Router>,
+    /// Edits applied to `graph` but not yet folded into `router`.
+    pending: Vec<GraphEdit>,
+    /// Cached decomposition rung, tagged with the graph epoch it saw.
+    decomp: Option<(u64, Box<RoutedDecomposition>)>,
+    /// Consecutive failed hierarchy attempts.
+    fail_streak: u32,
+    /// Total edits ever applied.
+    edits_seen: u64,
+    /// Hierarchy attempts are suppressed until `edits_seen` reaches
+    /// this (deterministic backoff counted in edits).
+    next_attempt: u64,
+}
+
+impl fmt::Debug for ChurnRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChurnRouter")
+            .field("n", &self.graph.n())
+            .field("epoch", &self.graph.epoch())
+            .field("warm", &(self.router.is_some() && self.pending.is_empty()))
+            .field("pending", &self.pending.len())
+            .field("fail_streak", &self.fail_streak)
+            .finish()
+    }
+}
+
+impl ChurnRouter {
+    /// Wraps `graph`, eagerly attempting the initial preprocess (a
+    /// refusal is not an error — the ladder's lower rungs cover it).
+    pub fn new(graph: &Graph, config: ChurnConfig) -> ChurnRouter {
+        let router = Router::preprocess(graph, config.decomposed.router.clone()).ok();
+        let fail_streak = u32::from(router.is_none());
+        ChurnRouter {
+            graph: graph.clone(),
+            config,
+            router,
+            pending: Vec::new(),
+            decomp: None,
+            fail_streak,
+            edits_seen: 0,
+            next_attempt: 0,
+        }
+    }
+
+    /// The live (mutated) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current router, which may be stale (see
+    /// [`ChurnRouter::pending`]).
+    pub fn router(&self) -> Option<&Router> {
+        self.router.as_ref()
+    }
+
+    /// Edits applied to the live graph but not yet folded into the
+    /// router.
+    pub fn pending(&self) -> &[GraphEdit] {
+        &self.pending
+    }
+
+    /// Applies `edits` to the live graph and queues them for the next
+    /// structural catch-up.
+    pub fn apply(&mut self, edits: &[GraphEdit]) {
+        for &e in edits {
+            self.graph.apply_edit(e);
+            self.pending.push(e);
+        }
+        self.edits_seen += edits.len() as u64;
+    }
+
+    /// Routes `inst` through the highest live rung of the degradation
+    /// ladder (module docs). Never panics on a routable-or-reportable
+    /// situation: tokens that cannot be delivered come back as
+    /// structured [`Undeliverable`] reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for a malformed instance (a token
+    /// referencing a vertex outside the live graph's id space).
+    pub fn route(&mut self, inst: &RoutingInstance) -> Result<ChurnOutcome, InstanceError> {
+        let n = self.graph.n();
+        for t in &inst.tokens {
+            if t.src as usize >= n || t.dst as usize >= n {
+                return Err(InstanceError::new(format!(
+                    "token ({}, {}) outside vertex range",
+                    t.src, t.dst
+                )));
+            }
+        }
+
+        // Rung 1: the router is current.
+        if self.pending.is_empty() {
+            if let Some(r) = &self.router {
+                let out = r.route(inst)?;
+                return Ok(ChurnOutcome {
+                    outcome: wrap_routing(out),
+                    mode: DeliveryMode::Hierarchical,
+                    repair: None,
+                    repair_latency: Duration::ZERO,
+                });
+            }
+        }
+
+        let mut repair_latency = Duration::ZERO;
+        let attempt = self.edits_seen >= self.next_attempt;
+        if attempt {
+            // Rung 2: incremental repair of the stale router.
+            if let Some(r) = &mut self.router {
+                if !self.pending.is_empty() {
+                    let t0 = Instant::now();
+                    let repaired = r.repair(&self.pending);
+                    repair_latency += t0.elapsed();
+                    if let Ok(report) = repaired {
+                        self.pending.clear();
+                        self.fail_streak = 0;
+                        self.decomp = None;
+                        let out = self.router.as_ref().expect("just repaired").route(inst)?;
+                        return Ok(ChurnOutcome {
+                            outcome: wrap_routing(out),
+                            mode: DeliveryMode::Repaired,
+                            repair: Some(report),
+                            repair_latency,
+                        });
+                    }
+                }
+            }
+            // Rung 3: full preprocess on the live graph.
+            let t0 = Instant::now();
+            let rebuilt = Router::preprocess(&self.graph, self.config.decomposed.router.clone());
+            repair_latency += t0.elapsed();
+            match rebuilt {
+                Ok(r) => {
+                    self.router = Some(r);
+                    self.pending.clear();
+                    self.fail_streak = 0;
+                    self.decomp = None;
+                    let out = self.router.as_ref().expect("just rebuilt").route(inst)?;
+                    return Ok(ChurnOutcome {
+                        outcome: wrap_routing(out),
+                        mode: DeliveryMode::Rebuilt,
+                        repair: None,
+                        repair_latency,
+                    });
+                }
+                Err(_) => {
+                    // Both hierarchy rungs refused: back off before the
+                    // next attempt, deterministically, in edits.
+                    self.fail_streak += 1;
+                    let wait = 1u64
+                        .checked_shl(self.fail_streak.min(32))
+                        .unwrap_or(u64::MAX)
+                        .min(self.config.max_backoff_edits);
+                    self.next_attempt = self.edits_seen + wait;
+                }
+            }
+        }
+
+        // Rung 4: the decomposition — built fresh during an attempt
+        // window (it is infallible), otherwise served from the
+        // epoch-tagged cache.
+        let epoch = self.graph.epoch();
+        let cached = self.decomp.as_ref().is_some_and(|(e, _)| *e == epoch);
+        if cached || attempt {
+            if !cached {
+                let t0 = Instant::now();
+                let rd =
+                    RoutedDecomposition::preprocess(&self.graph, self.config.decomposed.clone());
+                repair_latency += t0.elapsed();
+                self.decomp = Some((epoch, Box::new(rd)));
+            }
+            let rd = &self.decomp.as_ref().expect("cached or just built").1;
+            let outcome = rd.route(inst)?;
+            return Ok(ChurnOutcome {
+                outcome,
+                mode: DeliveryMode::Decomposed,
+                repair: None,
+                repair_latency,
+            });
+        }
+
+        // Rung 5: charged BFS on the live graph — no structure is
+        // built while backing off, but every token still routes or
+        // reports.
+        let mut positions: Vec<VertexId> = inst.tokens.iter().map(|t| t.src).collect();
+        let destinations: Vec<VertexId> = inst.tokens.iter().map(|t| t.dst).collect();
+        let mut undeliverable: Vec<Undeliverable> = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut ledger = RoundLedger::new();
+        let toks: Vec<(VertexId, VertexId)> = inst.tokens.iter().map(|t| (t.src, t.dst)).collect();
+        let delivered =
+            route_by_bfs(&self.graph, &toks, &mut stats, &mut ledger, "query/churn/bfs");
+        for (i, ok) in delivered.iter().enumerate() {
+            let t = &inst.tokens[i];
+            if *ok {
+                positions[i] = t.dst;
+            } else {
+                undeliverable.push(Undeliverable {
+                    token: i,
+                    reason: UndeliverableReason::NoPath { src: t.src, dst: t.dst },
+                });
+            }
+        }
+        Ok(ChurnOutcome {
+            outcome: DecomposedOutcome { positions, destinations, undeliverable, ledger, stats },
+            mode: DeliveryMode::DirectBfs,
+            repair: None,
+            repair_latency,
+        })
+    }
+}
+
+/// Lifts a fully-hierarchical routing outcome onto the
+/// route-or-report contract (expander routing always delivers, so the
+/// undeliverable list is empty).
+fn wrap_routing(out: RoutingOutcome) -> DecomposedOutcome {
+    DecomposedOutcome {
+        positions: out.positions,
+        destinations: out.destinations,
+        undeliverable: Vec::new(),
+        ledger: out.ledger,
+        stats: out.stats,
+    }
+}
+
+/// A seeded fault schedule for [`ChurnDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnSchedule {
+    /// Remove a uniform random sample of live edges each round.
+    RandomRemoval,
+    /// Cut bridge edges first (the worst structural faults — each cut
+    /// disconnects), topping up with random removals.
+    BridgeCuts,
+    /// Kill the highest-degree vertices outright (hub failures),
+    /// removing all their incident edges.
+    HotspotKills,
+    /// Quiet rounds punctuated by bursts of paired removals and
+    /// insertions at several times the nominal rate.
+    BurstChurn,
+}
+
+impl ChurnSchedule {
+    /// All four schedules, in report order.
+    pub const ALL: [ChurnSchedule; 4] = [
+        ChurnSchedule::RandomRemoval,
+        ChurnSchedule::BridgeCuts,
+        ChurnSchedule::HotspotKills,
+        ChurnSchedule::BurstChurn,
+    ];
+}
+
+impl fmt::Display for ChurnSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChurnSchedule::RandomRemoval => "random-removal",
+            ChurnSchedule::BridgeCuts => "bridge-cuts",
+            ChurnSchedule::HotspotKills => "hotspot-kills",
+            ChurnSchedule::BurstChurn => "burst-churn",
+        })
+    }
+}
+
+/// Parameters of one [`ChurnDriver::run`].
+#[derive(Debug, Clone)]
+pub struct ChurnParams {
+    /// The fault schedule.
+    pub schedule: ChurnSchedule,
+    /// Number of churn rounds (one edit batch + one query batch each).
+    pub rounds: usize,
+    /// Fraction of the live edge set edited per round (the harness is
+    /// exercised up to 0.10).
+    pub churn_rate: f64,
+    /// Tokens per query batch.
+    pub batch: usize,
+    /// Seed for the fault injection and the query workload.
+    pub seed: u64,
+}
+
+/// One round's record in a [`ChurnReport`].
+#[derive(Debug, Clone)]
+pub struct ChurnRound {
+    /// Round index.
+    pub round: usize,
+    /// Edits injected this round.
+    pub edits: usize,
+    /// The ladder rung that served the round's query batch.
+    pub mode: DeliveryMode,
+    /// Whether the rung's repair reused subtrees incrementally.
+    pub repair_incremental: bool,
+    /// Wall-clock structure repair/rebuild time paid this round.
+    pub repair_latency: Duration,
+    /// Tokens delivered to their destination.
+    pub delivered: usize,
+    /// Tokens in the batch.
+    pub tokens: usize,
+    /// Worst per-edge congestion observed.
+    pub congestion: u64,
+    /// Worst path dilation observed.
+    pub dilation: u64,
+    /// Charged CONGEST rounds for the query batch.
+    pub rounds_charged: u64,
+}
+
+/// Aggregated result of one schedule run, with percentile accessors
+/// for the report tables.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// The run's parameters.
+    pub params: ChurnParams,
+    /// Per-round records, in round order.
+    pub rounds: Vec<ChurnRound>,
+}
+
+impl ChurnReport {
+    /// Delivered fraction across all rounds' batches (1.0 when no
+    /// tokens were issued).
+    pub fn delivery_rate(&self) -> f64 {
+        let (d, t) =
+            self.rounds.iter().fold((0usize, 0usize), |(d, t), r| (d + r.delivered, t + r.tokens));
+        if t == 0 {
+            1.0
+        } else {
+            d as f64 / t as f64
+        }
+    }
+
+    /// `[p50, p95, p99]` of per-round worst congestion.
+    pub fn congestion_percentiles(&self) -> [u64; 3] {
+        percentiles(self.rounds.iter().map(|r| r.congestion))
+    }
+
+    /// `[p50, p95, p99]` of per-round worst dilation.
+    pub fn dilation_percentiles(&self) -> [u64; 3] {
+        percentiles(self.rounds.iter().map(|r| r.dilation))
+    }
+
+    /// `[p50, p95, p99]` of per-round repair latency, in microseconds.
+    pub fn repair_latency_percentiles_us(&self) -> [u64; 3] {
+        percentiles(self.rounds.iter().map(|r| r.repair_latency.as_micros() as u64))
+    }
+
+    /// How many rounds each ladder rung served, in ladder order.
+    pub fn mode_counts(&self) -> Vec<(DeliveryMode, usize)> {
+        let mut counts: Vec<(DeliveryMode, usize)> = Vec::new();
+        for r in &self.rounds {
+            match counts.iter_mut().find(|(m, _)| *m == r.mode) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((r.mode, 1)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(m, _)| m);
+        counts
+    }
+}
+
+/// Nearest-rank `[p50, p95, p99]` of a sample (zeros when empty).
+fn percentiles(values: impl Iterator<Item = u64>) -> [u64; 3] {
+    let mut v: Vec<u64> = values.collect();
+    if v.is_empty() {
+        return [0; 3];
+    }
+    v.sort_unstable();
+    let rank = |p: f64| v[(((v.len() as f64) * p).ceil() as usize).clamp(1, v.len()) - 1];
+    [rank(0.50), rank(0.95), rank(0.99)]
+}
+
+/// The fault-injection harness: applies a seeded [`ChurnSchedule`]
+/// against live query batches on a [`ChurnRouter`] and verifies the
+/// route-or-report contract every round.
+#[derive(Debug)]
+pub struct ChurnDriver;
+
+impl ChurnDriver {
+    /// Runs `params` against `graph`. Every round injects the
+    /// schedule's edit batch, routes a seeded query batch between live
+    /// vertices, checks the outcome with
+    /// [`DecomposedOutcome::verify`], and records the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round's outcome violates the route-or-report
+    /// contract — that is the property under test, not a recoverable
+    /// condition.
+    pub fn run(graph: &Graph, config: ChurnConfig, params: ChurnParams) -> ChurnReport {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut cr = ChurnRouter::new(graph, config);
+        let mut rounds = Vec::with_capacity(params.rounds);
+        for round in 0..params.rounds {
+            let edits = edits_for(&cr.graph, params.schedule, params.churn_rate, round, &mut rng);
+            cr.apply(&edits);
+            let inst = live_batch(&cr.graph, params.batch, &mut rng);
+            let out = cr.route(&inst).expect("batch drawn from the live vertex range");
+            let issues = out.outcome.verify(&inst);
+            assert!(
+                issues.is_empty(),
+                "round {round} ({}) violated route-or-report: {issues:?}",
+                params.schedule
+            );
+            rounds.push(ChurnRound {
+                round,
+                edits: edits.len(),
+                mode: out.mode,
+                repair_incremental: out.repair.as_ref().is_some_and(RepairReport::is_incremental),
+                repair_latency: out.repair_latency,
+                delivered: out.outcome.delivered_count(),
+                tokens: inst.tokens.len(),
+                congestion: out.outcome.stats.max_congestion,
+                dilation: out.outcome.stats.max_dilation,
+                rounds_charged: out.outcome.rounds(),
+            });
+        }
+        ChurnReport { params, rounds }
+    }
+}
+
+/// The schedule's edit batch for one round. Every schedule scales with
+/// `rate` (fraction of live edges per round) and only ever references
+/// live endpoints.
+fn edits_for(
+    g: &Graph,
+    schedule: ChurnSchedule,
+    rate: f64,
+    round: usize,
+    rng: &mut StdRng,
+) -> Vec<GraphEdit> {
+    let m = g.m();
+    if m == 0 || rate <= 0.0 {
+        return Vec::new();
+    }
+    let k = ((m as f64 * rate).ceil() as usize).max(1);
+    match schedule {
+        ChurnSchedule::RandomRemoval => {
+            sample_edges(g, k, rng).into_iter().map(|(u, v)| GraphEdit::RemoveEdge(u, v)).collect()
+        }
+        ChurnSchedule::BridgeCuts => {
+            let mut edits: Vec<GraphEdit> =
+                g.bridges().into_iter().take(k).map(|(u, v)| GraphEdit::RemoveEdge(u, v)).collect();
+            let top_up = k.saturating_sub(edits.len());
+            edits.extend(
+                sample_edges(g, top_up, rng).into_iter().map(|(u, v)| GraphEdit::RemoveEdge(u, v)),
+            );
+            edits
+        }
+        ChurnSchedule::HotspotKills => {
+            // Kill top-degree vertices until ~k incident edges die.
+            let mut by_degree: Vec<VertexId> = g.alive_vertices();
+            by_degree.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            let mut edits = Vec::new();
+            let mut dead_edges = 0usize;
+            for v in by_degree {
+                if dead_edges >= k {
+                    break;
+                }
+                dead_edges += g.degree(v);
+                edits.push(GraphEdit::RemoveVertex(v));
+            }
+            edits
+        }
+        ChurnSchedule::BurstChurn => {
+            // Three quiet rounds, then a burst at 4x the nominal rate:
+            // half removals, half fresh insertions between live
+            // vertices.
+            if round % 4 != 3 {
+                return Vec::new();
+            }
+            let burst = 4 * k;
+            let mut edits: Vec<GraphEdit> = sample_edges(g, burst / 2, rng)
+                .into_iter()
+                .map(|(u, v)| GraphEdit::RemoveEdge(u, v))
+                .collect();
+            let alive = g.alive_vertices();
+            if alive.len() >= 2 {
+                for _ in 0..burst.div_ceil(2) {
+                    let u = alive[rng.gen_range(0..alive.len())];
+                    let v = alive[rng.gen_range(0..alive.len())];
+                    if u != v {
+                        edits.push(GraphEdit::InsertEdge(u.min(v), u.max(v)));
+                    }
+                }
+            }
+            edits
+        }
+    }
+}
+
+/// A uniform sample of `k` distinct live edges (all of them when fewer
+/// exist).
+fn sample_edges(g: &Graph, k: usize, rng: &mut StdRng) -> Vec<(VertexId, VertexId)> {
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    edges.shuffle(rng);
+    edges.truncate(k);
+    edges
+}
+
+/// A seeded query batch between live vertices (empty when fewer than
+/// two survive).
+fn live_batch(g: &Graph, batch: usize, rng: &mut StdRng) -> RoutingInstance {
+    let alive = g.alive_vertices();
+    if alive.len() < 2 {
+        return RoutingInstance::default();
+    }
+    RoutingInstance::from_triples(
+        &(0..batch)
+            .map(|i| {
+                let src = alive[rng.gen_range(0..alive.len())];
+                let mut dst = alive[rng.gen_range(0..alive.len())];
+                if dst == src {
+                    dst = alive[(alive.iter().position(|&a| a == src).expect("src is alive") + 1)
+                        % alive.len()];
+                }
+                (src, dst, i as u64)
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander_graphs::generators;
+
+    fn config() -> ChurnConfig {
+        ChurnConfig::for_epsilon(0.4)
+    }
+
+    #[test]
+    fn warm_router_serves_hierarchical() {
+        let g = generators::random_regular(256, 4, 31).expect("generator");
+        let mut cr = ChurnRouter::new(&g, config());
+        let inst = RoutingInstance::permutation(256, 5);
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::Hierarchical);
+        assert!(out.outcome.fully_delivered());
+        assert!(out.outcome.verify(&inst).is_empty());
+        assert_eq!(out.repair_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn edge_removal_repairs_incrementally() {
+        let g = generators::random_regular(1024, 4, 13).expect("generator");
+        let mut cr = ChurnRouter::new(&g, ChurnConfig::for_epsilon(0.33));
+        let (u, v) = g.edges().next().expect("edge");
+        cr.apply(&[GraphEdit::RemoveEdge(u, v)]);
+        let inst = RoutingInstance::permutation(1024, 5);
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::Repaired);
+        assert!(out.repair.expect("repair report").is_incremental());
+        assert!(out.outcome.fully_delivered());
+        assert!(cr.pending().is_empty(), "repair consumed the edit queue");
+        // The next query is warm again.
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::Hierarchical);
+    }
+
+    #[test]
+    fn vertex_kill_degrades_to_decomposition_then_backs_off_to_bfs() {
+        let g = generators::random_regular(256, 4, 32).expect("generator");
+        let mut cr = ChurnRouter::new(&g, config());
+        // Killing a vertex leaves an isolated tombstone: the hierarchy
+        // rungs refuse (disconnected id space) and the decomposition
+        // routes per piece.
+        cr.apply(&[GraphEdit::RemoveVertex(0)]);
+        let alive = cr.graph().alive_vertices();
+        let inst = RoutingInstance::from_triples(
+            &(0..64u32)
+                .map(|i| (alive[i as usize], alive[(i + 1) as usize], i as u64))
+                .collect::<Vec<_>>(),
+        );
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::Decomposed);
+        assert!(out.outcome.verify(&inst).is_empty());
+        assert!(out.outcome.fully_delivered(), "all tokens live in the surviving component");
+        // Same epoch: the cached decomposition serves again.
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::Decomposed);
+        // New edits while backing off: charged BFS, still on contract.
+        cr.apply(&[GraphEdit::RemoveVertex(1)]);
+        let alive = cr.graph().alive_vertices();
+        let inst = RoutingInstance::from_triples(
+            &(0..64u32)
+                .map(|i| (alive[i as usize], alive[(i + 1) as usize], i as u64))
+                .collect::<Vec<_>>(),
+        );
+        let out = cr.route(&inst).expect("valid");
+        assert_eq!(out.mode, DeliveryMode::DirectBfs);
+        assert!(out.outcome.verify(&inst).is_empty());
+        assert!(out.outcome.fully_delivered());
+    }
+
+    #[test]
+    fn out_of_range_tokens_are_instance_errors() {
+        let g = generators::random_regular(128, 4, 33).expect("generator");
+        let mut cr = ChurnRouter::new(&g, config());
+        assert!(cr.route(&RoutingInstance::from_triples(&[(0, 9999, 0)])).is_err());
+    }
+
+    #[test]
+    fn all_schedules_hold_the_contract_at_ten_percent() {
+        let g = generators::random_regular(256, 4, 34).expect("generator");
+        for schedule in ChurnSchedule::ALL {
+            let report = ChurnDriver::run(
+                &g,
+                config(),
+                ChurnParams { schedule, rounds: 6, churn_rate: 0.10, batch: 64, seed: 99 },
+            );
+            assert_eq!(report.rounds.len(), 6);
+            // The driver asserts verify() internally; spot-check the
+            // aggregates are well-formed.
+            assert!(report.delivery_rate() <= 1.0);
+            let [p50, p95, p99] = report.congestion_percentiles();
+            assert!(p50 <= p95 && p95 <= p99);
+        }
+    }
+
+    #[test]
+    fn burst_schedule_alternates_quiet_and_burst_rounds() {
+        let g = generators::random_regular(256, 4, 35).expect("generator");
+        let report = ChurnDriver::run(
+            &g,
+            config(),
+            ChurnParams {
+                schedule: ChurnSchedule::BurstChurn,
+                rounds: 8,
+                churn_rate: 0.02,
+                batch: 32,
+                seed: 7,
+            },
+        );
+        assert!(report.rounds.iter().step_by(4).take(2).all(|r| r.edits == 0), "quiet rounds");
+        assert!(report.rounds[3].edits > 0, "burst round injects");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let vals = (1..=100u64).rev();
+        assert_eq!(percentiles(vals), [50, 95, 99]);
+        assert_eq!(percentiles(std::iter::empty()), [0; 3]);
+        assert_eq!(percentiles([7u64].into_iter()), [7, 7, 7]);
+    }
+}

@@ -18,7 +18,7 @@ use expander_graphs::FlatPaths;
 
 /// Per-node unit costs (rounds per unit load) for the charged
 /// subroutines.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// `⌈log₂ n⌉` — the load blow-up factor of Lemma 6.6.
     pub c_logn: u64,

@@ -509,31 +509,30 @@ impl RoutedDecomposition {
                     stats.absorb(&out.stats);
                 }
                 PieceKind::Direct(sub) => {
-                    // Deterministic BFS shortest paths with measured
-                    // congestion/dilation; the ledger is charged at the
-                    // paper's batched `O(congestion + dilation)` rate.
-                    let mut paths = PathSet::new();
-                    for &i in idxs {
+                    let toks: Vec<(VertexId, VertexId)> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let t = &inst.tokens[i];
+                            (self.local_of[t.src as usize], self.local_of[t.dst as usize])
+                        })
+                        .collect();
+                    let delivered = route_by_bfs(
+                        sub,
+                        &toks,
+                        &mut stats,
+                        &mut ledger,
+                        "query/decomposed/direct",
+                    );
+                    for (k, &i) in idxs.iter().enumerate() {
                         let t = &inst.tokens[i];
-                        let (ls, ld) =
-                            (self.local_of[t.src as usize], self.local_of[t.dst as usize]);
-                        match sub.shortest_path(ls, ld) {
-                            Some(walk) => {
-                                positions[i] = t.dst;
-                                let global: Vec<VertexId> =
-                                    walk.iter().map(|&l| piece.vertices[l as usize]).collect();
-                                paths.push(Path::new(global));
-                            }
-                            None => undeliverable.push(Undeliverable {
+                        if delivered[k] {
+                            positions[i] = t.dst;
+                        } else {
+                            undeliverable.push(Undeliverable {
                                 token: i,
                                 reason: UndeliverableReason::NoPath { src: t.src, dst: t.dst },
-                            }),
+                            });
                         }
-                    }
-                    if !paths.is_empty() {
-                        stats.max_congestion = stats.max_congestion.max(paths.congestion() as u64);
-                        stats.max_dilation = stats.max_dilation.max(paths.dilation() as u64);
-                        ledger.charge("query/decomposed/direct", cost::route_once(&paths));
                     }
                 }
             }
@@ -542,6 +541,39 @@ impl RoutedDecomposition {
         undeliverable.sort_unstable_by_key(|u| u.token);
         Ok(DecomposedOutcome { positions, destinations, undeliverable, ledger, stats })
     }
+}
+
+/// Deterministic BFS shortest-path routing of a token batch on `g`:
+/// the shared last-resort engine behind the decomposition's Direct
+/// pieces and the churn ladder's charged-BFS rung. Successful paths
+/// are measured (congestion/dilation folded into `stats`) and charged
+/// to `phase` at the paper's batched `O(congestion + dilation)` rate;
+/// the returned flags mark, per token, whether a path exists (the
+/// caller moves delivered tokens and reports the rest).
+pub(crate) fn route_by_bfs(
+    g: &Graph,
+    tokens: &[(VertexId, VertexId)],
+    stats: &mut QueryStats,
+    ledger: &mut RoundLedger,
+    phase: &'static str,
+) -> Vec<bool> {
+    let mut paths = PathSet::new();
+    let mut delivered = Vec::with_capacity(tokens.len());
+    for &(src, dst) in tokens {
+        match g.shortest_path(src, dst) {
+            Some(walk) => {
+                paths.push(Path::new(walk));
+                delivered.push(true);
+            }
+            None => delivered.push(false),
+        }
+    }
+    if !paths.is_empty() {
+        stats.max_congestion = stats.max_congestion.max(paths.congestion() as u64);
+        stats.max_dilation = stats.max_dilation.max(paths.dilation() as u64);
+        ledger.charge(phase, cost::route_once(&paths));
+    }
+    delivered
 }
 
 #[cfg(test)]

@@ -384,8 +384,11 @@ pub(crate) struct Scratch {
     /// Pooled per-job incremental dispersal states for fused batch
     /// groups (unused on the per-job path).
     fused: Vec<FusedDisperse>,
-    /// Identity of the router the buffers (and cache) belong to.
-    router_tag: usize,
+    /// Identity of the router the buffers (and cache) belong to: its
+    /// address *and* its graph's mutation epoch. [`Router::repair`]
+    /// rebuilds a router in place, so the address alone would let a
+    /// pooled scratch serve stale cached dispersals across a repair.
+    router_tag: (usize, u64),
 }
 
 impl Scratch {
@@ -400,7 +403,7 @@ impl Scratch {
     /// across heterogeneous instances is allocation-free once warm),
     /// and the dummy cache survives unless the router changed.
     pub(crate) fn reset_for(&mut self, r: &Router) {
-        let tag = std::ptr::from_ref(r) as usize;
+        let tag = (std::ptr::from_ref(r) as usize, r.graph.epoch());
         if self.router_tag != tag {
             self.dummies.clear();
             self.router_tag = tag;

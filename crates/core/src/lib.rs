@@ -27,6 +27,7 @@
 //! | Batched/fused multi-query amortization (Theorem 1.1 at scale) | [`engine`] |
 //! | Corollary 1.4 general graphs via expander decomposition | [`decomposed`] |
 //! | §1.2 comparison baselines (GKS17, CS20, shortest path) | [`baselines`] |
+//! | Dynamic-topology degradation ladder (beyond the paper) | [`churn`] |
 //!
 //! # What lives here
 //!
@@ -59,6 +60,12 @@
 //!   into expander pieces, routes within each, and reports
 //!   cross-piece tokens as structured [`Undeliverable`] outcomes
 //!   instead of panicking.
+//! * [`churn`] — churn-tolerant routing: [`ChurnRouter`] absorbs
+//!   graph edits through incremental [`Router::repair`], full
+//!   rebuilds, decomposition routing, and charged BFS — a
+//!   deterministic degradation ladder that keeps every query on the
+//!   route-or-report contract; [`churn::ChurnDriver`] is the seeded
+//!   fault-injection harness.
 //!
 //! # Example
 //!
@@ -75,6 +82,7 @@
 //! ```
 
 pub mod baselines;
+pub mod churn;
 pub mod cost_model;
 pub mod decomposed;
 pub mod engine;
@@ -86,6 +94,7 @@ pub mod ops;
 pub mod router;
 pub mod token;
 
+pub use churn::{ChurnConfig, ChurnOutcome, ChurnRouter, DeliveryMode};
 pub use decomposed::{
     DecomposedConfig, DecomposedOutcome, FallbackReason, RoutedDecomposition, Undeliverable,
     UndeliverableReason,

@@ -59,7 +59,7 @@ pub fn apply_network<T: Ord + Copy>(layers: &[Vec<(usize, usize)>], values: &mut
 
 /// One embedded comparator layer: the position pairs plus the
 /// flattened base-graph paths realizing them (aligned by index).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddedLayer {
     /// `(a, b)` position pairs, `a < b`, minimum routed to `a`.
     pub pairs: Vec<(usize, usize)>,
@@ -69,7 +69,7 @@ pub struct EmbeddedLayer {
 }
 
 /// An embedded sorting network over a hierarchy node's vertices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddedNetwork {
     /// The node this network sorts.
     pub node: NodeId,

@@ -7,15 +7,15 @@ use crate::network::EmbeddedNetwork;
 use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::{cost, parallel, RoundLedger};
 use expander_decomp::{
-    build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, Shuffler, ShufflerParams,
-    ShufflerRound,
+    build_shuffler, BuildError, Hierarchy, HierarchyParams, NodeId, RepairReport, Shuffler,
+    ShufflerParams, ShufflerRound,
 };
-use expander_graphs::{Embedding, FlatPaths, Graph, Path, VertexId};
+use expander_graphs::{Embedding, FlatPaths, Graph, GraphEdit, Path, VertexId};
 
 /// One outgoing dispersal entry of a [`RoundTable`] row: the fractional
 /// mass `m_ij` towards one target part plus the range of its portal
 /// edge refs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RoundEntry {
     /// The natural fractional matching mass `x_ij` of this part pair.
     pub(crate) m_ij: f64,
@@ -28,7 +28,7 @@ pub(crate) struct RoundEntry {
 /// pointing at packed portal edge refs `(path index << 1) | reversed`.
 /// A dense, orientation-resolved replacement for the former
 /// `HashMap<(part, part), Vec<edge>>` portal index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct RoundTable {
     /// Entry ranges per source part: row `i` owns
     /// `entries[row_start[i]..row_start[i + 1]]`.
@@ -88,6 +88,15 @@ impl RoundTable {
     }
 }
 
+/// Input of the salvage stage of [`Router::repair`]: the stale router
+/// whose per-node artifacts are cannibalized, plus the splice map
+/// (`old_of[new node id] -> old node id`) reconstructed from the
+/// hierarchy repair's reused spans.
+struct Salvage<'a> {
+    old: &'a mut Router,
+    old_of: Vec<Option<NodeId>>,
+}
+
 /// Output of one node's parallel preprocessing task: everything
 /// [`Router::preprocess`] derives from a single hierarchy node,
 /// collected in node order after the fan-out.
@@ -127,7 +136,7 @@ enum NodePrep {
 /// knob governs hierarchy construction, the per-node shuffler/flatten
 /// fan-out, and the delegate-chain walk. Preprocessing output is
 /// byte-identical for every thread count.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RouterConfig {
     /// Hierarchy construction parameters (Theorem 3.2).
     pub hierarchy: HierarchyParams,
@@ -152,7 +161,14 @@ impl RouterConfig {
 /// (`n^{O(ε)} + poly·log^{O(1/ε)} n` charged rounds), then each
 /// [`Router::route`] query costs `L·poly(log^{1/ε} n)` charged rounds
 /// (Theorem 1.1). See the crate docs for an end-to-end example.
-#[derive(Debug, Clone)]
+///
+/// When the graph mutates, [`Router::repair`] re-derives the router
+/// incrementally: hierarchy subtrees the repair spliced keep their
+/// preprocessing artifacts (shufflers, leaf networks, flattened
+/// arenas), and the result stays byte-identical to a from-scratch
+/// [`Router::preprocess`] on the mutated graph (`PartialEq` compares
+/// every derived structure exactly for that purpose).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Router {
     pub(crate) graph: Graph,
     pub(crate) hier: Hierarchy,
@@ -171,6 +187,15 @@ pub struct Router {
     /// Per node: dense `bad vertex -> M* edge index within its part`
     /// (`u32::MAX` elsewhere); empty vec for leaves.
     pub(crate) mstar_edge: Vec<Vec<u32>>,
+    /// Per node, per part: flattened `M*` embeddings. The chain walk
+    /// consumes them at build time; they are retained so
+    /// [`Router::repair`] can re-walk chains without re-flattening the
+    /// salvaged nodes.
+    pub(crate) mstar_embs: Vec<Vec<Embedding>>,
+    /// Per node: the preprocessing rounds that node's task charged
+    /// (leaf network or shuffler + lowering) — replayed verbatim when
+    /// the node is salvaged by [`Router::repair`].
+    node_ledgers: Vec<RoundLedger>,
     pub(crate) leaf_nets: Vec<Option<EmbeddedNetwork>>,
     /// Per graph vertex: its best-node delegate (§1.3, Appendix D).
     pub(crate) delegate: Vec<VertexId>,
@@ -210,6 +235,54 @@ impl Router {
             return Err(BuildError::TooSmall { n: graph.n() });
         }
         let hier = Hierarchy::build(graph, config.hierarchy.clone())?;
+        Ok(Router::derive(hier, config, None))
+    }
+
+    /// Repairs the router after `edits` mutated its graph: the
+    /// hierarchy is repaired incrementally ([`Hierarchy::repair`]),
+    /// spliced subtrees keep their preprocessed artifacts (shufflers,
+    /// leaf networks, flattened arenas — moved over with their node
+    /// stamps and edge-id spaces re-based), and only the dirtied nodes
+    /// re-run their preprocessing tasks. The global tables (delegate
+    /// chains, cost model, best prefixes) are cheap and recomputed
+    /// fresh.
+    ///
+    /// The repaired router is byte-identical to
+    /// [`Router::preprocess`] on the mutated graph. On error the
+    /// router is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the mutated graph is disconnected or
+    /// has shrunk below the supported size.
+    pub fn repair(&mut self, edits: &[GraphEdit]) -> Result<RepairReport, BuildError> {
+        let mut hier = self.hier.clone();
+        let report = hier.repair(edits)?;
+        if hier.graph().n() < 64 {
+            return Err(BuildError::TooSmall { n: hier.graph().n() });
+        }
+        let mut old_of: Vec<Option<NodeId>> = vec![None; hier.nodes().len()];
+        for span in &report.reused_spans {
+            for off in 0..span.len {
+                old_of[span.new_start + off] = Some(span.old_start + off);
+            }
+        }
+        *self = Router::derive(hier, self.config.clone(), Some(Salvage { old: self, old_of }));
+        Ok(report)
+    }
+
+    /// Whether `graph` has mutated past the snapshot this router was
+    /// derived from — the staleness signal the churn ladder acts on.
+    pub fn is_stale(&self, graph: &Graph) -> bool {
+        graph.epoch() != self.graph.epoch()
+    }
+
+    /// Derives every preprocessed structure from a built hierarchy,
+    /// salvaging per-node artifacts from a stale router where the
+    /// repair's splice map allows.
+    fn derive(hier: Hierarchy, config: RouterConfig, mut salvage: Option<Salvage<'_>>) -> Router {
+        let graph = hier.graph().clone();
+        let graph = &graph;
         let mut pre_ledger = RoundLedger::new();
         pre_ledger.merge(hier.ledger());
 
@@ -222,21 +295,65 @@ impl Router {
         let mut mstar_edge: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
         let mut leaf_nets: Vec<Option<EmbeddedNetwork>> = vec![None; n_nodes];
         let mut mstar_sq: Vec<u64> = vec![4; n_nodes];
-        // Flattened M* embeddings, kept only until the chains below are
-        // concatenated (the router itself stores the edge-id arenas).
         let mut mstar_embs: Vec<Vec<Embedding>> = vec![Vec::new(); n_nodes];
+        let mut node_ledgers: Vec<RoundLedger> = vec![RoundLedger::new(); n_nodes];
         let mut max_parts = 1usize;
+
+        // Salvage stage: a node inside a spliced repair span is
+        // byte-identical to its counterpart in the stale router, so its
+        // preprocessing artifacts move over wholesale. Only the node-id
+        // stamps and the FlatPaths edge-id spaces (high-water marks
+        // that may have grown under insertions) need re-basing; the
+        // stored per-node ledger replays the rounds a fresh task would
+        // have charged.
+        let mut fresh: Vec<NodeId> = Vec::with_capacity(n_nodes);
+        match &mut salvage {
+            None => fresh.extend(0..n_nodes),
+            Some(s) => {
+                for id in 0..n_nodes {
+                    let Some(old_id) = s.old_of[id] else {
+                        fresh.push(id);
+                        continue;
+                    };
+                    let old = &mut *s.old;
+                    if let Some(mut sh) = old.shufflers[old_id].take() {
+                        sh.node = id;
+                        let mut flats = std::mem::take(&mut old.rounds_flat[old_id]);
+                        let mut arenas = std::mem::take(&mut old.mstar_flat[old_id]);
+                        for f in flats.iter_mut().chain(arenas.iter_mut()) {
+                            f.rebase_edge_space(graph);
+                        }
+                        max_parts = max_parts.max(hier.node(id).part_count());
+                        shufflers[id] = Some(sh);
+                        rounds_flat[id] = flats;
+                        mstar_flat[id] = arenas;
+                        round_tables[id] = std::mem::take(&mut old.round_tables[old_id]);
+                        part_of[id] = std::mem::take(&mut old.part_of[old_id]);
+                        mstar_edge[id] = std::mem::take(&mut old.mstar_edge[old_id]);
+                        mstar_embs[id] = std::mem::take(&mut old.mstar_embs[old_id]);
+                        mstar_sq[id] = old.cost.mstar_sq[old_id];
+                    } else if let Some(mut net) = old.leaf_nets[old_id].take() {
+                        net.node = id;
+                        leaf_nets[id] = Some(net);
+                    }
+                    node_ledgers[id] = std::mem::take(&mut old.node_ledgers[old_id]);
+                }
+            }
+        }
 
         // Per-node preprocessing (leaf networks; shuffler construction,
         // embedding flattening, and the FlatPaths/RoundTable lowering
         // for internal nodes) reads only the immutable hierarchy, so
-        // the nodes fan out across the thread budget. Each task charges
-        // a forked ledger; absorbing them in node order keeps the
-        // preprocessing ledger byte-identical to the sequential build.
+        // the non-salvaged nodes fan out across the thread budget. Each
+        // task charges a forked ledger; absorbing every node's ledger
+        // in node order below keeps the preprocessing ledger
+        // byte-identical to the sequential build.
         let budget = parallel::ThreadBudget::new(parallel::build_threads(config.hierarchy.threads));
         let prepped: Vec<(RoundLedger, NodePrep)> = {
             let ledger_parent = &pre_ledger;
-            parallel::run_tasks(&budget, n_nodes, |id| {
+            let fresh_ids = &fresh;
+            parallel::run_tasks(&budget, fresh_ids.len(), |task| {
+                let id = fresh_ids[task];
                 let mut ledger = ledger_parent.fork();
                 let nd = hier.node(id);
                 if nd.is_leaf() {
@@ -298,8 +415,9 @@ impl Router {
                 (ledger, prep)
             })
         };
-        for (id, (ledger, prep)) in prepped.into_iter().enumerate() {
-            pre_ledger.merge(&ledger);
+        for (task, (ledger, prep)) in prepped.into_iter().enumerate() {
+            let id = fresh[task];
+            node_ledgers[id] = ledger;
             match prep {
                 NodePrep::Leaf { net } => leaf_nets[id] = Some(*net),
                 NodePrep::Internal {
@@ -323,6 +441,12 @@ impl Router {
                     mstar_sq[id] = worst_mstar;
                 }
             }
+        }
+        // Absorb every node's charges in node order — byte-identical to
+        // sequential charging whether a node's ledger was freshly
+        // charged or replayed from the stale router.
+        for nl in &node_ledgers {
+            pre_ledger.merge(nl);
         }
 
         // Delegates and chains (Appendix D's all-to-best delegation).
@@ -376,7 +500,6 @@ impl Router {
             chain.push(path);
         }
         let chain_flat = FlatPaths::from_paths(graph, chain.iter());
-        drop(mstar_embs);
         // Charge the all-to-best preprocessing run (Appendix D): one
         // token per vertex travels its chain.
         pre_ledger.charge(
@@ -413,7 +536,7 @@ impl Router {
             }
         }
 
-        Ok(Router {
+        Router {
             graph: graph.clone(),
             hier,
             shufflers,
@@ -422,6 +545,8 @@ impl Router {
             part_of,
             mstar_flat,
             mstar_edge,
+            mstar_embs,
+            node_ledgers,
             leaf_nets,
             delegate,
             chain,
@@ -434,7 +559,7 @@ impl Router {
             cost: cost_model,
             pre_ledger,
             config,
-        })
+        }
     }
 
     /// The base graph.
@@ -690,5 +815,62 @@ mod tests {
         let r = router(128, 6);
         let inst = RoutingInstance::from_triples(&[(0, 9999, 0)]);
         assert!(r.route(&inst).is_err());
+    }
+
+    #[test]
+    fn repair_matches_fresh_preprocess_and_salvages_nodes() {
+        let g = generators::random_regular(1024, 4, 13).expect("generator");
+        let config = RouterConfig::for_epsilon(0.33);
+        let mut r = Router::preprocess(&g, config.clone()).expect("router");
+        let (u, v) = g.edges().next().expect("edge");
+        let edits = [GraphEdit::RemoveEdge(u, v)];
+        let report = r.repair(&edits).expect("repair");
+        assert!(report.is_incremental(), "single-edge removal should splice subtrees");
+
+        let mut g2 = g.clone();
+        for &e in &edits {
+            g2.apply_edit(e);
+        }
+        let fresh = Router::preprocess(&g2, config).expect("fresh router");
+        assert_eq!(r, fresh, "repaired router must be byte-identical to a fresh preprocess");
+        assert!(r.is_stale(&g), "pre-edit graph is behind the repaired router");
+        assert!(!r.is_stale(&g2), "post-edit graph matches the repaired router");
+    }
+
+    #[test]
+    fn repair_invalidates_pooled_scratch_caches() {
+        let g = generators::random_regular(256, 4, 22).expect("generator");
+        let mut r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+        let inst = RoutingInstance::permutation(256, 7);
+        let mut scratch = Scratch::new(&r);
+        match r.execute(JobRef::Route(&inst), &mut scratch, RoundLedger::new()) {
+            JobOutcome::Route(out) => assert!(out.all_delivered()),
+            JobOutcome::Sort(_) => unreachable!(),
+        }
+        // Repair in place: the router keeps its address, so only the
+        // epoch half of the scratch tag can catch the change.
+        let (u, v) = g.edges().next().expect("edge");
+        r.repair(&[GraphEdit::RemoveEdge(u, v)]).expect("repair");
+        let pooled = match r.execute(JobRef::Route(&inst), &mut scratch, RoundLedger::new()) {
+            JobOutcome::Route(out) => out,
+            JobOutcome::Sort(_) => unreachable!(),
+        };
+        assert!(pooled.all_delivered());
+        // A fresh scratch is the uncached reference: pooled dummy
+        // dispersals must not leak across the repair.
+        let reference = r.route(&inst).expect("valid");
+        assert_eq!(pooled.rounds(), reference.rounds());
+    }
+
+    #[test]
+    fn repair_error_leaves_router_unchanged() {
+        let g = generators::random_regular(256, 4, 23).expect("generator");
+        let mut r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+        let snapshot = r.clone();
+        // Cutting vertex 0 free disconnects the graph.
+        let cut: Vec<GraphEdit> =
+            g.neighbors(0).iter().map(|&v| GraphEdit::RemoveEdge(0, v)).collect();
+        assert!(r.repair(&cut).is_err());
+        assert_eq!(r, snapshot, "failed repair must not corrupt the router");
     }
 }

@@ -99,6 +99,8 @@ fn try_orientation(mu: &[f64], mean: f64, total_mass: f64, orientation: f64) -> 
 pub fn median_split(mu: &[f64]) -> Separation {
     let m = mu.len();
     let mut order: Vec<usize> = (0..m).collect();
+    // `mu` is a deterministic projection of unit-normalized vectors:
+    // every entry is a finite dot product, so NaN cannot reach here.
     order.sort_by(|&a, &b| mu[a].partial_cmp(&mu[b]).expect("finite"));
     let half = m / 2;
     let gamma = if m > 1 {

@@ -38,7 +38,10 @@ pub mod packing;
 pub mod shuffler;
 
 pub use decomposition::{decomposition_for_epsilon, expander_decomposition, ExpanderDecomposition};
-pub use hierarchy::{BuildError, Hierarchy, HierarchyNode, HierarchyParams, HierarchyPart, NodeId};
+pub use hierarchy::{
+    BuildError, Hierarchy, HierarchyNode, HierarchyParams, HierarchyPart, NodeId, RepairFallback,
+    RepairReport, ReusedSpan,
+};
 pub use host::HostGraph;
 pub use packing::{pack_matching, EscalationConfig, MatchingPacking, Packer};
 pub use shuffler::{build_shuffler, CutStrategy, Shuffler, ShufflerParams, ShufflerRound};

@@ -52,6 +52,16 @@ impl<'h> Packer<'h> {
     /// `sink_cap` is indexed by host-local id and is decremented as
     /// sinks absorb paths; sources must have `sink_cap == 0`.
     ///
+    /// Every phase's outcome is a pure function of the *passable edge
+    /// set* (residual capacity under the caps), never of BFS queue
+    /// order: depths are order-free by the BFS property, each vertex's
+    /// parent is its minimum-id passable neighbor one level up, and
+    /// sinks are claimed in `(depth, id)` order. This edit-stability is
+    /// what makes incremental hierarchy repair viable — a graph edit
+    /// far from a packed path cannot reroute it by merely reshuffling
+    /// discovery order, so unaffected parts reproduce their old
+    /// matchings byte for byte.
+    ///
     /// # Panics
     ///
     /// Panics if a source has sink capacity (the sets must be disjoint).
@@ -87,11 +97,12 @@ impl<'h> Packer<'h> {
             result.phases += 1;
             let phase = result.phases;
             // Multi-source BFS through edges with residual capacity.
+            // Only depths are taken from this pass (they do not depend
+            // on queue order); parents are resolved in a second pass.
             queue.clear();
             reached_sinks.clear();
             for &s in &remaining {
                 seen[s as usize] = phase;
-                parent[s as usize] = s;
                 depth[s as usize] = 0;
                 is_source[s as usize] = true;
                 queue.push(s);
@@ -114,8 +125,6 @@ impl<'h> Packer<'h> {
                         continue;
                     }
                     seen[v as usize] = phase;
-                    parent[v as usize] = u;
-                    parent_eid[v as usize] = eid;
                     depth[v as usize] = du + 1;
                     is_source[v as usize] = false;
                     if sink_cap[v as usize] > 0 {
@@ -124,7 +133,38 @@ impl<'h> Packer<'h> {
                     queue.push(v);
                 }
             }
-            // Claim sinks greedily in BFS (shortest-first) order.
+            // Resolve each discovered vertex's parent as the minimum
+            // (neighbor id, edge id) among passable neighbors one
+            // level up — a function of depths and loads only.
+            for &v in &queue {
+                if is_source[v as usize] {
+                    parent[v as usize] = v;
+                    continue;
+                }
+                let dv = depth[v as usize];
+                let nbrs = self.host.neighbors_local(v);
+                let eids = self.host.neighbor_eids_local(v);
+                let mut best: Option<(u32, u32)> = None;
+                for (&u, &eid) in nbrs.iter().zip(eids) {
+                    if seen[u as usize] == phase
+                        && depth[u as usize] + 1 == dv
+                        && self.edge_load[eid as usize] < congestion_cap
+                        && best.is_none_or(|b| (u, eid) < b)
+                    {
+                        best = Some((u, eid));
+                    }
+                }
+                // `v` entered the BFS frontier through a passable edge
+                // from depth `dv - 1`, and edge loads only change
+                // between packing rounds, so at least that parent still
+                // qualifies.
+                let (pu, peid) = best.expect("discovered vertex has a passable parent");
+                parent[v as usize] = pu;
+                parent_eid[v as usize] = peid;
+            }
+            // Claim sinks greedily, shortest-first with id tie-break —
+            // again independent of discovery order.
+            reached_sinks.sort_unstable_by_key(|&v| (depth[v as usize], v));
             let mut progress = false;
             for &sink in &reached_sinks {
                 if sink_cap[sink as usize] == 0 {
@@ -194,7 +234,7 @@ pub struct MatchingPacking {
 
 /// Escalation policy for [`pack_matching`]: caps double until the
 /// sources saturate or the budget runs out.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EscalationConfig {
     /// Starting per-edge congestion cap.
     pub congestion_cap: u32,

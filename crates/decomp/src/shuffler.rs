@@ -31,7 +31,7 @@ pub enum CutStrategy {
 }
 
 /// Tuning knobs for [`build_shuffler`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShufflerParams {
     /// Seed for the derandomized projections.
     pub seed: u64,
@@ -64,7 +64,7 @@ impl Default for ShufflerParams {
 
 /// One iteration of the shuffler: the matching on `X`, its embedding
 /// into `H_X`, and the induced fractional matching on `Y`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShufflerRound {
     /// `M^q_X` as `(u, v)` global-id pairs.
     pub matching: Vec<(VertexId, VertexId)>,
@@ -78,7 +78,7 @@ pub struct ShufflerRound {
 }
 
 /// A shuffler for one internal hierarchy node (Definition 5.4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Shuffler {
     /// The node this shuffler mixes.
     pub node: NodeId,

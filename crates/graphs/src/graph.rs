@@ -23,7 +23,7 @@ pub type VertexId = u32;
 /// assert_eq!(g.degree(1), 2);
 /// assert!(g.is_connected());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Graph {
     offsets: Vec<u32>,
     targets: Vec<VertexId>,
@@ -34,6 +34,34 @@ pub struct Graph {
     edge_ids: Vec<u32>,
     m: usize,
     distinct_pairs: usize,
+    /// Mutation counter: bumped by every structural edit. Consumers
+    /// that cache derived structure (routers, flat arenas) snapshot
+    /// this and treat a mismatch as "stale".
+    epoch: u64,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // `epoch` is an edit counter, not structure: graphs that agree
+        // on storage compare equal regardless of edit history.
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.edge_ids == other.edge_ids
+            && self.m == other.m
+            && self.distinct_pairs == other.distinct_pairs
+    }
+}
+
+impl Eq for Graph {}
+
+impl std::hash::Hash for Graph {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.offsets.hash(state);
+        self.targets.hash(state);
+        self.edge_ids.hash(state);
+        self.m.hash(state);
+        self.distinct_pairs.hash(state);
+    }
 }
 
 impl fmt::Debug for Graph {
@@ -49,6 +77,38 @@ impl fmt::Debug for Graph {
 impl Default for Graph {
     fn default() -> Self {
         Graph::from_edges(0, &[])
+    }
+}
+
+/// A single structural edit to a [`Graph`], applied via
+/// [`Graph::apply_edit`].
+///
+/// Edits are the unit of churn: the same sequence applied to two equal
+/// graphs yields equal graphs (same storage, same tombstoned edge-id
+/// space), which is what lets a live topology and a router's snapshot
+/// stay in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphEdit {
+    /// Insert an undirected edge (see [`Graph::insert_edge`]).
+    InsertEdge(VertexId, VertexId),
+    /// Remove one copy of an undirected edge; a no-op when the
+    /// vertices are not adjacent (see [`Graph::remove_edge`]).
+    RemoveEdge(VertexId, VertexId),
+    /// Append a new isolated vertex (see [`Graph::insert_vertex`]).
+    InsertVertex,
+    /// Remove every edge incident to a vertex, leaving a tombstone
+    /// slot (see [`Graph::remove_vertex`]).
+    RemoveVertex(VertexId),
+}
+
+impl fmt::Display for GraphEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphEdit::InsertEdge(u, v) => write!(f, "+({u},{v})"),
+            GraphEdit::RemoveEdge(u, v) => write!(f, "-({u},{v})"),
+            GraphEdit::InsertVertex => write!(f, "+v"),
+            GraphEdit::RemoveVertex(v) => write!(f, "-v{v}"),
+        }
     }
 }
 
@@ -114,7 +174,238 @@ impl Graph {
             edge_ids[cursor[v as usize] as usize] = pair_of_edge[i];
             cursor[v as usize] += 1;
         }
-        Graph { offsets, targets, edge_ids, m: edges.len(), distinct_pairs }
+        Graph { offsets, targets, edge_ids, m: edges.len(), distinct_pairs, epoch: 0 }
+    }
+
+    /// Mutation epoch: 0 at construction, bumped by every structural
+    /// edit ([`insert_edge`](Graph::insert_edge) and friends). Derived
+    /// structures snapshot this to detect staleness.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Inserts an undirected edge `{u, v}` and returns its canonical
+    /// pair id.
+    ///
+    /// The copy is appended to the end of both endpoints' adjacency
+    /// lists — exactly what [`from_edges`](Graph::from_edges) does for
+    /// an edge appended to the edge list, so the mutated graph is
+    /// indistinguishable (adjacency-wise) from a fresh build on the
+    /// edited list. If the pair already carries an edge the parallel
+    /// copy reuses its id; otherwise the next id is allocated.
+    /// Tombstoned ids of fully-removed pairs are never reused, so live
+    /// arenas indexed by edge id stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or `u == v`.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> u32 {
+        let n = self.n();
+        assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+        assert!(u != v, "self-loops are not supported");
+        let id = self.edge_id(u, v).unwrap_or_else(|| {
+            let id = self.distinct_pairs as u32;
+            self.distinct_pairs += 1;
+            id
+        });
+        for x in [u, v] {
+            let other = if x == u { v } else { u };
+            let pos = self.offsets[x as usize + 1] as usize;
+            self.targets.insert(pos, other);
+            self.edge_ids.insert(pos, id);
+            for off in self.offsets[x as usize + 1..].iter_mut() {
+                *off += 1;
+            }
+        }
+        self.m += 1;
+        self.epoch += 1;
+        id
+    }
+
+    /// Removes one copy of the undirected edge `{u, v}`; returns its
+    /// pair id, or `None` if the vertices are not adjacent.
+    ///
+    /// The *first* copy in each endpoint's adjacency is removed —
+    /// equivalent to deleting the earliest remaining copy of the pair
+    /// from the edge list [`from_edges`](Graph::from_edges) would be
+    /// given. The pair id becomes a tombstone once the last copy goes:
+    /// `edge_id_count()` does not shrink and the id is never reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<u32> {
+        let n = self.n();
+        assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+        if u == v {
+            return None;
+        }
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        let slot_u = lo + self.targets[lo..hi].iter().position(|&w| w == v)?;
+        let id = self.edge_ids[slot_u];
+        self.targets.remove(slot_u);
+        self.edge_ids.remove(slot_u);
+        for off in self.offsets[u as usize + 1..].iter_mut() {
+            *off -= 1;
+        }
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        let slot_v = lo
+            + self.targets[lo..hi]
+                .iter()
+                .position(|&w| w == u)
+                .expect("undirected invariant: edge present in both adjacencies");
+        self.targets.remove(slot_v);
+        self.edge_ids.remove(slot_v);
+        for off in self.offsets[v as usize + 1..].iter_mut() {
+            *off -= 1;
+        }
+        self.m -= 1;
+        self.epoch += 1;
+        Some(id)
+    }
+
+    /// Appends a new isolated vertex and returns its id. The vertex is
+    /// *dead* ([`is_alive`](Graph::is_alive) is false) until an edge
+    /// connects it.
+    pub fn insert_vertex(&mut self) -> VertexId {
+        let last = *self.offsets.last().expect("offsets non-empty");
+        self.offsets.push(last);
+        self.epoch += 1;
+        (self.offsets.len() - 2) as VertexId
+    }
+
+    /// Removes every edge incident to `v`, leaving it as an isolated
+    /// tombstone slot (vertex ids never shift). Returns the number of
+    /// edge copies removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn remove_vertex(&mut self, v: VertexId) -> usize {
+        assert!((v as usize) < self.n(), "vertex out of range");
+        let mut removed = 0;
+        while self.degree(v) > 0 {
+            let w = self.neighbors(v)[0];
+            self.remove_edge(v, w);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Applies one [`GraphEdit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly when the corresponding mutation method does
+    /// (out-of-range endpoints, self-loop insertion).
+    pub fn apply_edit(&mut self, edit: GraphEdit) {
+        match edit {
+            GraphEdit::InsertEdge(u, v) => {
+                self.insert_edge(u, v);
+            }
+            GraphEdit::RemoveEdge(u, v) => {
+                self.remove_edge(u, v);
+            }
+            GraphEdit::InsertVertex => {
+                self.insert_vertex();
+            }
+            GraphEdit::RemoveVertex(v) => {
+                self.remove_vertex(v);
+            }
+        }
+    }
+
+    /// Whether `v` participates in the live topology. A vertex is dead
+    /// iff isolated (degree 0) — the tombstone state
+    /// [`remove_vertex`](Graph::remove_vertex) leaves behind.
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.degree(v) > 0
+    }
+
+    /// The sorted list of alive (non-isolated) vertices.
+    pub fn alive_vertices(&self) -> Vec<VertexId> {
+        (0..self.n() as u32).filter(|&v| self.is_alive(v)).collect()
+    }
+
+    /// Number of alive (non-isolated) vertices.
+    pub fn alive_count(&self) -> usize {
+        (0..self.n() as u32).filter(|&v| self.is_alive(v)).count()
+    }
+
+    /// Whether the alive vertices form one connected component
+    /// (vacuously true with no alive vertices). Unlike
+    /// [`is_connected`](Graph::is_connected) this ignores isolated
+    /// tombstone slots, so it is the right connectivity notion for a
+    /// graph that has seen vertex churn.
+    pub fn is_connected_alive(&self) -> bool {
+        let Some(start) = (0..self.n() as u32).find(|&v| self.is_alive(v)) else {
+            return true;
+        };
+        let dist = self.bfs_distances(start);
+        (0..self.n()).all(|v| !self.is_alive(v as u32) || dist[v] != u32::MAX)
+    }
+
+    /// The bridge edges (cut edges) as sorted `(min, max)` pairs: edges
+    /// whose removal disconnects their component. A pair carried by
+    /// parallel copies is never a bridge. Runs an iterative low-link
+    /// DFS; deterministic output (sorted).
+    pub fn bridges(&self) -> Vec<(VertexId, VertexId)> {
+        let n = self.n();
+        let mut disc = vec![u32::MAX; n];
+        let mut low = vec![u32::MAX; n];
+        let mut timer = 0u32;
+        let mut out = Vec::new();
+        // Frame: (vertex, parent, adjacency cursor, parent edge skipped
+        // once). Skipping exactly one traversal back through the tree
+        // edge lets a parallel copy act as a back edge, which is what
+        // makes multi-edges bridge-free.
+        let mut stack: Vec<(u32, u32, usize, bool)> = Vec::new();
+        for root in 0..n as u32 {
+            if disc[root as usize] != u32::MAX || self.degree(root) == 0 {
+                continue;
+            }
+            disc[root as usize] = timer;
+            low[root as usize] = timer;
+            timer += 1;
+            stack.push((root, u32::MAX, self.offsets[root as usize] as usize, true));
+            while let Some(frame) = stack.last_mut() {
+                let (v, parent) = (frame.0, frame.1);
+                let hi = self.offsets[v as usize + 1] as usize;
+                let mut child = None;
+                while frame.2 < hi {
+                    let w = self.targets[frame.2];
+                    frame.2 += 1;
+                    if w == parent && !frame.3 {
+                        frame.3 = true;
+                        continue;
+                    }
+                    if disc[w as usize] == u32::MAX {
+                        child = Some(w);
+                        break;
+                    }
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+                if let Some(w) = child {
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, v, self.offsets[w as usize] as usize, false));
+                } else {
+                    stack.pop();
+                    if parent != u32::MAX {
+                        let lv = low[v as usize];
+                        low[parent as usize] = low[parent as usize].min(lv);
+                        if lv > disc[parent as usize] {
+                            out.push((parent.min(v), parent.max(v)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Number of vertices.
@@ -173,8 +464,11 @@ impl Graph {
         self.targets[lo..hi].iter().position(|&w| w == b).map(|off| self.edge_ids[lo + off])
     }
 
-    /// Number of distinct unordered vertex pairs carrying an edge — the
-    /// size of the dense edge-id space.
+    /// Size of the dense edge-id space. On a freshly built graph this
+    /// is exactly the number of distinct unordered pairs carrying an
+    /// edge; after [`remove_edge`](Graph::remove_edge) some ids may be
+    /// tombstones (the space is a high-water mark and never shrinks, so
+    /// arenas indexed by edge id stay valid across edits).
     pub fn edge_id_count(&self) -> usize {
         self.distinct_pairs
     }
@@ -560,5 +854,125 @@ mod tests {
     fn volume_sums_degrees() {
         let g = cycle(5);
         assert_eq!(g.volume(&[0, 1]), 4);
+    }
+
+    /// Mutations must leave the adjacency indistinguishable from a
+    /// fresh `from_edges` on the equivalently edited edge list — that
+    /// is what makes `Hierarchy::build` on the mutated graph the
+    /// ground truth for `Hierarchy::repair`.
+    #[test]
+    fn mutations_match_from_edges_order() {
+        let base = [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)];
+        let mut g = Graph::from_edges(5, &base);
+        assert!(g.remove_edge(2, 3).is_some());
+        g.insert_edge(0, 2);
+        let expected = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (4, 0), (1, 3), (0, 2)]);
+        assert_eq!(g.m(), expected.m());
+        for v in 0..5u32 {
+            assert_eq!(g.neighbors(v), expected.neighbors(v), "adjacency of {v}");
+        }
+        assert_eq!(g.edges().collect::<Vec<_>>(), expected.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_edge_takes_first_parallel_copy() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        let id = g.remove_edge(0, 1).expect("edge present");
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.edge_id(0, 1), Some(id), "surviving copy keeps the shared pair id");
+        assert_eq!(g.remove_edge(0, 2), None);
+    }
+
+    #[test]
+    fn epoch_tracks_structural_edits() {
+        let mut g = cycle(4);
+        assert_eq!(g.epoch(), 0);
+        g.insert_edge(0, 2);
+        assert_eq!(g.epoch(), 1);
+        g.remove_edge(0, 2);
+        assert_eq!(g.epoch(), 2);
+        let v = g.insert_vertex();
+        assert_eq!(g.epoch(), 3);
+        assert_eq!(v, 4);
+        g.insert_edge(v, 0);
+        g.remove_vertex(v);
+        assert_eq!(g.epoch(), 5, "remove_vertex bumps once per edge copy");
+        assert_eq!(g.remove_vertex(v), 0, "already isolated");
+        assert_eq!(g.epoch(), 5, "no-op removal leaves the epoch alone");
+    }
+
+    #[test]
+    fn edge_ids_are_tombstoned_not_reused() {
+        let mut g = cycle(4); // pairs (0,1)=0 (0,3)=1 (1,2)=2 (2,3)=3
+        let old = g.edge_id(1, 2).expect("edge");
+        g.remove_edge(1, 2);
+        assert_eq!(g.edge_id_count(), 4, "id space never shrinks");
+        let fresh = g.insert_edge(1, 3);
+        assert_eq!(fresh, 4, "new pair gets the next high-water id");
+        let reinserted = g.insert_edge(1, 2);
+        assert_eq!(reinserted, 5, "tombstoned id {old} is not resurrected");
+        assert_eq!(g.edge_id_count(), 6);
+        // A parallel copy of a live pair still shares its id.
+        assert_eq!(g.insert_edge(1, 3), fresh);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_epoch() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let g1 = cycle(5);
+        let mut g2 = cycle(5);
+        g2.insert_edge(0, 2);
+        g2.remove_edge(0, 2);
+        assert!(g2.epoch() > 0 && g1.epoch() == 0);
+        assert_ne!(g1, g2, "tombstoned id space is structural");
+        let mut g3 = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        g3.insert_edge(2, 3);
+        let g4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Same storage, different histories: ids agree because the
+        // inserted pair is lexicographically last, so epoch (1 vs 0)
+        // is the only difference — and equality ignores it.
+        assert_eq!(g3, g4);
+        let hash = |g: &Graph| {
+            let mut h = DefaultHasher::new();
+            g.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&g3), hash(&g4));
+    }
+
+    #[test]
+    fn remove_vertex_leaves_tombstone_slot() {
+        let mut g = cycle(6);
+        assert_eq!(g.remove_vertex(2), 2);
+        assert_eq!(g.n(), 6, "vertex ids never shift");
+        assert!(!g.is_alive(2));
+        assert_eq!(g.alive_count(), 5);
+        assert_eq!(g.alive_vertices(), vec![0, 1, 3, 4, 5]);
+        assert!(!g.is_connected(), "tombstone slot breaks naive connectivity");
+        assert!(g.is_connected_alive(), "cycle minus a vertex is a path");
+        g.remove_edge(4, 5);
+        assert!(!g.is_connected_alive(), "path cut into {{1-0-5}} and {{3-4}}");
+        g.insert_edge(1, 3);
+        assert!(g.is_connected_alive(), "patched around the dead vertex");
+        assert!(!g.is_connected(), "the tombstone itself stays isolated");
+    }
+
+    #[test]
+    fn bridges_on_known_graphs() {
+        // Two triangles joined by one bridge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(g.bridges(), vec![(2, 3)]);
+        // A tree: every edge is a bridge.
+        let t = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(t.bridges(), vec![(0, 1), (1, 2), (1, 3)]);
+        // A cycle has none; a doubled bridge is no bridge.
+        assert!(cycle(5).bridges().is_empty());
+        let doubled = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 2), (2, 3)]);
+        assert_eq!(doubled.bridges(), vec![(0, 1), (2, 3)]);
+        // Disconnected graphs are handled per component.
+        let two = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(two.bridges(), vec![(0, 1), (2, 3)]);
     }
 }

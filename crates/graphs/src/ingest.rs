@@ -194,6 +194,10 @@ pub fn parse_edge_list_with(text: &str, opts: IngestOptions) -> Result<LabeledGr
             na.cmp(&nb).then_with(|| a.cmp(b))
         });
     }
+    // The `expect("checked")` parses below re-parse strings the
+    // `numeric` probe above already parsed successfully, and `id_of`
+    // is only called with labels collected into `labels`, so the
+    // binary searches cannot miss.
     let id_of = |label: &str| -> u32 {
         if numeric {
             let key = label.parse::<u64>().expect("checked");

@@ -206,6 +206,8 @@ pub fn sweep_cut(g: &Graph, seed: u64) -> (Vec<bool>, f64) {
     let n = g.n();
     let spec = spectral(g, seed);
     let mut order: Vec<u32> = (0..n as u32).collect();
+    // The power iteration renormalizes every step, so the returned
+    // eigenvector has finite entries and the comparison cannot see NaN.
     order.sort_by(|&a, &b| {
         spec.vector[a as usize]
             .partial_cmp(&spec.vector[b as usize])

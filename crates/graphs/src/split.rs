@@ -78,6 +78,10 @@ impl SplitGraph {
                 if u < v {
                     pending.entry((u, v)).or_default().push(my_port);
                 } else {
+                    // The u-ascending outer loop visits the (v, u)
+                    // arm with v < u first and pushed one slot per
+                    // parallel edge, so the queue is present and
+                    // non-empty on this arm.
                     let q =
                         pending.get_mut(&(v, u)).expect("slot of the smaller endpoint seen first");
                     let other = q.pop().expect("matching slot exists");

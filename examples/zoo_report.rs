@@ -12,7 +12,14 @@
 //! row, never a panic: expanders take the single-hierarchy fast path,
 //! everything else decomposes into expander pieces with cross-piece
 //! tokens reported as structured undeliverables.
+//!
+//! The `churn` column replays each topology through three rounds of 5%
+//! random edge removal on a [`ChurnRouter`] (via the fault-injection
+//! driver) and reports the post-churn delivery rate — the degradation
+//! ladder keeps every one of those batches on the route-or-report
+//! contract too.
 
+use expander_core::churn::{ChurnConfig, ChurnDriver, ChurnParams, ChurnSchedule};
 use expander_core::{DecomposedConfig, RoutedDecomposition, RoutingInstance};
 use expander_graphs::{generators, ingest, Graph};
 use std::time::Instant;
@@ -43,8 +50,18 @@ fn main() {
         std::env::var("ZOO_REPORT_N").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(256);
     println!("topology zoo report: base n = {n}");
     println!(
-        "{:<16} {:>6} {:>7} {:>6} {:<14} {:>9} {:>6} {:>6} {:>10} {:>9}",
-        "topology", "n", "m", "pieces", "fallback", "delivered", "cong", "dil", "rounds", "wall"
+        "{:<16} {:>6} {:>7} {:>6} {:<14} {:>9} {:>6} {:>6} {:>10} {:>9} {:>7}",
+        "topology",
+        "n",
+        "m",
+        "pieces",
+        "fallback",
+        "delivered",
+        "cong",
+        "dil",
+        "rounds",
+        "wall",
+        "churn"
     );
     for (name, g) in zoo(n) {
         let t0 = Instant::now();
@@ -58,8 +75,21 @@ fn main() {
             None => "none".to_owned(),
             Some(r) => format!("{r:?}").split([' ', '(', '{']).next().unwrap_or("?").to_owned(),
         };
+        // Post-churn delivery rate: 5% random edge removal per round,
+        // three rounds, live query batches on the degradation ladder.
+        let churn = ChurnDriver::run(
+            &g,
+            ChurnConfig::default(),
+            ChurnParams {
+                schedule: ChurnSchedule::RandomRemoval,
+                rounds: 3,
+                churn_rate: 0.05,
+                batch: (g.n() / 8).max(8),
+                seed: 99,
+            },
+        );
         println!(
-            "{:<16} {:>6} {:>7} {:>6} {:<14} {:>8.1}% {:>6} {:>6} {:>10} {:>8.0?}",
+            "{:<16} {:>6} {:>7} {:>6} {:<14} {:>8.1}% {:>6} {:>6} {:>10} {:>8.0?} {:>6.1}%",
             name,
             g.n(),
             g.m(),
@@ -70,6 +100,7 @@ fn main() {
             out.stats.max_dilation,
             out.rounds(),
             wall,
+            churn.delivery_rate() * 100.0,
         );
     }
 }

@@ -1,0 +1,181 @@
+//! Churn properties: incremental repair is indistinguishable from a
+//! from-scratch build under arbitrary edit sequences (at every thread
+//! count), and the degradation ladder holds the route-or-report
+//! contract on the zoo's pathological topologies.
+
+use expander_core::churn::{ChurnConfig, ChurnDriver, ChurnParams, ChurnSchedule, DeliveryMode};
+use expander_decomp::{Hierarchy, HierarchyParams};
+use expander_graphs::{generators, Graph, GraphEdit};
+use proptest::prelude::*;
+
+const N: usize = 128;
+
+/// One abstract edit op, resolved against the live graph when applied
+/// (so removals always name a live edge and inserts live endpoints).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Remove the `i % m`-th live edge.
+    RemoveEdge(u16),
+    /// Insert an edge between vertices `a % n` and `b % n` (skipped
+    /// when they coincide); parallel edges are legal.
+    InsertEdge(u16, u16),
+    /// Kill vertex `v % n` outright (tombstone: repair and fresh build
+    /// must then agree on *refusing*).
+    RemoveVertex(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // Kind-weighted: 4/9 removals, 4/9 insertions, 1/9 vertex kills.
+    let op =
+        (0..9u32, 0..u16::MAX as u32, 0..u16::MAX as u32).prop_map(|(kind, a, b)| match kind {
+            0..=3 => Op::RemoveEdge(a as u16),
+            4..=7 => Op::InsertEdge(a as u16, b as u16),
+            _ => Op::RemoveVertex(a as u16),
+        });
+    proptest::collection::vec(op, 1..10)
+}
+
+/// Resolves `ops` into concrete [`GraphEdit`]s against `g`, applying
+/// each as it is resolved so later ops see earlier effects.
+fn resolve(g: &Graph, ops: &[Op]) -> Vec<GraphEdit> {
+    let mut g = g.clone();
+    let mut edits = Vec::new();
+    for &op in ops {
+        let edit = match op {
+            Op::RemoveEdge(i) => {
+                let live: Vec<_> = g.edges().collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let (u, v) = live[i as usize % live.len()];
+                GraphEdit::RemoveEdge(u, v)
+            }
+            Op::InsertEdge(a, b) => {
+                let (u, v) = (a as u32 % N as u32, b as u32 % N as u32);
+                if u == v {
+                    continue;
+                }
+                GraphEdit::InsertEdge(u.min(v), u.max(v))
+            }
+            Op::RemoveVertex(v) => GraphEdit::RemoveVertex(v as u32 % N as u32),
+        };
+        g.apply_edit(edit);
+        edits.push(edit);
+    }
+    edits
+}
+
+fn params(threads: usize) -> HierarchyParams {
+    HierarchyParams { threads: Some(threads), ..HierarchyParams::for_epsilon(0.4) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// For any edit sequence: when a from-scratch build of the mutated
+    /// graph succeeds, `Hierarchy::repair` produces a byte-identical
+    /// hierarchy; when it fails, repair fails too and leaves the old
+    /// hierarchy untouched. Holds at thread counts 1 and 4, which must
+    /// also agree with each other.
+    #[test]
+    fn repair_equals_fresh_build_under_arbitrary_edits(ops in ops()) {
+        let g = generators::random_regular(N, 4, 77).expect("generator");
+        let edits = resolve(&g, &ops);
+        let mut mutated = g.clone();
+        for &e in &edits {
+            mutated.apply_edit(e);
+        }
+
+        let mut per_thread: Vec<Option<Hierarchy>> = Vec::new();
+        for threads in [1usize, 4] {
+            let base = Hierarchy::build(&g, params(threads)).expect("seed graph is an expander");
+            let mut repaired = base.clone();
+            match (repaired.repair(&edits), Hierarchy::build(&mutated, params(threads))) {
+                (Ok(_), Ok(fresh)) => {
+                    prop_assert_eq!(&repaired, &fresh, "repair diverged from fresh (t={})", threads);
+                    per_thread.push(Some(fresh));
+                }
+                (Err(_), Err(_)) => {
+                    prop_assert_eq!(&repaired, &base, "failed repair mutated state (t={})", threads);
+                    per_thread.push(None);
+                }
+                (r, f) => {
+                    return Err(TestCaseError::fail(format!(
+                        "repair/fresh disagree at t={threads}: repair {:?}, fresh {:?}",
+                        r.map(|_| ()).map_err(|e| e.to_string()),
+                        f.map(|_| ()).map_err(|e| e.to_string()),
+                    )));
+                }
+            }
+        }
+        // The `params.threads` field legitimately differs across the
+        // two runs; everything structural must agree.
+        match (&per_thread[0], &per_thread[1]) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.nodes(), b.nodes(), "thread counts disagree on nodes");
+                prop_assert_eq!(a.ledger(), b.ledger(), "thread counts disagree on ledger");
+                prop_assert_eq!(a.outside(), b.outside(), "thread counts disagree on outside");
+                prop_assert_eq!(a.mroot(), b.mroot(), "thread counts disagree on mroot");
+            }
+            (None, None) => {}
+            _ => return Err(TestCaseError::fail("thread counts disagree on build success")),
+        }
+    }
+}
+
+/// The degradation ladder on a single-bridge topology: round 0's
+/// bridge cut disconnects the graph, so from then on the hierarchy
+/// rungs refuse and every batch must ride the decomposition or charged
+/// BFS — still verify-clean at 10% churn.
+#[test]
+fn bridged_expanders_churn_forces_fallback_rungs() {
+    let g = generators::bridged_expanders(128, 4, 1, 11).expect("generator");
+    let report = ChurnDriver::run(
+        &g,
+        ChurnConfig::for_epsilon(0.4),
+        ChurnParams {
+            schedule: ChurnSchedule::BridgeCuts,
+            rounds: 5,
+            churn_rate: 0.10,
+            batch: 48,
+            seed: 4,
+        },
+    );
+    for r in &report.rounds {
+        assert!(
+            matches!(r.mode, DeliveryMode::Decomposed | DeliveryMode::DirectBfs),
+            "round {} served by {} — hierarchy rungs should refuse a bridged graph",
+            r.round,
+            r.mode
+        );
+    }
+    assert!(
+        report.rounds.iter().any(|r| r.mode == DeliveryMode::Decomposed),
+        "decomposition rung never reached"
+    );
+}
+
+/// Same contract on the bridge-tree zoo topology under hub kills.
+#[test]
+fn bridge_tree_churn_stays_on_contract() {
+    let g = generators::bridge_tree(8, 8);
+    let report = ChurnDriver::run(
+        &g,
+        ChurnConfig::for_epsilon(0.4),
+        ChurnParams {
+            schedule: ChurnSchedule::HotspotKills,
+            rounds: 5,
+            churn_rate: 0.10,
+            batch: 32,
+            seed: 21,
+        },
+    );
+    // The driver verify-checks every round; the aggregates must be
+    // well-formed even as hub kills shred the tree.
+    assert_eq!(report.rounds.len(), 5);
+    assert!(report.delivery_rate() <= 1.0);
+    assert!(report
+        .rounds
+        .iter()
+        .all(|r| matches!(r.mode, DeliveryMode::Decomposed | DeliveryMode::DirectBfs)));
+}

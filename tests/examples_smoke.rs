@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "mst_expander",
     "clique_enumeration",
@@ -16,6 +16,7 @@ const EXAMPLES: [&str; 8] = [
     "scale_probe",
     "batch_throughput",
     "zoo_report",
+    "churn_report",
 ];
 
 fn target_dir() -> PathBuf {
@@ -37,6 +38,10 @@ fn examples_build_and_run() {
     let bin_dir = target_dir().join("release").join("examples");
     for name in EXAMPLES {
         let out = Command::new(bin_dir.join(name))
+            // The churn harness defaults to n = 1024 (~1 min); the
+            // smoke test only needs it to run end to end. CI exercises
+            // the full size in its dedicated churn step.
+            .env("CHURN_REPORT_N", "256")
             .output()
             .unwrap_or_else(|e| panic!("failed to launch example `{name}`: {e}"));
         assert!(

@@ -68,7 +68,7 @@ fn congest_simulator_agrees_with_graph_primitives() {
     assert!(stats.completed);
     assert_eq!(dist, g.bfs_distances(5));
     let (total, _) = programs::convergecast_sum(&sim, 0, &vec![1u64; g.n()]);
-    assert_eq!(total, g.n() as u64);
+    assert_eq!(total, Some(g.n() as u64));
 }
 
 #[test]
