@@ -170,6 +170,10 @@ pub struct BatchStats {
     /// counters, element-wise maxima for the load trace and the
     /// congestion/dilation observations).
     pub query: QueryStats,
+    /// Phase-traffic breakdown of the batch (tokens moved, buckets
+    /// touched, bytes traversed per phase). All-zero unless the crate
+    /// is built with `--features profile` — see [`crate::profile`].
+    pub profile: crate::profile::RouteProfile,
 }
 
 impl BatchStats {
@@ -225,8 +229,13 @@ impl ScratchPool {
         self.slots.lock().expect("unpoisoned").pop().unwrap_or_else(|| Scratch::new(r))
     }
 
-    /// Returns a scratch to the pool.
-    fn restore(&self, scratch: Scratch) {
+    /// Returns a scratch to the pool, applying the high-water trim
+    /// when its retained footprint exceeds `cap_bytes` (see
+    /// [`QueryEngine::with_scratch_cap`]).
+    fn restore(&self, mut scratch: Scratch, r: &Router, cap_bytes: usize) {
+        if scratch.footprint_bytes() > cap_bytes {
+            scratch.trim(r);
+        }
         self.slots.lock().expect("unpoisoned").push(scratch);
     }
 }
@@ -268,7 +277,13 @@ pub struct QueryEngine<'r> {
     threads: Option<usize>,
     fusion: Option<usize>,
     pool: ScratchPool,
+    scratch_cap: usize,
 }
+
+/// Default per-scratch retained-bytes cap (64 MiB): far above any
+/// steady-state footprint the router sizes we target produce, so
+/// trimming only triggers after a genuinely outsized workload.
+const DEFAULT_SCRATCH_CAP_BYTES: usize = 64 << 20;
 
 /// Largest fusion-group size the automatic policy schedules: per-job
 /// fused state is `O(n)` memory, so auto-width groups stay bounded
@@ -282,7 +297,27 @@ impl<'r> QueryEngine<'r> {
     /// (`EXPANDER_BUILD_THREADS`, then `available_parallelism`) and the
     /// automatic fusion-width policy.
     pub fn new(router: &'r Router) -> Self {
-        QueryEngine { router, threads: None, fusion: None, pool: ScratchPool::default() }
+        QueryEngine {
+            router,
+            threads: None,
+            fusion: None,
+            pool: ScratchPool::default(),
+            scratch_cap: DEFAULT_SCRATCH_CAP_BYTES,
+        }
+    }
+
+    /// Caps the heap bytes a pooled scratch may retain between batches
+    /// (dense buffers plus the dummy-dispersal and fallback-tree
+    /// caches). A scratch returning to the pool above the cap is
+    /// trimmed back to the router's dimensions — its caches rebuild
+    /// lazily on the next batch — so a long-lived engine's footprint
+    /// tracks its *current* workload instead of pinning the peak one
+    /// forever. Defaults to 64 MiB per scratch; outputs are
+    /// byte-identical for every setting.
+    #[must_use]
+    pub fn with_scratch_cap(mut self, bytes: usize) -> Self {
+        self.scratch_cap = bytes;
+        self
     }
 
     /// Overrides the worker-thread count (`None` restores the
@@ -352,6 +387,7 @@ impl<'r> QueryEngine<'r> {
         for &job in jobs {
             self.router.validate(job)?;
         }
+        crate::profile::reset();
         let workers = build_threads(self.threads);
         let budget = ThreadBudget::new(workers);
         let width = self.fusion_width(jobs.len(), workers);
@@ -366,12 +402,13 @@ impl<'r> QueryEngine<'r> {
                 let hi = (lo + width).min(jobs.len());
                 let mut scratch = self.pool.checkout(self.router);
                 let outs = crate::exec::run_fused(self.router, &mut scratch, &jobs[lo..hi]);
-                self.pool.restore(scratch);
+                self.pool.restore(scratch, self.router, self.scratch_cap);
                 outs
             });
             grouped.into_iter().flatten().collect()
         };
-        let stats = BatchStats::collect(&outcomes);
+        let mut stats = BatchStats::collect(&outcomes);
+        stats.profile = crate::profile::take();
         Ok(BatchOutcome { outcomes, stats })
     }
 
@@ -381,7 +418,7 @@ impl<'r> QueryEngine<'r> {
     fn run_validated(&self, job: JobRef<'_>) -> JobOutcome {
         let mut scratch = self.pool.checkout(self.router);
         let out = self.router.execute(job, &mut scratch, RoundLedger::new());
-        self.pool.restore(scratch);
+        self.pool.restore(scratch, self.router, self.scratch_cap);
         out
     }
 
@@ -482,6 +519,43 @@ mod tests {
         merged.absorb_refs(outs.iter().map(|o| &o.ledger));
         assert_eq!(stats.merged, merged);
         assert_eq!(stats.total_rounds, merged.total());
+    }
+
+    #[test]
+    fn scratch_cap_trims_pooled_footprint_without_changing_outputs() {
+        let r = router(256, 9);
+        let insts: Vec<RoutingInstance> =
+            (0..8).map(|s| RoutingInstance::permutation(256, 100 + s)).collect();
+
+        // Default cap: the warmed scratch keeps its caches between
+        // batches (footprint well below 64 MiB, so no trim fires).
+        let engine = QueryEngine::new(&r).with_threads(Some(1));
+        let (base, _) = engine.route_batch(&insts).expect("valid");
+        engine.route_batch(&insts).expect("valid");
+        let kept = engine.pool.slots.lock().expect("unpoisoned");
+        assert_eq!(kept.len(), 1, "single worker returns one pooled scratch");
+        let warm_bytes = kept[0].footprint_bytes();
+        assert!(warm_bytes > 0);
+        drop(kept);
+
+        // Cap of zero: every restore exceeds it, so the pooled scratch
+        // comes back trimmed to the router's dimensions — strictly
+        // smaller than the warm footprint — and outputs stay
+        // byte-identical (the caches are accelerators only).
+        let capped = QueryEngine::new(&r).with_threads(Some(1)).with_scratch_cap(0);
+        let (outs, _) = capped.route_batch(&insts).expect("valid");
+        capped.route_batch(&insts).expect("valid");
+        let slots = capped.pool.slots.lock().expect("unpoisoned");
+        let trimmed_bytes = slots[0].footprint_bytes();
+        assert!(
+            trimmed_bytes < warm_bytes,
+            "trim should shed cache bytes: {trimmed_bytes} vs warm {warm_bytes}"
+        );
+        drop(slots);
+        for (a, b) in base.iter().zip(&outs) {
+            assert_eq!(a.positions, b.positions);
+            assert_eq!(a.ledger, b.ledger);
+        }
     }
 
     #[test]

@@ -40,11 +40,12 @@
 //! | Real/dummy pairing and escort-back (§6.3) | `Exec::merge` / `merge_fused`, `DummyEntry` |
 
 use crate::engine::{JobOutcome, JobRef};
+use crate::profile;
 use crate::router::Router;
 use crate::token::{QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::RoundLedger;
 use expander_decomp::NodeId;
-use expander_graphs::{BfsScratch, FlatPaths, Graph, Path};
+use expander_graphs::{FlatPaths, Graph, Path};
 use std::collections::HashMap;
 
 /// Measured movement cost accumulator: `max edge load × max hops`.
@@ -85,14 +86,19 @@ impl MoveCost {
 /// Dense movement cost accumulator over a graph's canonical edge-id
 /// space (see [`Graph::edge_id`]).
 ///
-/// Load lives in a reusable `Vec<u64>` indexed by edge id; a touched
-/// list makes [`reset`](FlatMoveCost::reset) cost `O(touched)` rather
-/// than `O(m)`, so one accumulator serves every dispersal round of a
-/// query without reallocation. Produces exactly the same
-/// `max load × max hops` value as the [`MoveCost`] reference.
+/// Load lives in a reusable `Vec<u32>` indexed by edge id — the
+/// accumulator is reset per movement leg, and a single leg's per-edge
+/// load is bounded by the leg's total token-hops (far below `2³²` for
+/// any supported instance; debug builds assert it). Halving the cell
+/// width halves the hot-path bandwidth of every congestion scan. A
+/// touched list makes [`reset`](FlatMoveCost::reset) cost `O(touched)`
+/// rather than `O(m)`, so one accumulator serves every dispersal round
+/// of a query without reallocation. Produces exactly the same
+/// `max load × max hops` value as the [`MoveCost`] reference
+/// (`tests/overflow_bounds.rs` checks agreement near the bound).
 #[derive(Debug, Clone, Default)]
 pub struct FlatMoveCost {
-    edge_load: Vec<u64>,
+    edge_load: Vec<u32>,
     touched: Vec<u32>,
     max_hops: u64,
 }
@@ -114,15 +120,22 @@ impl FlatMoveCost {
 
     /// Charges `times` traversals of the edge-id sequence `ids`
     /// (one path of `ids.len()` hops).
+    ///
+    /// Per-edge loads saturate at `u32::MAX` (debug builds assert the
+    /// bound is never reached; a single reset-delimited leg would need
+    /// over four billion traversals of one edge to hit it).
     pub fn add_edge_ids(&mut self, ids: &[u32], times: u64) {
         if ids.is_empty() || times == 0 {
             return;
         }
+        let times = u32::try_from(times).unwrap_or(u32::MAX);
         for &e in ids {
             if self.edge_load[e as usize] == 0 {
                 self.touched.push(e);
             }
-            self.edge_load[e as usize] += times;
+            let load = self.edge_load[e as usize].saturating_add(times);
+            debug_assert!(load < u32::MAX, "edge load overflows the u32 accumulator");
+            self.edge_load[e as usize] = load;
         }
         self.max_hops = self.max_hops.max(ids.len() as u64);
     }
@@ -134,11 +147,22 @@ impl FlatMoveCost {
 
     /// Grows the edge-id space to at least `edge_space` without
     /// disturbing accumulated load (pooled reuse across routers of
-    /// different sizes; never shrinks).
+    /// different sizes; only [`Self::shrink_to_edge_space`] shrinks
+    /// it).
     pub fn ensure_edge_space(&mut self, edge_space: usize) {
         if self.edge_load.len() < edge_space {
             self.edge_load.resize(edge_space, 0);
         }
+    }
+
+    /// Resets and shrinks the accumulator back to `edge_space`,
+    /// releasing capacity retained from a larger router (the scratch
+    /// pool's high-water trim).
+    pub fn shrink_to_edge_space(&mut self, edge_space: usize) {
+        self.reset();
+        self.edge_load.truncate(edge_space);
+        self.edge_load.shrink_to_fit();
+        self.touched.shrink_to_fit();
     }
 
     /// Charges `times` traversals of an explicit vertex walk (a path
@@ -152,19 +176,22 @@ impl FlatMoveCost {
         if verts.len() < 2 || times == 0 {
             return;
         }
+        let times = u32::try_from(times).unwrap_or(u32::MAX);
         for w in verts.windows(2) {
             let e = g.edge_id(w[0], w[1]).expect("path hop outside the graph");
             if self.edge_load[e as usize] == 0 {
                 self.touched.push(e);
             }
-            self.edge_load[e as usize] += times;
+            let load = self.edge_load[e as usize].saturating_add(times);
+            debug_assert!(load < u32::MAX, "edge load overflows the u32 accumulator");
+            self.edge_load[e as usize] = load;
         }
         self.max_hops = self.max_hops.max((verts.len() - 1) as u64);
     }
 
     /// The maximum per-edge load accumulated since the last reset.
     pub fn congestion(&self) -> u64 {
-        self.touched.iter().map(|&e| self.edge_load[e as usize]).max().unwrap_or(0)
+        u64::from(self.touched.iter().map(|&e| self.edge_load[e as usize]).max().unwrap_or(0))
     }
 
     /// The maximum hop count of any charged path since the last reset.
@@ -230,6 +257,12 @@ impl DenseGroups {
     fn group(&self, key: usize) -> &[u32] {
         &self.items[self.start[key] as usize..self.start[key + 1] as usize]
     }
+
+    /// The bucket offset of `key` (`start_of(n_keys)` is the total item
+    /// count) — contiguous partition boundaries without rescanning keys.
+    fn start_of(&self, key: usize) -> u32 {
+        self.start[key]
+    }
 }
 
 /// A set of tokens moving through one Task 3 instance.
@@ -266,15 +299,19 @@ impl Flock {
 /// charges keeps outcomes byte-identical to the uncached execution.
 #[derive(Debug)]
 struct DummyEntry {
-    /// Birth vertex of each dummy (the escort-back targets) — the only
-    /// per-token data the merge reads; final positions and marks are
-    /// fully summarized by `groups` and `loads`.
-    origin: Vec<u32>,
-    /// Dummy indices grouped by final `part · t + mark` key — the
-    /// buckets `merge` pairs reals against.
-    groups: DenseGroups,
+    /// Birth vertices of the dummies (the escort-back targets), laid
+    /// out contiguously by final `part · t + mark` key: group `key`
+    /// owns `origin_by_rank[group_start[key]..group_start[key + 1]]`,
+    /// in dummy-index order within the group. The merge pairs real
+    /// token `k` of a bucket with `origin_by_rank[start + k]` — one
+    /// sequential streamed read instead of a double indirection
+    /// through per-group index lists.
+    origin_by_rank: Vec<u32>,
+    /// Group boundaries into `origin_by_rank` (`t² + 1` entries).
+    group_start: Vec<u32>,
     /// `(vertex, dummy count)` landing loads, ascending by vertex.
-    loads: Vec<(u32, u64)>,
+    /// Counts are per-vertex flock loads — far below `2³²`.
+    loads: Vec<(u32, u32)>,
     /// The dispersal's returned movement cost (charged again for the
     /// escort-back trip).
     cost: u64,
@@ -286,7 +323,19 @@ struct DummyEntry {
     max_congestion: u64,
     max_dilation: u64,
     /// Per-round max-load trace contribution (Lemma 6.6 quantity).
-    trace: Vec<usize>,
+    trace: Vec<u32>,
+}
+
+impl DummyEntry {
+    /// The number of dummy tokens the entry summarizes.
+    fn len(&self) -> usize {
+        self.origin_by_rank.len()
+    }
+
+    /// The escort-back origins of group `key`, in dummy order.
+    fn group(&self, key: usize) -> &[u32] {
+        &self.origin_by_rank[self.group_start[key] as usize..self.group_start[key + 1] as usize]
+    }
 }
 
 /// Per-worker cache of [`DummyEntry`]s keyed `(node, load)`.
@@ -331,14 +380,14 @@ impl DummyCache {
         let slot = &mut self.nodes[node];
         // Byte-ish bound: entry tokens = 2·l·|X|, so the base flock is
         // `len / l` tokens and the budget is a fixed multiple of it.
-        let len = entry.origin.len() as u64;
+        let len = entry.len() as u64;
         // Budget scales with the node's base flock but always leaves
         // room for twice the incoming entry, so one oversized (high-L)
         // entry cannot drain the node's smaller cached loads.
         let budget = ((len / l.max(1)).max(1) * DUMMY_CACHE_TOKEN_BUDGET).max(2 * len);
-        let mut total: u64 = slot.iter().map(|(_, e)| e.origin.len() as u64).sum();
+        let mut total: u64 = slot.iter().map(|(_, e)| e.len() as u64).sum();
         while !slot.is_empty() && (slot.len() >= DUMMY_CACHE_WAYS || total + len > budget) {
-            total -= slot.remove(0).1.origin.len() as u64;
+            total -= slot.remove(0).1.len() as u64;
         }
         slot.push((l, entry));
     }
@@ -354,14 +403,163 @@ impl DummyCache {
 /// counting-sort group buckets, per-part load vectors, flat
 /// movement-cost accumulators, the flock position arrays, and the
 /// cross-query dummy-dispersal cache.
+/// Lazily grown per-target BFS parent trees for the merge fallback
+/// escorts, plus the walk buffer that charges each leg.
+///
+/// The fallback legs send every dummy-starved real token to a
+/// round-robin vertex of its target part, so a dense batch issues
+/// thousands of shortest-path queries into a handful of destinations.
+/// A shared parent tree per destination amortizes them all into
+/// parent-chain walks — the per-token bidirectional BFS this replaces
+/// dominated fused merge time.
+///
+/// Each tree is grown *incrementally*: the BFS from its target
+/// suspends as soon as the requesting source is discovered and resumes
+/// from its saved frontier for deeper sources later (a BFS discovers
+/// vertices in distance order, so a suspended tree is already correct
+/// for everything it has reached). A cold solo query therefore pays
+/// only for the levels its own escorts need — near the old per-pair
+/// cost — while a warm batch keeps full-tree reuse.
+#[derive(Debug, Default)]
+struct EscortCache {
+    /// `parent[target][v]` = next hop from `v` toward `target`
+    /// (`u32::MAX` while undiscovered; an empty inner vec = unstarted).
+    parent: Vec<Vec<u32>>,
+    /// Dense edge ids of those hops, aligned with `parent`.
+    edge: Vec<Vec<u32>>,
+    /// Per-target BFS visit order; doubles as the resumable queue
+    /// (`frontier[target]` indexes the next vertex to expand).
+    order: Vec<Vec<u32>>,
+    frontier: Vec<u32>,
+    /// Edge ids of the escort walk being charged.
+    walk: Vec<u32>,
+}
+
+impl EscortCache {
+    /// Drops every cached tree (the underlying graph changed).
+    fn clear(&mut self) {
+        for t in &mut self.parent {
+            t.clear();
+        }
+        for t in &mut self.edge {
+            t.clear();
+        }
+        for t in &mut self.order {
+            t.clear();
+        }
+        self.frontier.fill(0);
+    }
+
+    /// Releases all tree storage and truncates the per-target slots to
+    /// `n` (the scratch pool's high-water trim; trees rebuild lazily).
+    fn trim(&mut self, n: usize) {
+        self.parent.truncate(n);
+        self.parent.shrink_to_fit();
+        self.edge.truncate(n);
+        self.edge.shrink_to_fit();
+        self.order.truncate(n);
+        self.order.shrink_to_fit();
+        for t in self.parent.iter_mut().chain(&mut self.edge).chain(&mut self.order) {
+            *t = Vec::new();
+        }
+        self.frontier.truncate(n);
+        self.frontier.shrink_to_fit();
+        self.frontier.fill(0);
+        self.walk = Vec::new();
+    }
+
+    /// Estimated heap bytes retained by the cache.
+    fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<Vec<u32>>();
+        let trees: usize = self
+            .parent
+            .iter()
+            .chain(&self.edge)
+            .chain(&self.order)
+            .map(|t| t.capacity() * 4)
+            .sum::<usize>();
+        trees
+            + (self.parent.capacity() + self.edge.capacity() + self.order.capacity()) * slot
+            + (self.frontier.capacity() + self.walk.capacity()) * 4
+    }
+
+    /// Grows the per-target slots to cover `n` vertices.
+    fn ensure_targets(&mut self, n: usize) {
+        if self.parent.len() < n {
+            self.parent.resize_with(n, Vec::new);
+            self.edge.resize_with(n, Vec::new);
+            self.order.resize_with(n, Vec::new);
+            self.frontier.resize(n, 0);
+        }
+    }
+
+    /// Resumes the BFS rooted at `target` until `src` is discovered or
+    /// the component is exhausted. Expansion order matches
+    /// `Graph::bfs_parent_tree_into` (adjacency order), so the grown
+    /// tree is a prefix of the full one — deterministic regardless of
+    /// which sources forced the growth.
+    fn grow_until(&mut self, g: &Graph, src: u32, target: u32) {
+        let t = target as usize;
+        if self.parent[t].is_empty() {
+            self.parent[t].resize(g.n(), u32::MAX);
+            self.edge[t].resize(g.n(), u32::MAX);
+            self.parent[t][t] = target;
+            self.order[t].clear();
+            self.order[t].push(target);
+            self.frontier[t] = 0;
+        }
+        let parent = &mut self.parent[t];
+        let edge = &mut self.edge[t];
+        let order = &mut self.order[t];
+        let mut head = self.frontier[t] as usize;
+        while parent[src as usize] == u32::MAX && head < order.len() {
+            let u = order[head];
+            head += 1;
+            for (&v, &eid) in g.neighbors(u).iter().zip(g.neighbor_edge_ids(u)) {
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    edge[v as usize] = eid;
+                    order.push(v);
+                }
+            }
+        }
+        self.frontier[t] = head as u32;
+    }
+
+    /// Charges one fallback leg `src → target` into `mc` along the
+    /// cached shortest-path tree, growing the target's tree as far as
+    /// needed on first use. Unreachable pairs charge nothing — the
+    /// escort teleports either way (the caller rewrites `pos`), exactly
+    /// as the per-pair BFS behaved.
+    fn charge(&mut self, g: &Graph, mc: &mut FlatMoveCost, src: u32, target: u32) {
+        self.grow_until(g, src, target);
+        let parent = &self.parent[target as usize];
+        let hop = &self.edge[target as usize];
+        if parent[src as usize] == u32::MAX {
+            return;
+        }
+        self.walk.clear();
+        let mut cur = src;
+        while cur != target {
+            self.walk.push(hop[cur as usize]);
+            cur = parent[cur as usize];
+        }
+        mc.add_edge_ids(&self.walk, 1);
+    }
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
     /// Dense per-vertex token counts plus the touched list that resets
-    /// them in `O(touched)`.
-    vertex_load: Vec<u64>,
+    /// them in `O(touched)`. `u32` cells: a vertex's count is bounded
+    /// by the flock size (≤ instance tokens + dummy tokens), far below
+    /// `2³²`; debug builds assert the bound.
+    vertex_load: Vec<u32>,
     vertex_touched: Vec<u32>,
-    /// Per-part observed load, sized to the widest node.
-    part_load: Vec<u64>,
+    /// Per-part observed load, sized to the widest node (`u32` for the
+    /// same bound as `vertex_load`: part loads are vertex-load maxima,
+    /// possibly combined real + dummy).
+    part_load: Vec<u32>,
     /// Token groups keyed `part · t + mark` (reals / leaf targets).
     groups: DenseGroups,
     /// Movement-cost accumulators (main + fallback legs).
@@ -373,9 +571,12 @@ pub(crate) struct Scratch {
     fallback_rr: Vec<usize>,
     /// Partition staging buffer for the Task 2 worklist.
     toks_tmp: Vec<usize>,
-    /// Reusable BFS state + path buffer for the fallback legs.
-    bfs: BfsScratch,
-    path_buf: Vec<u32>,
+    /// Per-recursion-depth partition-boundary buffers (Task 2 snapshots
+    /// its counting-sort offsets before descending, since children
+    /// rebuild the shared `groups`).
+    bounds_pool: Vec<Vec<u32>>,
+    /// Cached shortest-path trees for the merge fallback legs.
+    escort: EscortCache,
     /// Dispersion-envelope counters (`t × t` and `t`).
     env_count: Vec<f64>,
     env_tot: Vec<f64>,
@@ -406,8 +607,10 @@ impl Scratch {
         let tag = (std::ptr::from_ref(r) as usize, r.graph.epoch());
         if self.router_tag != tag {
             self.dummies.clear();
+            self.escort.clear();
             self.router_tag = tag;
         }
+        self.escort.ensure_targets(r.graph.n());
         if self.vertex_load.len() < r.graph.n() {
             self.vertex_load.resize(r.graph.n(), 0);
         }
@@ -429,17 +632,90 @@ impl Scratch {
         self.real.clear();
     }
 
+    /// Estimated heap bytes this scratch retains (dense buffers plus
+    /// the dummy/escort caches and pooled fused states) — the scratch
+    /// pool's high-water trim compares it against the engine's cap.
+    pub(crate) fn footprint_bytes(&self) -> usize {
+        let mut b = (self.vertex_load.capacity()
+            + self.vertex_touched.capacity()
+            + self.part_load.capacity()
+            + self.groups.keys.capacity()
+            + self.groups.start.capacity()
+            + self.groups.cursor.capacity()
+            + self.groups.items.capacity()
+            + self.mc.edge_load.capacity()
+            + self.mc.touched.capacity()
+            + self.fallback_mc.edge_load.capacity()
+            + self.fallback_mc.touched.capacity()
+            + self.real.pos.capacity()
+            + self.real.origin.capacity())
+            * 4
+            + self.real.mark.capacity() * 2
+            + (self.fallback_rr.capacity()
+                + self.toks_tmp.capacity()
+                + self.env_count.capacity()
+                + self.env_tot.capacity())
+                * 8
+            + self.escort.approx_bytes();
+        for bp in &self.bounds_pool {
+            b += bp.capacity() * 4;
+        }
+        for st in &self.fused {
+            b += st.approx_bytes();
+        }
+        for node in &self.dummies.nodes {
+            for (_, e) in node {
+                b += (e.origin_by_rank.capacity() + e.group_start.capacity() + e.trace.capacity())
+                    * 4
+                    + e.loads.capacity() * 8;
+            }
+        }
+        b
+    }
+
+    /// High-water trim: drops the re-derivable caches and releases
+    /// buffer capacity beyond `r`'s dimensions, bounding a pooled
+    /// scratch's footprint by O(router size) instead of the largest
+    /// workload it ever served. Caches (dummy entries, escort trees,
+    /// fused states) rebuild lazily, so trimming costs warm-up, never
+    /// correctness.
+    pub(crate) fn trim(&mut self, r: &Router) {
+        let n = r.graph.n();
+        self.dummies.clear();
+        self.escort.trim(n);
+        self.fused = Vec::new();
+        self.groups = DenseGroups::default();
+        self.bounds_pool = Vec::new();
+        self.real = Flock::default();
+        self.toks_tmp = Vec::new();
+        self.vertex_load.truncate(n);
+        self.vertex_load.shrink_to_fit();
+        self.vertex_touched = Vec::new();
+        self.part_load.truncate(r.max_parts);
+        self.part_load.shrink_to_fit();
+        self.fallback_rr.truncate(r.max_parts);
+        self.fallback_rr.shrink_to_fit();
+        let edge_space = r.graph.edge_id_count();
+        self.mc.shrink_to_edge_space(edge_space);
+        self.fallback_mc.shrink_to_edge_space(edge_space);
+        self.env_count = Vec::new();
+        self.env_tot = Vec::new();
+    }
+
     /// Counts one token at vertex `v`.
     fn bump_vertex(&mut self, v: u32) {
         if self.vertex_load[v as usize] == 0 {
             self.vertex_touched.push(v);
         }
+        debug_assert!(self.vertex_load[v as usize] < u32::MAX, "vertex load overflows u32");
         self.vertex_load[v as usize] += 1;
     }
 
     /// Maximum per-vertex count since the last reset.
     fn max_vertex_load(&self) -> u64 {
-        self.vertex_touched.iter().map(|&v| self.vertex_load[v as usize]).max().unwrap_or(0)
+        u64::from(
+            self.vertex_touched.iter().map(|&v| self.vertex_load[v as usize]).max().unwrap_or(0),
+        )
     }
 
     /// Clears the per-vertex counts in `O(touched)`.
@@ -505,13 +781,26 @@ impl<'r> Exec<'r> {
         scratch: &mut Scratch,
         inst: &RoutingInstance,
     ) -> Option<Vec<usize>> {
-        let n = self.r.graph.n();
         let root = self.r.hier.root();
         self.pos = inst.tokens.iter().map(|t| t.src).collect();
         if inst.tokens.is_empty() {
             return None;
         }
-        let load = inst.load(n).max(1) as u64;
+        // L: max per-vertex source/destination count, computed through
+        // the scratch's dense counters — same value as
+        // [`RoutingInstance::load`], no per-job allocation.
+        let mut load = 0u64;
+        for t in &inst.tokens {
+            scratch.bump_vertex(t.src);
+        }
+        load = load.max(scratch.max_vertex_load());
+        scratch.reset_vertices();
+        for t in &inst.tokens {
+            scratch.bump_vertex(t.dst);
+        }
+        load = load.max(scratch.max_vertex_load());
+        scratch.reset_vertices();
+        let load = load.max(1);
 
         // Appendix D: translate destination IDs to ranks with one
         // charged expander sort (IDs are dense here, so the effect is
@@ -696,43 +985,47 @@ impl<'r> Exec<'r> {
             return;
         }
 
-        // Marker rewrite: global best rank -> (part, child-local rank).
+        // Marker rewrite: global best rank -> (part, child-local rank),
+        // through the precomputed rank → part table (no per-token
+        // binary search).
         let prefix = &r.best_prefix[node];
+        let rank_part = &r.rank_part[node];
         for &t in toks.iter() {
             let iz = self.marker[t];
-            // Largest j with prefix[j] <= iz.
-            let j = match prefix.binary_search(&iz) {
-                Ok(p) => {
-                    // Skip empty parts: advance to the last part with
-                    // this prefix value.
-                    let mut p = p;
-                    while p + 1 < prefix.len() && prefix[p + 1] == iz {
-                        p += 1;
-                    }
-                    p
-                }
-                Err(ins) => ins - 1,
-            };
+            let j = rank_part[iz as usize] as usize;
             debug_assert!(j < nd.parts.len(), "marker {iz} beyond best count");
             self.mark_of[t] = j as u16;
             self.marker[t] = iz - prefix[j];
         }
+        // marker u32 read + write, mark u16 write, rank_part u16 read.
+        profile::record(
+            profile::Phase::Task2,
+            toks.len() as u64,
+            nd.parts.len() as u64,
+            toks.len() as u64 * 12,
+        );
 
         // Task 3: move every token into its marked part.
         self.task3(scratch, node, toks);
 
         // M* hop: tokens that landed on bad vertices follow the
-        // matching into the good child (Property 3.1(3)).
+        // matching into the good child (Property 3.1(3)). A vertex of
+        // part j is bad exactly when it carries an `M*` edge, so the
+        // dense `mstar_edge` map doubles as the membership test.
         scratch.mc.reset();
         for &t in toks.iter() {
             let j = self.mark_of[t] as usize;
             let v = self.pos[t];
-            let child = r.hier.node(nd.parts[j].child);
-            if child.vertices.binary_search(&v).is_err() {
-                let ei = r.mstar_edge[node][v as usize] as usize;
+            let ei = r.mstar_edge[node][v as usize];
+            debug_assert_eq!(
+                ei != u32::MAX,
+                r.hier.node(nd.parts[j].child).vertices.binary_search(&v).is_err(),
+                "M* edge map disagrees with child membership"
+            );
+            if ei != u32::MAX {
                 let fp = &r.mstar_flat[node][j];
-                scratch.mc.add_flat(fp, ei, 1);
-                self.pos[t] = fp.target(ei);
+                scratch.mc.add_flat(fp, ei as usize, 1);
+                self.pos[t] = fp.target(ei as usize);
             }
         }
         let mstar_cost = observe_mc(&mut self.stats, &scratch.mc);
@@ -756,20 +1049,21 @@ impl<'r> Exec<'r> {
             }
         }
         debug_assert_eq!(w, toks.len());
+        // Subslice boundaries come straight from the counting sort's
+        // bucket offsets — no per-token rescan of `mark_of` (which
+        // deeper levels rewrite anyway). The buffer comes from a
+        // per-depth pool so the recursion stays allocation-free once
+        // warm.
+        let mut bounds = scratch.bounds_pool.pop().unwrap_or_default();
+        bounds.clear();
+        bounds.extend((0..=t_parts).map(|j| scratch.groups.start_of(j)));
         scratch.toks_tmp = tmp;
-        // Subslice boundaries by scanning marks: part j's tokens are
-        // untouched until part j's own recursion, so the scan is safe
-        // even though deeper levels rewrite `mark_of`.
-        let mut start = 0usize;
         for j in 0..t_parts {
-            let mut end = start;
-            while end < toks.len() && self.mark_of[toks[end]] as usize == j {
-                end += 1;
-            }
+            let (start, end) = (bounds[j] as usize, bounds[j + 1] as usize);
             self.task2(scratch, nd.parts[j].child, &mut toks[start..end]);
-            start = end;
         }
-        debug_assert_eq!(start, toks.len());
+        debug_assert_eq!(bounds[t_parts] as usize, toks.len());
+        scratch.bounds_pool.push(bounds);
     }
 
     /// Task 3 (Definition 4.3): the meet-in-the-middle dispersal.
@@ -791,6 +1085,10 @@ impl<'r> Exec<'r> {
         real.clear();
         real.pos.extend(toks.iter().map(|&tk| self.pos[tk]));
         real.mark.extend(toks.iter().map(|&tk| self.mark_of[tk]));
+        // Flock staging: pos u32 + mark u16 read and written (the solo
+        // path regroups per round inside `disperse`, so no bucket
+        // table is built here).
+        profile::record(profile::Phase::Task3, toks.len() as u64, 0, toks.len() as u64 * 12);
         let _cost_real = self.disperse(scratch, node, &mut real, true);
 
         // Dummies: 2L per vertex of X*_j, marked j, born at home. Their
@@ -851,9 +1149,11 @@ impl<'r> Exec<'r> {
         let max_dilation = std::mem::replace(&mut self.stats.max_dilation, saved_dilation);
 
         // Final (part, mark) buckets and per-vertex landing loads —
-        // the dummy-side inputs of every future merge at this key.
-        let mut groups = DenseGroups::default();
-        groups.build(
+        // the dummy-side inputs of every future merge at this key. The
+        // counting sort's concatenated bucket order *is* the rank
+        // order, so the origins flatten into one group-contiguous
+        // array the merge streams through sequentially.
+        scratch.groups.build(
             t * t,
             flock
                 .pos
@@ -861,17 +1161,20 @@ impl<'r> Exec<'r> {
                 .zip(&flock.mark)
                 .map(|(&pos, &mark)| u32::from(part_of[pos as usize]) * t as u32 + u32::from(mark)),
         );
+        let group_start: Vec<u32> = (0..=t * t).map(|k| scratch.groups.start_of(k)).collect();
+        let origin_by_rank: Vec<u32> =
+            scratch.groups.items.iter().map(|&d| flock.origin[d as usize]).collect();
         for &pos in &flock.pos {
             scratch.bump_vertex(pos);
         }
-        let mut loads: Vec<(u32, u64)> =
+        let mut loads: Vec<(u32, u32)> =
             scratch.vertex_touched.iter().map(|&v| (v, scratch.vertex_load[v as usize])).collect();
         scratch.reset_vertices();
         loads.sort_unstable_by_key(|&(v, _)| v);
 
         DummyEntry {
-            origin: flock.origin,
-            groups,
+            origin_by_rank,
+            group_start,
             loads,
             cost,
             ledger,
@@ -948,60 +1251,70 @@ impl<'r> Exec<'r> {
             }
             scratch.reset_vertices();
             if q > 0 {
-                let max_load = scratch.part_load[..t].iter().copied().max().unwrap_or(0) as usize;
+                let max_load = scratch.part_load[..t].iter().copied().max().unwrap_or(0);
                 stats.max_load_trace[q - 1] = stats.max_load_trace[q - 1].max(max_load);
             }
             // Portal routing (§6.2): charged as two expander sorts per
             // part at the part's current load. Parts are parallel
             // CONGEST instances: the round cost of the per-part portal
-            // sorts is the worst part, not the sum.
+            // sorts is the worst part, not the sum. Folded branch-free
+            // — an unloaded part contributes 0 to the max and 0 sorts.
             let mut portal_charge = 0u64;
+            let mut portal_parts = 0u64;
             for (j, part) in nd.parts.iter().enumerate() {
-                if scratch.part_load[j] > 0 {
-                    portal_charge =
-                        portal_charge.max(2 * scratch.part_load[j] * r.cost.tsort_unit[part.child]);
-                    stats.charged_sorts += 2;
-                }
+                let load = u64::from(scratch.part_load[j]);
+                portal_charge = portal_charge.max(2 * load * r.cost.tsort_unit[part.child]);
+                portal_parts += u64::from(load > 0);
             }
+            stats.charged_sorts += 2 * portal_parts;
             ledger.charge("query/task3/portal", portal_charge);
 
             // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j.
             scratch.mc.reset();
+            let mut moved = 0u64;
             for i in 0..t {
-                let row_half_max = table.row_half_max(i);
+                // Integer form of the `len · m_ij/2 ≥ 1` floor guard:
+                // groups below the row's precomputed threshold cannot
+                // emit a token from any entry.
+                let min_len = table.row_min_len(i) as usize;
+                let row = table.row(i);
                 for l in 0..t {
                     let idxs = scratch.groups.group(i * t + l);
-                    // Group too small for even the row's heaviest
-                    // fractional entry to emit one token: every cnt
-                    // below floors to zero, so skip the row scan.
-                    if idxs.is_empty() || (idxs.len() as f64) * row_half_max < 1.0 {
+                    if idxs.len() < min_len {
                         continue;
                     }
                     let mut cursor = 0usize;
-                    for entry in table.row(i) {
+                    for entry in row {
                         let cnt = (entry.m_ij / 2.0 * idxs.len() as f64).floor() as usize;
+                        // Clamp to the tokens left so the emit loop has
+                        // no per-token exhaustion branch.
+                        let cnt = cnt.min(idxs.len() - cursor);
                         if cnt == 0 {
                             continue;
                         }
                         let refs = table.edge_refs(entry);
+                        let targets = table.ref_targets(entry);
                         debug_assert!(!refs.is_empty(), "portal entry without edges");
-                        for c in 0..cnt {
-                            if cursor >= idxs.len() {
-                                break;
-                            }
-                            let idx = idxs[cursor] as usize;
-                            cursor += 1;
-                            let packed = refs[c % refs.len()];
-                            let ei = (packed >> 1) as usize;
-                            // Orient the path from part i towards part j.
-                            let target =
-                                if packed & 1 == 1 { flat.source(ei) } else { flat.target(ei) };
+                        for (c, &idx) in idxs[cursor..cursor + cnt].iter().enumerate() {
+                            let ri = c % refs.len();
+                            let ei = (refs[ri] >> 1) as usize;
                             scratch.mc.add_flat(flat, ei, 1);
-                            flock.pos[idx] = target;
+                            // Path pre-oriented from part i towards j.
+                            flock.pos[idx as usize] = targets[ri];
                         }
+                        cursor += cnt;
+                        moved += cnt as u64;
                     }
                 }
             }
+            // Group rebuild + scan streamed every token's index (u32)
+            // once; each selected move rewrote a position (u32).
+            profile::record(
+                profile::Phase::Disperse,
+                moved,
+                (t * t) as u64,
+                flock.pos.len() as u64 * 4 + moved * 8,
+            );
             total_cost += observe_mc(stats, &scratch.mc);
         }
         // Epilogue: the last round's post-move loads (Lemma 6.6 trace).
@@ -1009,7 +1322,7 @@ impl<'r> Exec<'r> {
             for &pos in &flock.pos {
                 scratch.bump_vertex(pos);
             }
-            let max_load = scratch.max_vertex_load() as usize;
+            let max_load = scratch.max_vertex_load() as u32;
             scratch.reset_vertices();
             stats.max_load_trace[lambda - 1] = stats.max_load_trace[lambda - 1].max(max_load);
         }
@@ -1087,15 +1400,16 @@ impl<'r> Exec<'r> {
             scratch.part_load[p] = scratch.part_load[p].max(scratch.vertex_load[v as usize]);
         }
         scratch.reset_vertices();
-        // Parallel per-part sorts: charge the worst part.
+        // Parallel per-part sorts: charge the worst part (branch-free
+        // fold — an unloaded part contributes 0 to both).
         let mut merge_charge = 0u64;
+        let mut merge_parts = 0u64;
         for (j, part) in nd.parts.iter().enumerate() {
-            if scratch.part_load[j] > 0 {
-                merge_charge =
-                    merge_charge.max(scratch.part_load[j] * r.cost.tsort_unit[part.child]);
-                stats.charged_sorts += 1;
-            }
+            let load = u64::from(scratch.part_load[j]);
+            merge_charge = merge_charge.max(load * r.cost.tsort_unit[part.child]);
+            merge_parts += u64::from(load > 0);
         }
+        stats.charged_sorts += merge_parts;
         ledger.charge("query/task3/merge", merge_charge);
 
         scratch.fallback_mc.reset();
@@ -1107,32 +1421,33 @@ impl<'r> Exec<'r> {
             if reals.is_empty() {
                 continue;
             }
-            let dummies = dummy.groups.group(key);
-            for (k, &ri) in reals.iter().enumerate() {
+            // Two-pointer split: the dummy-paired prefix streams the
+            // entry's group-contiguous origins; only the (rare)
+            // dummy-starved suffix pays the fallback machinery.
+            let origins = dummy.group(key);
+            let paired = reals.len().min(origins.len());
+            for (&ri, &origin) in reals[..paired].iter().zip(origins) {
+                real.pos[ri as usize] = origin;
+            }
+            for &ri in &reals[paired..] {
+                // Fallback: not enough dummies landed here.
                 let ri = ri as usize;
-                if k < dummies.len() {
-                    real.pos[ri] = dummy.origin[dummies[k] as usize];
-                } else {
-                    // Fallback: not enough dummies landed here.
-                    let lp = key % t;
-                    let target_part = &nd.parts[lp].all;
-                    let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
-                    scratch.fallback_rr[lp] += 1;
-                    if r.graph.shortest_path_into(
-                        real.pos[ri],
-                        target,
-                        &mut scratch.bfs,
-                        &mut scratch.path_buf,
-                    ) {
-                        scratch.fallback_mc.add_walk(&r.graph, &scratch.path_buf, 1);
-                    }
-                    real.pos[ri] = target;
-                    stats.fallback_tokens += 1;
-                }
+                let lp = key % t;
+                let target_part = &nd.parts[lp].all;
+                let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
+                scratch.fallback_rr[lp] += 1;
+                scratch.escort.charge(&r.graph, &mut scratch.fallback_mc, real.pos[ri], target);
+                real.pos[ri] = target;
+                stats.fallback_tokens += 1;
             }
         }
         let fallback_cost = observe_mc(stats, &scratch.fallback_mc);
         ledger.charge("query/task3/fallback", fallback_cost);
+
+        // Pairing streamed every real's group entry (u32) and wrote
+        // its landing position (u32).
+        let reals = real.len() as u64;
+        profile::record(profile::Phase::Merge, reals, (t * t) as u64, reals * 8);
 
         // Postcondition: every real token is inside its marked part.
         debug_assert!((0..real.len()).all(|i| { part_of[real.pos[i] as usize] == real.mark[i] }));
@@ -1198,9 +1513,32 @@ struct FusedDisperse {
     portal_total: u64,
     /// The job's observed load `L` (the dummy-cache key at this node).
     l: u64,
+    /// Upper bound on the longest bucket (exact after every full round
+    /// scan; only raised by pushes and merges in between) — the
+    /// quiescence early-out of [`disperse_fused`] compares it against
+    /// the round table's smallest moving length.
+    max_bucket: u32,
 }
 
 impl FusedDisperse {
+    /// Estimated heap bytes the pooled state retains.
+    fn approx_bytes(&self) -> usize {
+        let mut b = (self.pos.capacity()
+            + self.moved_prefix.capacity()
+            + self.touched_buckets.capacity()
+            + self.vload.capacity()
+            + self.vtouched.capacity()
+            + self.pmax.capacity())
+            * 4
+            + self.mark.capacity() * 2
+            + (self.moves.capacity() + self.pending.capacity()) * 8
+            + (self.buckets.capacity() + self.hist.capacity()) * std::mem::size_of::<Vec<u32>>();
+        for v in self.buckets.iter().chain(&self.hist) {
+            b += v.capacity() * 4;
+        }
+        b
+    }
+
     /// Readies the state for a node with `t` parts over an `n`-vertex
     /// graph. Grow-only; a pooled state re-prepares without allocating
     /// once warm.
@@ -1227,6 +1565,7 @@ impl FusedDisperse {
         self.pmax.resize(t, 0);
         self.total_cost = 0;
         self.portal_total = 0;
+        self.max_bucket = 0;
         debug_assert!(self.vtouched.is_empty(), "prepare on a torn-down state");
     }
 
@@ -1241,6 +1580,7 @@ impl FusedDisperse {
         self.pos.push(pos);
         self.mark.push(mark);
         self.buckets[key as usize].push(idx);
+        self.max_bucket = self.max_bucket.max(self.buckets[key as usize].len() as u32);
         self.inc_load(pos, p as usize);
     }
 
@@ -1326,6 +1666,7 @@ impl FusedDisperse {
             let new = &pending[lo..hi];
             bucket.resize(old_len + new.len(), 0);
             let (mut i, mut j, mut k) = (old_len, new.len(), bucket.len());
+            let grown = bucket.len() as u32;
             while j > 0 {
                 if i > 0 && bucket[i - 1] > new[j - 1].1 {
                     bucket[k - 1] = bucket[i - 1];
@@ -1336,6 +1677,7 @@ impl FusedDisperse {
                 }
                 k -= 1;
             }
+            self.max_bucket = self.max_bucket.max(grown);
             lo = hi;
         }
         self.pending = pending;
@@ -1464,44 +1806,45 @@ fn task2_fused(
         return;
     }
 
-    // Marker rewrite per job: global best rank -> (part, local rank).
+    // Marker rewrite per job: global best rank -> (part, local rank),
+    // through the precomputed rank → part table.
     let prefix = &r.best_prefix[node];
+    let rank_part = &r.rank_part[node];
     for sp in spans {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         for &t in &toks[sp.lo..sp.hi] {
             let iz = exec.marker[t];
-            let j = match prefix.binary_search(&iz) {
-                Ok(p) => {
-                    let mut p = p;
-                    while p + 1 < prefix.len() && prefix[p + 1] == iz {
-                        p += 1;
-                    }
-                    p
-                }
-                Err(ins) => ins - 1,
-            };
+            let j = rank_part[iz as usize] as usize;
             debug_assert!(j < nd.parts.len(), "marker {iz} beyond best count");
             exec.mark_of[t] = j as u16;
             exec.marker[t] = iz - prefix[j];
         }
     }
+    let rewritten: u64 = spans.iter().map(|sp| (sp.hi - sp.lo) as u64).sum();
+    // marker u32 read + write, mark u16 write, rank_part u16 read.
+    profile::record(profile::Phase::Task2, rewritten, nd.parts.len() as u64, rewritten * 12);
 
     // Fused Task 3: every job's flock through one shared round plan.
     task3_fused(r, scratch, slots, node, spans);
 
-    // M* hop per job (Property 3.1(3)).
+    // M* hop per job (Property 3.1(3)): the dense `M*` edge map doubles
+    // as the bad-vertex membership test (see `Exec::task2`).
     for sp in spans {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         scratch.mc.reset();
         for &t in &toks[sp.lo..sp.hi] {
             let j = exec.mark_of[t] as usize;
             let v = exec.pos[t];
-            let child = r.hier.node(nd.parts[j].child);
-            if child.vertices.binary_search(&v).is_err() {
-                let ei = r.mstar_edge[node][v as usize] as usize;
+            let ei = r.mstar_edge[node][v as usize];
+            debug_assert_eq!(
+                ei != u32::MAX,
+                r.hier.node(nd.parts[j].child).vertices.binary_search(&v).is_err(),
+                "M* edge map disagrees with child membership"
+            );
+            if ei != u32::MAX {
                 let fp = &r.mstar_flat[node][j];
-                scratch.mc.add_flat(fp, ei, 1);
-                exec.pos[t] = fp.target(ei);
+                scratch.mc.add_flat(fp, ei as usize, 1);
+                exec.pos[t] = fp.target(ei as usize);
             }
         }
         let mstar_cost = observe_mc(&mut exec.stats, &scratch.mc);
@@ -1529,19 +1872,17 @@ fn task2_fused(
             }
         }
         debug_assert_eq!(w, slice.len());
-        scratch.toks_tmp = tmp;
-        let mut start = 0usize;
+        // Child spans come straight from the counting sort's bucket
+        // offsets — no per-token rescan of the group keys.
         for (j, child) in child_spans.iter_mut().enumerate() {
-            let mut end = start;
-            while end < slice.len() && exec.mark_of[slice[end]] as usize == j {
-                end += 1;
-            }
+            let (start, end) =
+                (scratch.groups.start_of(j) as usize, scratch.groups.start_of(j + 1) as usize);
             if end > start {
                 child.push(Span { job: sp.job, lo: sp.lo + start, hi: sp.lo + end });
             }
-            start = end;
         }
-        debug_assert_eq!(start, slice.len());
+        debug_assert_eq!(scratch.groups.start_of(t_parts) as usize, slice.len());
+        scratch.toks_tmp = tmp;
     }
     for (j, child) in child_spans.iter().enumerate() {
         task2_fused(r, scratch, slots, nd.parts[j].child, child);
@@ -1571,24 +1912,26 @@ fn task3_fused(
     for (ai, sp) in spans.iter().enumerate() {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         exec.stats.task3_calls += 1;
-        for &tk in &toks[sp.lo..sp.hi] {
-            scratch.bump_vertex(exec.pos[tk]);
-        }
-        let l = scratch.max_vertex_load().max(1);
-        scratch.reset_vertices();
         let st = &mut states[ai];
         st.prepare(n, t);
-        st.l = l;
         let part_of = &r.part_of[node];
         for &tk in &toks[sp.lo..sp.hi] {
             st.push_token(t, exec.pos[tk], exec.mark_of[tk], part_of);
         }
+        // L: max real load on any vertex of X — read straight off the
+        // freshly built incremental accounting (the per-part maxima
+        // cover every loaded vertex), replacing a separate count pass.
+        st.l = u64::from(st.pmax[..t].iter().copied().max().unwrap_or(0)).max(1);
+        // pos u32 + mark u16 read, bucket u32 + vload u32 write.
+        let pushed = (sp.hi - sp.lo) as u64;
+        profile::record(profile::Phase::Task3, pushed, (t * t) as u64, pushed * 14);
     }
 
-    disperse_fused(r, scratch, slots, &mut states, spans, node);
-
     // One shared dummy entry per distinct observed load: taken from the
-    // cross-batch cache or built once — never once per job.
+    // cross-batch cache or built once — never once per job. Built
+    // before the dispersal sweep (the loads are known from prep, and
+    // the builds are independent of the real flocks) so each job's
+    // dispersal can run straight into its merge below.
     let mut entries: Vec<(u64, DummyEntry)> = Vec::new();
     for st in &states[..spans.len()] {
         if !entries.iter().any(|&(l, _)| l == st.l) {
@@ -1600,11 +1943,18 @@ fn task3_fused(
         }
     }
 
-    // Per job: replay the dummy charges, merge, charge the escort trip,
-    // write the final positions back into the worklist.
+    // Per job, in one cache-hot pass over the job's state: the full
+    // dispersal round loop, the dummy-charge replay, the merge, the
+    // escort-trip charge, and the position writeback. Jobs don't
+    // interact during dispersal (the sharing is the round tables and
+    // the dummy entries, both read-only here), so running each job's
+    // rounds to completion is byte-identical to sweeping all jobs
+    // round by round — and keeps the job's buckets and loads resident
+    // instead of cycling the whole group through cache every round.
     for (ai, sp) in spans.iter().enumerate() {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         let st = &mut states[ai];
+        disperse_fused(r, scratch, exec, st, node);
         let entry =
             &entries.iter().find(|&&(l, _)| l == st.l).expect("entry built for every load").1;
         exec.apply_dummy_entry(entry);
@@ -1621,18 +1971,19 @@ fn task3_fused(
     scratch.fused = states;
 }
 
-/// The fused dispersal round loop (§6.1, Lemma 6.2): one scan per
-/// round over the union of the group's flocks. Each job contributes
-/// its round-start buckets and per-part load maxima (incrementally
-/// maintained, not rescanned), charges its own ledger, and accumulates
-/// its own congestion/dilation through the shared scratch accumulator
-/// — reset between jobs so the per-job demultiplexing is exact.
+/// The fused dispersal round loop (§6.1, Lemma 6.2) for one job of the
+/// group: all `λ` rounds run back to back over the job's incremental
+/// state (buckets and per-part load maxima maintained move by move,
+/// not rescanned), so the state stays cache-resident for the whole
+/// dispersal and the merge that follows. Charges land in the job's
+/// forked ledger; congestion/dilation accumulate through the shared
+/// scratch accumulator, reset per round, so the per-job
+/// demultiplexing is exact.
 fn disperse_fused(
     r: &Router,
     scratch: &mut Scratch,
-    slots: &mut [FusedJob<'_, '_>],
-    states: &mut [FusedDisperse],
-    spans: &[Span],
+    exec: &mut Exec<'_>,
+    st: &mut FusedDisperse,
     node: NodeId,
 ) {
     let nd = r.hier.node(node);
@@ -1640,118 +1991,129 @@ fn disperse_fused(
     let sh = r.shufflers[node].as_ref().expect("internal node has shuffler");
     let part_of = &r.part_of[node];
     let lambda = sh.rounds.len();
-    for sp in spans {
-        let stats = &mut slots[sp.job].exec.stats;
-        if stats.max_load_trace.len() < lambda {
-            stats.max_load_trace.resize(lambda, 0);
-        }
+    if exec.stats.max_load_trace.len() < lambda {
+        exec.stats.max_load_trace.resize(lambda, 0);
     }
 
     for q in 0..lambda {
-        let flat = &r.rounds_flat[node][q];
         let table = &r.round_tables[node][q];
-        for (ai, sp) in spans.iter().enumerate() {
-            let exec = &mut slots[sp.job].exec;
-            let st = &mut states[ai];
-            // Round-start per-part maxima: the previous round's
-            // post-move load trace (Lemma 6.6) and this round's portal
-            // charge (§6.2) read them straight off the incremental
-            // accounting.
-            if q > 0 {
-                let round_max = st.pmax[..t].iter().copied().max().unwrap_or(0) as usize;
-                let slot = &mut exec.stats.max_load_trace[q - 1];
-                *slot = (*slot).max(round_max);
-            }
-            let mut portal_charge = 0u64;
-            for (j, part) in nd.parts.iter().enumerate() {
-                if st.pmax[j] > 0 {
-                    portal_charge = portal_charge
-                        .max(2 * u64::from(st.pmax[j]) * r.cost.tsort_unit[part.child]);
-                    exec.stats.charged_sorts += 2;
-                }
-            }
-            st.portal_total += portal_charge;
+        // Round-start per-part maxima: the previous round's post-move
+        // load trace (Lemma 6.6) and this round's portal charge (§6.2)
+        // read them straight off the incremental accounting.
+        if q > 0 {
+            let round_max = st.pmax[..t].iter().copied().max().unwrap_or(0);
+            let slot = &mut exec.stats.max_load_trace[q - 1];
+            *slot = (*slot).max(round_max);
+        }
+        // Portal charge folded branch-free (see `Exec::disperse`).
+        let mut portal_charge = 0u64;
+        let mut portal_parts = 0u64;
+        for (j, part) in nd.parts.iter().enumerate() {
+            let load = u64::from(st.pmax[j]);
+            portal_charge = portal_charge.max(2 * load * r.cost.tsort_unit[part.child]);
+            portal_parts += u64::from(load > 0);
+        }
+        exec.stats.charged_sorts += 2 * portal_parts;
+        st.portal_total += portal_charge;
 
-            // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j,
-            // scanning this job's round-start buckets.
-            scratch.mc.reset();
-            for i in 0..t {
-                let row_half_max = table.row_half_max(i);
-                for l in 0..t {
-                    let key = i * t + l;
-                    let bucket = &st.buckets[key];
-                    if bucket.is_empty() || (bucket.len() as f64) * row_half_max < 1.0 {
+        // Quiescence early-out: when even the job's largest bucket is
+        // below the round's smallest moving length, every entry's move
+        // count floors to zero — the whole scan (and its table reads)
+        // is a no-op, and skipping it leaves costs, stats, and state
+        // untouched exactly as the full scan would. `st.max_bucket` is
+        // an upper bound (drains never lower it); each full scan
+        // re-tightens it.
+        if st.max_bucket < table.min_move_len() {
+            continue;
+        }
+
+        // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j,
+        // scanning this job's round-start buckets.
+        let flat = &r.rounds_flat[node][q];
+        scratch.mc.reset();
+        let mut max_bucket = 0u32;
+        for i in 0..t {
+            // Integer floor guard + clamped emit counts — same
+            // branchless structure as `Exec::disperse`.
+            let min_len = table.row_min_len(i) as usize;
+            let row = table.row(i);
+            for l in 0..t {
+                let key = i * t + l;
+                let bucket = &st.buckets[key];
+                max_bucket = max_bucket.max(bucket.len() as u32);
+                if bucket.len() < min_len {
+                    continue;
+                }
+                let mut cursor = 0usize;
+                for entry in row {
+                    let cnt = (entry.m_ij / 2.0 * bucket.len() as f64).floor() as usize;
+                    let cnt = cnt.min(bucket.len() - cursor);
+                    if cnt == 0 {
                         continue;
                     }
-                    let mut cursor = 0usize;
-                    for entry in table.row(i) {
-                        let cnt = (entry.m_ij / 2.0 * bucket.len() as f64).floor() as usize;
-                        if cnt == 0 {
-                            continue;
-                        }
-                        let refs = table.edge_refs(entry);
-                        debug_assert!(!refs.is_empty(), "portal entry without edges");
-                        for c in 0..cnt {
-                            if cursor >= bucket.len() {
-                                break;
-                            }
-                            let tok = bucket[cursor];
-                            cursor += 1;
-                            let packed = refs[c % refs.len()];
-                            let ei = (packed >> 1) as usize;
-                            // Orient the path from part i towards part j.
-                            let target =
-                                if packed & 1 == 1 { flat.source(ei) } else { flat.target(ei) };
-                            scratch.mc.add_flat(flat, ei, 1);
-                            st.moves.push((tok, target));
-                        }
+                    let refs = table.edge_refs(entry);
+                    let targets = table.ref_targets(entry);
+                    debug_assert!(!refs.is_empty(), "portal entry without edges");
+                    for (c, &tok) in bucket[cursor..cursor + cnt].iter().enumerate() {
+                        let ri = c % refs.len();
+                        let ei = (refs[ri] >> 1) as usize;
+                        scratch.mc.add_flat(flat, ei, 1);
+                        // Path pre-oriented from part i towards j.
+                        st.moves.push((tok, targets[ri]));
                     }
-                    if cursor > 0 {
-                        st.moved_prefix[key] = cursor as u32;
-                        st.touched_buckets.push(key as u32);
-                    }
+                    cursor += cnt;
+                }
+                if cursor > 0 {
+                    st.moved_prefix[key] = cursor as u32;
+                    st.touched_buckets.push(key as u32);
                 }
             }
-            st.total_cost += observe_mc(&mut exec.stats, &scratch.mc);
-            st.apply_moves(t, part_of);
         }
+        st.max_bucket = max_bucket;
+        // Full scan streamed every bucket entry (u32) once; each
+        // selected move wrote a (u32, u32) pair.
+        let moved = st.moves.len() as u64;
+        profile::record(
+            profile::Phase::Disperse,
+            moved,
+            (t * t) as u64,
+            st.pos.len() as u64 * 4 + moved * 8,
+        );
+        st.total_cost += observe_mc(&mut exec.stats, &scratch.mc);
+        st.apply_moves(t, part_of);
     }
 
-    // Per-job epilogue: final-round trace, the dispersal charge, and
-    // the Lemma 6.2 dispersion-envelope check.
-    for (ai, sp) in spans.iter().enumerate() {
-        let exec = &mut slots[sp.job].exec;
-        let st = &mut states[ai];
-        if lambda > 0 {
-            let max_load = st.pmax[..t].iter().copied().max().unwrap_or(0) as usize;
-            let slot = &mut exec.stats.max_load_trace[lambda - 1];
-            *slot = (*slot).max(max_load);
+    // Job epilogue: final-round trace, the dispersal charge, and the
+    // Lemma 6.2 dispersion-envelope check.
+    if lambda > 0 {
+        let max_load = st.pmax[..t].iter().copied().max().unwrap_or(0);
+        let slot = &mut exec.stats.max_load_trace[lambda - 1];
+        *slot = (*slot).max(max_load);
+    }
+    exec.ledger.charge("query/task3/portal", st.portal_total);
+    exec.ledger.charge("query/task3/disperse", st.total_cost);
+    if t >= 2 {
+        let lambda = sh.rounds.len() as f64;
+        let err = sh.final_potential().sqrt();
+        scratch.env_count.clear();
+        scratch.env_count.resize(t * t, 0.0);
+        scratch.env_tot.clear();
+        scratch.env_tot.resize(t, 0.0);
+        for idx in 0..st.pos.len() {
+            let p = part_of[st.pos[idx] as usize] as usize;
+            let l = st.mark[idx] as usize;
+            scratch.env_count[p * t + l] += 1.0;
+            scratch.env_tot[l] += 1.0;
         }
-        exec.ledger.charge("query/task3/portal", st.portal_total);
-        exec.ledger.charge("query/task3/disperse", st.total_cost);
-        if t >= 2 {
-            let lambda = sh.rounds.len() as f64;
-            let err = sh.final_potential().sqrt();
-            scratch.env_count.clear();
-            scratch.env_count.resize(t * t, 0.0);
-            scratch.env_tot.clear();
-            scratch.env_tot.resize(t, 0.0);
-            for idx in 0..st.pos.len() {
-                let p = part_of[st.pos[idx] as usize] as usize;
-                let l = st.mark[idx] as usize;
-                scratch.env_count[p * t + l] += 1.0;
-                scratch.env_tot[l] += 1.0;
-            }
-            for p in 0..t {
-                for (l, &tot) in scratch.env_tot.iter().enumerate() {
-                    if tot == 0.0 {
-                        continue;
-                    }
-                    exec.stats.dispersion_checked += 1;
-                    let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
-                    if scratch.env_count[p * t + l] > bound {
-                        exec.stats.dispersion_violations += 1;
-                    }
+        for p in 0..t {
+            for (l, &tot) in scratch.env_tot.iter().enumerate() {
+                if tot == 0.0 {
+                    continue;
+                }
+                exec.stats.dispersion_checked += 1;
+                let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
+                if scratch.env_count[p * t + l] > bound {
+                    exec.stats.dispersion_violations += 1;
                 }
             }
         }
@@ -1782,19 +2144,21 @@ fn merge_fused(
     }
     for &(v, dummies_here) in &dummy.loads {
         let p = part_of[v as usize] as usize;
-        scratch.part_load[p] =
-            scratch.part_load[p].max(dummies_here + u64::from(st.vload[v as usize]));
+        let combined = dummies_here + st.vload[v as usize];
+        scratch.part_load[p] = scratch.part_load[p].max(combined);
     }
     for (p, &m) in st.pmax[..t].iter().enumerate() {
-        scratch.part_load[p] = scratch.part_load[p].max(u64::from(m));
+        scratch.part_load[p] = scratch.part_load[p].max(m);
     }
+    // Merge charge folded branch-free (see `Exec::merge`).
     let mut merge_charge = 0u64;
+    let mut merge_parts = 0u64;
     for (j, part) in nd.parts.iter().enumerate() {
-        if scratch.part_load[j] > 0 {
-            merge_charge = merge_charge.max(scratch.part_load[j] * r.cost.tsort_unit[part.child]);
-            exec.stats.charged_sorts += 1;
-        }
+        let load = u64::from(scratch.part_load[j]);
+        merge_charge = merge_charge.max(load * r.cost.tsort_unit[part.child]);
+        merge_parts += u64::from(load > 0);
     }
+    exec.stats.charged_sorts += merge_parts;
     exec.ledger.charge("query/task3/merge", merge_charge);
 
     scratch.fallback_mc.reset();
@@ -1806,32 +2170,32 @@ fn merge_fused(
         if reals.is_empty() {
             continue;
         }
-        let dummies = dummy.groups.group(key);
-        for (k, &ri) in reals.iter().enumerate() {
+        // Pair reals with dummy origins in rank order: one sequential
+        // pass over two contiguous u32 slices (see `Exec::merge`).
+        let origins = dummy.group(key);
+        let paired = reals.len().min(origins.len());
+        for (&ri, &origin) in reals[..paired].iter().zip(origins) {
+            st.pos[ri as usize] = origin;
+        }
+        for &ri in &reals[paired..] {
             let ri = ri as usize;
-            if k < dummies.len() {
-                st.pos[ri] = dummy.origin[dummies[k] as usize];
-            } else {
-                // Fallback: not enough dummies landed here.
-                let lp = key % t;
-                let target_part = &nd.parts[lp].all;
-                let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
-                scratch.fallback_rr[lp] += 1;
-                if r.graph.shortest_path_into(
-                    st.pos[ri],
-                    target,
-                    &mut scratch.bfs,
-                    &mut scratch.path_buf,
-                ) {
-                    scratch.fallback_mc.add_walk(&r.graph, &scratch.path_buf, 1);
-                }
-                st.pos[ri] = target;
-                exec.stats.fallback_tokens += 1;
-            }
+            // Fallback: not enough dummies landed here.
+            let lp = key % t;
+            let target_part = &nd.parts[lp].all;
+            let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
+            scratch.fallback_rr[lp] += 1;
+            scratch.escort.charge(&r.graph, &mut scratch.fallback_mc, st.pos[ri], target);
+            st.pos[ri] = target;
+            exec.stats.fallback_tokens += 1;
         }
     }
     let fallback_cost = observe_mc(&mut exec.stats, &scratch.fallback_mc);
     exec.ledger.charge("query/task3/fallback", fallback_cost);
+
+    // Pairing streamed every real's bucket entry (u32) and wrote its
+    // landing position (u32).
+    let reals = st.pos.len() as u64;
+    profile::record(profile::Phase::Merge, reals, (t * t) as u64, reals * 8);
 
     // Postcondition: every real token is inside its marked part.
     debug_assert!((0..st.pos.len()).all(|i| part_of[st.pos[i] as usize] == st.mark[i]));
@@ -1921,7 +2285,7 @@ mod tests {
         let r = router(256, 7);
         let inst = RoutingInstance::uniform_load(256, 2, 8);
         let out = r.route(&inst).expect("valid");
-        let max = out.stats.max_load_trace.iter().copied().max().unwrap_or(0);
+        let max = out.stats.max_load_trace.iter().copied().max().unwrap_or(0) as usize;
         // Lemma 6.6: O(L log n) with L including the 2L dummy flock.
         let bound = 19 * 6 * (256f64).log2() as usize;
         assert!(max <= bound, "max load {max} vs bound {bound}");

@@ -91,6 +91,7 @@ pub mod exec;
 pub mod general;
 pub mod network;
 pub mod ops;
+pub mod profile;
 pub mod router;
 pub mod token;
 
@@ -101,5 +102,6 @@ pub use decomposed::{
 };
 pub use engine::{BatchOutcome, BatchStats, Job, JobOutcome, JobRef, QueryEngine};
 pub use general::GeneralRouter;
+pub use profile::{PhaseProfile, RouteProfile};
 pub use router::{Router, RouterConfig};
 pub use token::{RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};

@@ -35,15 +35,30 @@ pub(crate) struct RoundTable {
     row_start: Vec<u32>,
     entries: Vec<RoundEntry>,
     edge_refs: Vec<u32>,
-    /// Per row: the largest `m_ij / 2` of its entries (0 for empty
-    /// rows) — the dispersal loop's early-out: a token group smaller
-    /// than `1 / row_half` floors every entry's move count to zero.
-    row_half: Vec<f64>,
+    /// Per packed edge ref: the pre-oriented landing vertex (the path
+    /// endpoint on the *target* part's side), so the dispersal loop
+    /// reads a u32 instead of unpacking and branching per token.
+    ref_target: Vec<u32>,
+    /// Per row: the smallest token-group length whose largest entry
+    /// floors to a nonzero move count (`u32::MAX` for empty rows) —
+    /// the dispersal loop's integer early-out. Derived from the
+    /// largest `m_ij / 2` of the row: IEEE multiplication by a
+    /// nonnegative constant is monotone in `len`, so the threshold is
+    /// exact and `len < row_min_len` proves `⌊len · m_ij / 2⌋ = 0`
+    /// for every entry of the row.
+    row_min_len: Vec<u32>,
+    /// The smallest `row_min_len` over all rows: a token group shorter
+    /// than this moves nothing anywhere in the round, so a job whose
+    /// largest bucket is below it skips the round's scan outright.
+    min_move_len: u32,
 }
 
 impl RoundTable {
     /// Builds the table for one shuffler round of a `t`-part node.
-    fn build(round: &ShufflerRound, t: usize) -> RoundTable {
+    /// `flat` is the round's flattened path arena (same index space as
+    /// the packed refs), consulted to pre-orient each ref's landing
+    /// vertex.
+    fn build(round: &ShufflerRound, t: usize, flat: &FlatPaths) -> RoundTable {
         let mut table = RoundTable::default();
         for i in 0..t {
             table.row_start.push(table.entries.len() as u32);
@@ -56,6 +71,12 @@ impl RoundTable {
                 for (ei, &(a, b)) in round.endpoint_parts.iter().enumerate() {
                     if (a == i && b == j) || (a == j && b == i) {
                         table.edge_refs.push(((ei as u32) << 1) | u32::from(a != i));
+                        // Orient the path from part i towards part j.
+                        table.ref_target.push(if a != i {
+                            flat.source(ei)
+                        } else {
+                            flat.target(ei)
+                        });
                     }
                 }
                 let hi = table.edge_refs.len() as u32;
@@ -63,9 +84,10 @@ impl RoundTable {
                 half_max = half_max.max(round.fractional[i][j] / 2.0);
                 table.entries.push(RoundEntry { m_ij: round.fractional[i][j], lo, hi });
             }
-            table.row_half.push(half_max);
+            table.row_min_len.push(min_len_for_half(half_max));
         }
         table.row_start.push(table.entries.len() as u32);
+        table.min_move_len = table.row_min_len.iter().copied().min().unwrap_or(u32::MAX);
         table
     }
 
@@ -75,17 +97,49 @@ impl RoundTable {
         &self.entries[self.row_start[i] as usize..self.row_start[i + 1] as usize]
     }
 
-    /// The largest `m_ij / 2` of row `i` (see `row_half`). IEEE
-    /// multiplication is monotone, so `len · row_half_max < 1` proves
-    /// `⌊len · m_ij / 2⌋ = 0` for every entry of the row.
-    pub(crate) fn row_half_max(&self, i: usize) -> f64 {
-        self.row_half[i]
+    /// The smallest group length row `i` moves any token for (see
+    /// `row_min_len`).
+    pub(crate) fn row_min_len(&self, i: usize) -> u32 {
+        self.row_min_len[i]
+    }
+
+    /// The smallest group length any row moves a token for (see
+    /// `min_move_len`).
+    pub(crate) fn min_move_len(&self) -> u32 {
+        self.min_move_len
     }
 
     /// The packed portal edge refs of `entry`.
     pub(crate) fn edge_refs(&self, entry: &RoundEntry) -> &[u32] {
         &self.edge_refs[entry.lo as usize..entry.hi as usize]
     }
+
+    /// The pre-oriented landing vertices of `entry`'s refs (parallel
+    /// to [`RoundTable::edge_refs`]).
+    pub(crate) fn ref_targets(&self, entry: &RoundEntry) -> &[u32] {
+        &self.ref_target[entry.lo as usize..entry.hi as usize]
+    }
+}
+
+/// The smallest `len` with `(len as f64) * half >= 1.0`, or `u32::MAX`
+/// if no u32 length reaches it. Binary search on the exact IEEE
+/// predicate (u32 values convert to f64 losslessly and multiplication
+/// by a nonnegative constant is monotone), so the result reproduces
+/// the former per-bucket float guard bit for bit.
+fn min_len_for_half(half: f64) -> u32 {
+    if (f64::from(u32::MAX)) * half < 1.0 {
+        return u32::MAX;
+    }
+    let (mut lo, mut hi) = (1u32, u32::MAX);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if f64::from(mid) * half >= 1.0 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
 }
 
 /// Input of the salvage stage of [`Router::repair`]: the stale router
@@ -215,6 +269,9 @@ pub struct Router {
     /// Per node: prefix counts of best vertices per part
     /// (`prefix[j] = Σ_{j' < j} |best ∩ X*_{j'}|`, length `t + 1`).
     pub(crate) best_prefix: Vec<Vec<u32>>,
+    /// Per node: dense `best rank -> part index` (the inverse of
+    /// `best_prefix`, length = total best count; empty for leaves).
+    pub(crate) rank_part: Vec<Vec<u16>>,
     /// Maximum part count over internal nodes (query scratch sizing).
     pub(crate) max_parts: usize,
     pub(crate) cost: CostModel,
@@ -386,7 +443,7 @@ impl Router {
                 for round in &sh.rounds {
                     let flat = hier.flatten_from(id, &round.embedding);
                     flats.push(FlatPaths::from_embedding(graph, &flat));
-                    tables.push(RoundTable::build(round, t));
+                    tables.push(RoundTable::build(round, t, flats.last().expect("just pushed")));
                 }
                 let mut worst_mstar = 4u64;
                 let mut part_arenas = Vec::with_capacity(nd.parts.len());
@@ -507,8 +564,11 @@ impl Router {
             cost::route_batched_cd(chain_flat.congestion() as u64, chain_flat.dilation() as u64, 1),
         );
 
-        // Best-prefix tables for the Task 2 marker rewrite.
+        // Best-prefix tables for the Task 2 marker rewrite, plus the
+        // inverse `rank -> part` lookup so the rewrite reads a u16
+        // instead of binary-searching the prefix per token.
         let mut best_prefix: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        let mut rank_part: Vec<Vec<u16>> = vec![Vec::new(); n_nodes];
         for (id, slot) in best_prefix.iter_mut().enumerate() {
             let nd = hier.node(id);
             if nd.is_leaf() {
@@ -520,6 +580,12 @@ impl Router {
                 let last = *prefix.last().expect("non-empty");
                 prefix.push(last + hier.node(p.child).best.len() as u32);
             }
+            let total = *prefix.last().expect("non-empty") as usize;
+            let mut ranks = vec![0u16; total];
+            for (j, w) in prefix.windows(2).enumerate() {
+                ranks[w[0] as usize..w[1] as usize].fill(j as u16);
+            }
+            rank_part[id] = ranks;
             *slot = prefix;
         }
 
@@ -555,6 +621,7 @@ impl Router {
             mroot_flat,
             best_rank,
             best_prefix,
+            rank_part,
             max_parts,
             cost: cost_model,
             pre_ledger,

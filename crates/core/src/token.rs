@@ -272,7 +272,9 @@ impl Error for InstanceError {}
 pub struct QueryStats {
     /// Maximum per-vertex load observed during dispersal, per shuffler
     /// iteration (Lemma 6.6's quantity), worst over all Task 3 calls.
-    pub max_load_trace: Vec<usize>,
+    /// `u32` suffices: per-round loads are bounded by flock size ×
+    /// fusion width, far below `2³²` (see `tests/overflow_bounds.rs`).
+    pub max_load_trace: Vec<u32>,
     /// Tokens delivered through the small-`n` fallback instead of the
     /// dummy-escort pairing (DESIGN.md substitution 6). Zero at
     /// adequate scale.
@@ -298,7 +300,7 @@ impl QueryStats {
     /// Lemma 6.6 quantity) into this record's trace, extending it as
     /// needed — used when replaying a cached dummy dispersal and when
     /// aggregating a batch.
-    pub fn absorb_trace_maxima(&mut self, trace: &[usize]) {
+    pub fn absorb_trace_maxima(&mut self, trace: &[u32]) {
         if self.max_load_trace.len() < trace.len() {
             self.max_load_trace.resize(trace.len(), 0);
         }

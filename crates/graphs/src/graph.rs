@@ -508,6 +508,43 @@ impl Graph {
         dist
     }
 
+    /// Fills `parent`/`parent_edge` with the BFS shortest-path tree
+    /// oriented toward `dst`: for every vertex `v` that can reach
+    /// `dst`, `parent[v]` is the next hop on a shortest `v → dst` path
+    /// and `parent_edge[v]` the dense edge id of that hop. Unreachable
+    /// vertices keep `u32::MAX`; `dst` maps to itself (edge
+    /// `u32::MAX`). Deterministic (adjacency order), `O(n + m)`, and
+    /// allocation-free once the output buffers are warm.
+    ///
+    /// One tree amortizes arbitrarily many shortest-path walks into the
+    /// same destination — the routing fallback legs issue thousands of
+    /// same-target queries per batch, where per-pair BFS dominates.
+    pub fn bfs_parent_tree_into(
+        &self,
+        dst: VertexId,
+        parent: &mut Vec<u32>,
+        parent_edge: &mut Vec<u32>,
+    ) {
+        parent.clear();
+        parent.resize(self.n(), u32::MAX);
+        parent_edge.clear();
+        parent_edge.resize(self.n(), u32::MAX);
+        parent[dst as usize] = dst;
+        let mut queue = VecDeque::with_capacity(self.n());
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            let nbrs = self.neighbors(u);
+            let eids = self.neighbor_edge_ids(u);
+            for (&v, &e) in nbrs.iter().zip(eids) {
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    parent_edge[v as usize] = e;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
     /// A shortest path from `src` to `dst` as a vertex sequence, or
     /// `None` if `dst` is unreachable.
     ///

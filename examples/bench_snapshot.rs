@@ -1,0 +1,257 @@
+//! Median-reporting bench snapshot for the engine hot path, with a
+//! regression-check mode for CI.
+//!
+//! The criterion stand-in in `vendor/` reports min/mean/max per bench;
+//! perf acceptance gates in this repo are phrased in **medians**, so
+//! this tool times the key scenarios itself (fixed warmup + sample
+//! counts, one process, one core) and writes a dated JSON snapshot:
+//!
+//! ```text
+//! cargo run --release --example bench_snapshot            # writes BENCH_<date>.json
+//! cargo run --release --example bench_snapshot -- --check # compare vs newest BENCH_*.json
+//! ```
+//!
+//! Snapshot format (`BENCH_<iso-date>.json`, checked in at the repo
+//! root; see README "Performance"): a `results` array of
+//! `{name, min_ns, median_ns, mean_ns, max_ns}` objects plus the
+//! sample/warmup counts that produced them. `--check` re-times the same
+//! scenarios and exits non-zero if any median regresses past
+//! `--threshold` (default 1.5×) against the newest checked-in snapshot
+//! (or an explicit `--check <file>`); it never rewrites snapshots.
+//!
+//! Knobs: `BENCH_SNAPSHOT_SAMPLES` (default 9), `BENCH_SNAPSHOT_WARMUP`
+//! (default 2).
+
+use expander_routing::prelude::*;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One timed scenario: fixed-count samples around a closure.
+struct BenchResult {
+    name: &'static str,
+    min_ns: u64,
+    median_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+}
+
+fn time_bench(
+    name: &'static str,
+    samples: usize,
+    warmup: usize,
+    mut f: impl FnMut(),
+) -> BenchResult {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut ns: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    ns.sort_unstable();
+    let median_ns = if ns.len() % 2 == 1 {
+        ns[ns.len() / 2]
+    } else {
+        (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2
+    };
+    let mean_ns = ns.iter().sum::<u64>() / ns.len() as u64;
+    BenchResult { name, min_ns: ns[0], median_ns, mean_ns, max_ns: *ns.last().unwrap() }
+}
+
+/// The timed scenarios — kept in lockstep with the names in
+/// `crates/bench/benches/engine.rs` so criterion runs and snapshots
+/// describe the same work.
+fn run_benches(samples: usize, warmup: usize) -> Vec<BenchResult> {
+    let n = 512usize;
+    let b = 64usize;
+    let g = generators::random_regular(n, 4, 7).expect("generator");
+    let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let dense: Vec<RoutingInstance> =
+        (0..b as u64).map(|s| RoutingInstance::permutation(n, 100 + s)).collect();
+    let sparse: Vec<RoutingInstance> =
+        (0..b as u64).map(|s| RoutingInstance::partial_permutation(n, n / 4, 100 + s)).collect();
+
+    let fused = QueryEngine::new(&r).with_fusion_width(Some(b));
+    let perjob = QueryEngine::new(&r).with_fusion_width(Some(1));
+    let auto = QueryEngine::new(&r);
+    let solo_inst = RoutingInstance::permutation(n, 9);
+
+    vec![
+        time_bench("engine_batch_n512_B64_fused64", samples, warmup, || {
+            fused.route_batch(&dense).expect("valid");
+        }),
+        time_bench("engine_batch_n512_B64_perjob", samples, warmup, || {
+            perjob.route_batch(&dense).expect("valid");
+        }),
+        time_bench("engine_batch_sparse_n512_B64", samples, warmup, || {
+            auto.route_batch(&sparse).expect("valid");
+        }),
+        time_bench("sequential_route_n512_B64", samples, warmup, || {
+            for inst in &dense {
+                r.route(inst).expect("valid");
+            }
+        }),
+        time_bench("route_query_n512", samples, warmup, || {
+            r.route(&solo_inst).expect("valid");
+        }),
+    ]
+}
+
+fn write_json(path: &str, results: &[BenchResult], samples: usize, warmup: usize, date: &str) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench-snapshot/1\",\n");
+    out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"warmup\": {warmup},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"min_ns\": {},\n", r.min_ns));
+        out.push_str(&format!("      \"median_ns\": {},\n", r.median_ns));
+        out.push_str(&format!("      \"mean_ns\": {},\n", r.mean_ns));
+        out.push_str(&format!("      \"max_ns\": {}\n", r.max_ns));
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write snapshot");
+}
+
+/// Minimal reader for the fixed format `write_json` emits: pairs up
+/// `"name"` and `"median_ns"` lines. Not a general JSON parser — it
+/// only ever reads files this tool wrote.
+fn read_medians(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"median_ns\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.parse::<u64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+/// Newest checked-in snapshot by filename (ISO dates sort
+/// lexicographically).
+fn newest_snapshot() -> Option<String> {
+    let mut names: Vec<String> = std::fs::read_dir(".")
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        .collect();
+    names.sort();
+    names.pop()
+}
+
+/// Days-since-epoch to civil (y, m, d) — Howard Hinnant's algorithm,
+/// so the snapshot can self-date without a calendar dependency.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_iso() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).expect("clock").as_secs() as i64;
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn env_count(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let baseline_file = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned();
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    let samples = env_count("BENCH_SNAPSHOT_SAMPLES", 9);
+    let warmup = env_count("BENCH_SNAPSHOT_WARMUP", 2);
+
+    eprintln!("timing {samples} samples (+{warmup} warmup) per scenario...");
+    let results = run_benches(samples, warmup);
+    println!(
+        "{:36} {:>10} {:>10} {:>10} {:>10}",
+        "bench", "min ms", "median ms", "mean ms", "max ms"
+    );
+    for r in &results {
+        println!(
+            "{:36} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            r.name,
+            ms(r.min_ns),
+            ms(r.median_ns),
+            ms(r.mean_ns),
+            ms(r.max_ns)
+        );
+    }
+
+    if check {
+        let baseline = baseline_file.or_else(newest_snapshot).unwrap_or_else(|| {
+            eprintln!("no BENCH_*.json baseline found for --check");
+            std::process::exit(2);
+        });
+        eprintln!("\nchecking medians against {baseline} (threshold {threshold}x)");
+        let medians = read_medians(&baseline);
+        if medians.is_empty() {
+            eprintln!("baseline {baseline} holds no medians");
+            std::process::exit(2);
+        }
+        let mut failed = false;
+        for (name, base_ns) in &medians {
+            let Some(cur) = results.iter().find(|r| r.name == name.as_str()) else {
+                eprintln!("  {name}: missing from current run (skipped)");
+                continue;
+            };
+            let ratio = cur.median_ns as f64 / *base_ns as f64;
+            let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "  {name}: {:.3} ms vs baseline {:.3} ms ({ratio:.2}x) {verdict}",
+                ms(cur.median_ns),
+                ms(*base_ns)
+            );
+            failed |= ratio > threshold;
+        }
+        if failed {
+            eprintln!("perf check FAILED: median regression past {threshold}x");
+            std::process::exit(1);
+        }
+        eprintln!("perf check passed");
+    } else {
+        let path = format!("BENCH_{}.json", today_iso());
+        write_json(&path, &results, samples, warmup, &today_iso());
+        eprintln!("\nwrote {path}");
+    }
+}

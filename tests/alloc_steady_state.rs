@@ -81,6 +81,48 @@ fn query_allocations_do_not_scale_with_dispersal_rounds() {
 }
 
 #[test]
+fn fused_rounds_allocate_nothing_in_steady_state() {
+    let n = 512usize;
+    let b = 16usize;
+    let g = generators::random_regular(n, 4, 7).expect("generator");
+    let router = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let insts: Vec<RoutingInstance> =
+        (0..b as u64).map(|s| RoutingInstance::permutation(n, 70 + s)).collect();
+
+    let root = router.hierarchy().root();
+    let rounds = router.shuffler(root).expect("root shuffler").len() as u64;
+
+    // Explicit fusion width > 1: the whole batch runs as one fused
+    // group through `exec::run_fused`'s shared round plan.
+    let engine = QueryEngine::new(&router).with_threads(Some(1)).with_fusion_width(Some(b));
+    let (first, _) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(first.0.iter().all(|o| o.all_delivered()));
+
+    // Steady state: the fused round loop (buckets, moves, incremental
+    // loads, congestion accounting) must allocate nothing per round —
+    // everything lives in the pooled scratch and the per-job fused
+    // states. What remains is per-job prologue/epilogue output
+    // (positions, ledger, stats: ~18 allocations per job today),
+    // independent of the round count. The budget is a per-job
+    // constant chosen below one allocation per (round × job): a
+    // single per-round buffer creeping back into the loop adds
+    // `rounds × jobs` (= 528 here) and trips the assert.
+    let (second, warm) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(second.0.iter().all(|o| o.all_delivered()));
+    let budget = 24 * b as u64;
+    assert!(budget < rounds * b as u64, "budget must sit below one alloc per round-step");
+    eprintln!("warm fused batch: {warm} allocations (budget {budget}, rounds = {rounds})");
+    assert!(
+        warm < budget,
+        "fused batch allocated {warm} times (budget {budget}: rounds = {rounds}, jobs = {b})"
+    );
+
+    // And it stays flat across further batches (no per-batch growth).
+    let (_, third) = allocations_during(|| engine.route_batch(&insts).expect("valid"));
+    assert!(third <= warm + warm / 8, "third fused batch allocated more: {third} vs {warm}");
+}
+
+#[test]
 fn pooled_batch_reuses_scratch_across_jobs() {
     let n = 512usize;
     let b = 16usize;

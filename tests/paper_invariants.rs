@@ -84,7 +84,7 @@ fn lemma_6_2_dispersion_and_lemma_6_6_loads() {
     let ratio = out.stats.dispersion_violations as f64 / out.stats.dispersion_checked as f64;
     assert!(ratio < 0.05, "dispersion violations {ratio}");
     // Lemma 6.6: max load during dispersal is O(L log n).
-    let max_load = out.stats.max_load_trace.iter().copied().max().unwrap_or(0);
+    let max_load = out.stats.max_load_trace.iter().copied().max().unwrap_or(0) as usize;
     let bound = 19 * 6 * (512f64).log2().ceil() as usize;
     assert!(max_load <= bound, "load {max_load} vs O(L log n) = {bound}");
 }
