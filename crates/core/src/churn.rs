@@ -506,7 +506,7 @@ impl ChurnReport {
 }
 
 /// Nearest-rank `[p50, p95, p99]` of a sample (zeros when empty).
-fn percentiles(values: impl Iterator<Item = u64>) -> [u64; 3] {
+pub(crate) fn percentiles(values: impl Iterator<Item = u64>) -> [u64; 3] {
     let mut v: Vec<u64> = values.collect();
     if v.is_empty() {
         return [0; 3];

@@ -30,8 +30,8 @@
 //!   rounds instead of rescanned — which is what lets dense
 //!   full-permutation batches beat the ~2.9× dummy:real ceiling of
 //!   caching alone. [`with_fusion_width`](QueryEngine::with_fusion_width)
-//!   sizes the groups; width 1 selects the legacy per-job path as a
-//!   benchmarkable baseline.
+//!   sizes the groups; width 1 runs each job as a singleton group of
+//!   the same pipeline (the per-group-overhead baseline).
 //!
 //! All three are accelerators only: every job is a pure function of
 //! its instance and the router, jobs charge forked [`RoundLedger`]s
@@ -290,7 +290,7 @@ const DEFAULT_SCRATCH_CAP_BYTES: usize = 64 << 20;
 /// regardless of batch size. Explicit
 /// [`with_fusion_width`](QueryEngine::with_fusion_width) settings are
 /// not capped.
-const MAX_AUTO_FUSION_WIDTH: usize = 32;
+pub(crate) const MAX_AUTO_FUSION_WIDTH: usize = 32;
 
 impl<'r> QueryEngine<'r> {
     /// An engine over `router` with the default worker count
@@ -334,11 +334,11 @@ impl<'r> QueryEngine<'r> {
     /// round scan and one shared dummy-dispersal contribution per
     /// `(node, L)` across the group).
     ///
-    /// `Some(1)` selects the legacy per-job execution path (each job
-    /// scans its own flocks round by round) — the benchmarking
-    /// baseline. `None` (the default) restores the automatic policy:
-    /// split the batch evenly across the workers, capped at 32 jobs
-    /// per group. Outputs are byte-identical for every width.
+    /// `Some(1)` runs every job as a singleton group — the
+    /// per-group-overhead baseline for benchmarking. `None` (the
+    /// default) restores the automatic policy: split the batch evenly
+    /// across the workers, capped at 32 jobs per group. Outputs are
+    /// byte-identical for every width.
     #[must_use]
     pub fn with_fusion_width(mut self, width: Option<usize>) -> Self {
         self.fusion = width;
@@ -392,8 +392,8 @@ impl<'r> QueryEngine<'r> {
         let budget = ThreadBudget::new(workers);
         let width = self.fusion_width(jobs.len(), workers);
         let outcomes = if width <= 1 {
-            // Legacy per-job path: every job re-runs its own dispersal
-            // scans (kept selectable as the fusion baseline).
+            // Width 1: per-job scheduling (each job a singleton group),
+            // kept selectable as the per-group-overhead baseline.
             run_tasks(&budget, jobs.len(), |i| self.run_validated(jobs[i]))
         } else {
             let n_groups = jobs.len().div_ceil(width);
@@ -420,6 +420,41 @@ impl<'r> QueryEngine<'r> {
         let out = self.router.execute(job, &mut scratch, RoundLedger::new());
         self.pool.restore(scratch, self.router, self.scratch_cap);
         out
+    }
+
+    /// Executes one *pre-validated* fusion group against a pooled
+    /// scratch — the group-execution entry point of the streaming
+    /// [`RoutingService`](crate::service::RoutingService): its admission
+    /// scheduler decides the grouping and calls here per closed group.
+    /// Outcomes come back in group order and are byte-identical to the
+    /// same jobs anywhere else (solo calls, any batch, any width).
+    pub(crate) fn run_group_validated(&self, jobs: &[JobRef<'_>]) -> Vec<JobOutcome> {
+        match jobs.len() {
+            0 => Vec::new(),
+            1 => vec![self.run_validated(jobs[0])],
+            _ => {
+                let mut scratch = self.pool.checkout(self.router);
+                let outs = crate::exec::run_fused(self.router, &mut scratch, jobs);
+                self.pool.restore(scratch, self.router, self.scratch_cap);
+                outs
+            }
+        }
+    }
+
+    /// Applies the scratch-cap trim (see
+    /// [`with_scratch_cap`](Self::with_scratch_cap)) to every pooled
+    /// scratch *now*, instead of waiting for the next checkout/restore
+    /// cycle. Batch runs trim on every restore, so closed batches never
+    /// need this; a long-lived service calls it during quiescent
+    /// periods so an idle engine's retained footprint falls back under
+    /// the cap without waiting for traffic.
+    pub fn trim_scratches(&self) {
+        let mut slots = self.pool.slots.lock().expect("unpoisoned");
+        for scratch in slots.iter_mut() {
+            if scratch.footprint_bytes() > self.scratch_cap {
+                scratch.trim(self.router);
+            }
+        }
     }
 
     /// Routes a batch of Task 1 instances, returning the per-instance

@@ -18,29 +18,32 @@
 //! scratch (`Scratch`) so the steady-state dispersal round loop
 //! performs no heap allocation and iterates in deterministic order.
 //!
-//! Two execution paths share this machinery and produce byte-identical
-//! outcomes: the per-job path (`Exec`, one job's flocks scanned round
-//! by round — [`Router::route`]/[`Router::sort`] and fusion width 1)
-//! and the fused path (`run_fused`, a batch group's flocks through one
-//! shared round plan with per-job grouping keys, incremental
-//! load/bucket maintenance, and a single shared dummy contribution per
-//! `(node, L)` — the engine's default).
+//! Every execution shape is one pipeline: a solo
+//! [`Router::route`]/[`Router::sort`] call, a width-1 engine batch, and
+//! a fused group all run `run_fused_with` — a group's flocks through
+//! one shared round plan with per-job grouping keys, per-job
+//! (forked-ledger) charge attribution, incremental load/bucket
+//! maintenance, and a single shared dummy contribution per `(node, L)`.
+//! A solo job is simply a singleton group, so outcomes are
+//! byte-identical across every grouping by construction
+//! (`tests/batch_determinism`, `tests/property`).
 //!
 //! # Paper map
 //!
 //! | Paper concept | Here |
 //! |---------------|------|
-//! | Task 2 recursion (Definition 4.2) | `Exec::task2` / `task2_fused` |
+//! | Task 2 recursion (Definition 4.2) | `task2_fused` |
 //! | §6.4 leaf delivery (three `I_AKS` passes) | leaf arm of the same |
-//! | Task 3 meet-in-the-middle (Definition 4.3, §6.3) | `Exec::task3` / `task3_fused` |
-//! | Lazy-walk dispersal (§6.1, Definition 6.1) | `Exec::disperse` / `disperse_fused` |
-//! | Dispersion envelope (Lemma 6.2) | the `check` epilogue of both |
+//! | Task 3 meet-in-the-middle (Definition 4.3, §6.3) | `task3_fused` |
+//! | Lazy-walk dispersal (§6.1, Definition 6.1) | `disperse_fused` |
+//! | Dispersion envelope (Lemma 6.2) | the `check` epilogue of the same |
 //! | Per-round max-load trace (Lemma 6.6) | `QueryStats::max_load_trace` upkeep |
-//! | Portal routing charges (§6.2) | the per-round portal charge in both |
-//! | Real/dummy pairing and escort-back (§6.3) | `Exec::merge` / `merge_fused`, `DummyEntry` |
+//! | Portal routing charges (§6.2) | the per-round portal charge in `disperse_fused` |
+//! | Real/dummy pairing and escort-back (§6.3) | `merge_fused`, `DummyEntry` |
 
 use crate::engine::{JobOutcome, JobRef};
 use crate::profile;
+
 use crate::router::Router;
 use crate::token::{QueryStats, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::RoundLedger;
@@ -265,28 +268,7 @@ impl DenseGroups {
     }
 }
 
-/// A set of tokens moving through one Task 3 instance.
-#[derive(Debug, Default, Clone)]
-struct Flock {
-    pos: Vec<u32>,
-    mark: Vec<u16>,
-    /// Birth vertex (used by dummy flocks for the escort-back step).
-    origin: Vec<u32>,
-}
-
-impl Flock {
-    fn len(&self) -> usize {
-        self.pos.len()
-    }
-
-    fn clear(&mut self) {
-        self.pos.clear();
-        self.mark.clear();
-        self.origin.clear();
-    }
-}
-
-/// One cached dummy-flock dispersal: everything `task3` derives from a
+/// One cached dummy-flock dispersal: everything `task3_fused` derives from a
 /// `(node, load)` pair independently of the real tokens.
 ///
 /// The dummy flock (2L tokens per vertex of the node, marked with
@@ -565,16 +547,10 @@ pub(crate) struct Scratch {
     /// Movement-cost accumulators (main + fallback legs).
     mc: FlatMoveCost,
     fallback_mc: FlatMoveCost,
-    /// Real-flock buffer, taken/returned around each Task 3 call.
-    real: Flock,
     /// Round-robin fallback cursors per part.
     fallback_rr: Vec<usize>,
     /// Partition staging buffer for the Task 2 worklist.
     toks_tmp: Vec<usize>,
-    /// Per-recursion-depth partition-boundary buffers (Task 2 snapshots
-    /// its counting-sort offsets before descending, since children
-    /// rebuild the shared `groups`).
-    bounds_pool: Vec<Vec<u32>>,
     /// Cached shortest-path trees for the merge fallback legs.
     escort: EscortCache,
     /// Dispersion-envelope counters (`t × t` and `t`).
@@ -582,9 +558,13 @@ pub(crate) struct Scratch {
     env_tot: Vec<f64>,
     /// Cached dummy dispersals, reused across the queries of a batch.
     dummies: DummyCache,
-    /// Pooled per-job incremental dispersal states for fused batch
-    /// groups (unused on the per-job path).
+    /// Pooled per-job incremental dispersal states — one per
+    /// co-scheduled job of a fused batch group, or a single state for a
+    /// solo query (which runs as a singleton group).
     fused: Vec<FusedDisperse>,
+    /// Dedicated incremental state for dummy-flock builds (the per-job
+    /// states are checked out by the caller while a build runs).
+    dummy_state: FusedDisperse,
     /// Identity of the router the buffers (and cache) belong to: its
     /// address *and* its graph's mutation epoch. [`Router::repair`]
     /// rebuilds a router in place, so the address alone would let a
@@ -629,7 +609,6 @@ impl Scratch {
         self.mc.reset();
         self.fallback_mc.reset();
         self.reset_vertices();
-        self.real.clear();
     }
 
     /// Estimated heap bytes this scratch retains (dense buffers plus
@@ -646,20 +625,15 @@ impl Scratch {
             + self.mc.edge_load.capacity()
             + self.mc.touched.capacity()
             + self.fallback_mc.edge_load.capacity()
-            + self.fallback_mc.touched.capacity()
-            + self.real.pos.capacity()
-            + self.real.origin.capacity())
+            + self.fallback_mc.touched.capacity())
             * 4
-            + self.real.mark.capacity() * 2
             + (self.fallback_rr.capacity()
                 + self.toks_tmp.capacity()
                 + self.env_count.capacity()
                 + self.env_tot.capacity())
                 * 8
-            + self.escort.approx_bytes();
-        for bp in &self.bounds_pool {
-            b += bp.capacity() * 4;
-        }
+            + self.escort.approx_bytes()
+            + self.dummy_state.approx_bytes();
         for st in &self.fused {
             b += st.approx_bytes();
         }
@@ -684,9 +658,8 @@ impl Scratch {
         self.dummies.clear();
         self.escort.trim(n);
         self.fused = Vec::new();
+        self.dummy_state = FusedDisperse::default();
         self.groups = DenseGroups::default();
-        self.bounds_pool = Vec::new();
-        self.real = Flock::default();
         self.toks_tmp = Vec::new();
         self.vertex_load.truncate(n);
         self.vertex_load.shrink_to_fit();
@@ -754,22 +727,6 @@ impl<'r> Exec<'r> {
             pos: Vec::new(),
             marker: Vec::new(),
             mark_of: Vec::new(),
-        }
-    }
-
-    /// Task 1 (Definition 4.1) via Appendix D's reduction.
-    pub(crate) fn run_route(
-        mut self,
-        scratch: &mut Scratch,
-        inst: &RoutingInstance,
-    ) -> RoutingOutcome {
-        let root = self.r.hier.root();
-        match self.route_prologue(scratch, inst) {
-            Some(mut toks) => {
-                self.task2(scratch, root, &mut toks);
-                self.route_epilogue(scratch, inst)
-            }
-            None => self.route_epilogue(scratch, inst),
         }
     }
 
@@ -865,20 +822,6 @@ impl<'r> Exec<'r> {
         RoutingOutcome { positions: self.pos, destinations, ledger: self.ledger, stats: self.stats }
     }
 
-    /// Expander sorting (Theorem 5.6): chains to the best set, a
-    /// charged network pass, then a Task 2 redistribution to the final
-    /// owners.
-    pub(crate) fn run_sort(mut self, scratch: &mut Scratch, inst: &SortInstance) -> SortOutcome {
-        let root = self.r.hier.root();
-        match self.sort_prologue(scratch, inst) {
-            Some((mut toks, owner)) => {
-                self.task2(scratch, root, &mut toks);
-                self.sort_epilogue(scratch, &owner)
-            }
-            None => SortOutcome { positions: Vec::new(), ledger: self.ledger, stats: self.stats },
-        }
-    }
-
     /// Everything of a sort job before Task 2: the chain leg into
     /// `X_best`, the charged network pass, and the owner/marker
     /// assignment. Returns the Task 2 worklist plus each token's final
@@ -958,178 +901,30 @@ impl<'r> Exec<'r> {
         SortOutcome { positions: self.pos, ledger: self.ledger, stats: self.stats }
     }
 
-    /// Task 2 (Definition 4.2): route token `t` to the `marker[t]`-th
-    /// smallest vertex of `X_best`.
-    ///
-    /// `toks` is a reusable worklist slice: the recursion partitions it
-    /// in place (stable, by part) and descends into disjoint subslices,
-    /// so the whole Task 2 tree allocates no per-node vectors.
-    fn task2(&mut self, scratch: &mut Scratch, node: NodeId, toks: &mut [usize]) {
-        if toks.is_empty() {
-            return;
-        }
-        let r = self.r;
-        let nd = r.hier.node(node);
-        if nd.is_leaf() {
-            // §6.4: three meet-in-the-middle passes over the
-            // precomputed leaf network; effect: exact delivery by rank.
-            for &t in toks.iter() {
-                let target = nd.vertices[self.marker[t] as usize];
-                self.pos[t] = target;
-                scratch.bump_vertex(target);
-            }
-            let lc = scratch.max_vertex_load().max(1);
-            scratch.reset_vertices();
-            self.ledger.charge("query/task2/leaf", 6 * lc * r.cost.leafnet_unit[node]);
-            self.stats.charged_sorts += 3;
-            return;
-        }
-
-        // Marker rewrite: global best rank -> (part, child-local rank),
-        // through the precomputed rank → part table (no per-token
-        // binary search).
-        let prefix = &r.best_prefix[node];
-        let rank_part = &r.rank_part[node];
-        for &t in toks.iter() {
-            let iz = self.marker[t];
-            let j = rank_part[iz as usize] as usize;
-            debug_assert!(j < nd.parts.len(), "marker {iz} beyond best count");
-            self.mark_of[t] = j as u16;
-            self.marker[t] = iz - prefix[j];
-        }
-        // marker u32 read + write, mark u16 write, rank_part u16 read.
-        profile::record(
-            profile::Phase::Task2,
-            toks.len() as u64,
-            nd.parts.len() as u64,
-            toks.len() as u64 * 12,
-        );
-
-        // Task 3: move every token into its marked part.
-        self.task3(scratch, node, toks);
-
-        // M* hop: tokens that landed on bad vertices follow the
-        // matching into the good child (Property 3.1(3)). A vertex of
-        // part j is bad exactly when it carries an `M*` edge, so the
-        // dense `mstar_edge` map doubles as the membership test.
-        scratch.mc.reset();
-        for &t in toks.iter() {
-            let j = self.mark_of[t] as usize;
-            let v = self.pos[t];
-            let ei = r.mstar_edge[node][v as usize];
-            debug_assert_eq!(
-                ei != u32::MAX,
-                r.hier.node(nd.parts[j].child).vertices.binary_search(&v).is_err(),
-                "M* edge map disagrees with child membership"
-            );
-            if ei != u32::MAX {
-                let fp = &r.mstar_flat[node][j];
-                scratch.mc.add_flat(fp, ei as usize, 1);
-                self.pos[t] = fp.target(ei as usize);
-            }
-        }
-        let mstar_cost = observe_mc(&mut self.stats, &scratch.mc);
-        self.ledger.charge("query/task2/mstar", mstar_cost);
-
-        // Stable in-place partition by part (counting sort through the
-        // scratch buckets), then recurse on the contiguous subslices.
-        let t_parts = nd.parts.len();
-        let mut tmp = std::mem::take(&mut scratch.toks_tmp);
-        tmp.clear();
-        tmp.extend_from_slice(toks);
-        {
-            let mark_of = &self.mark_of;
-            scratch.groups.build(t_parts, tmp.iter().map(|&t| u32::from(mark_of[t])));
-        }
-        let mut w = 0;
-        for j in 0..t_parts {
-            for &i in scratch.groups.group(j) {
-                toks[w] = tmp[i as usize];
-                w += 1;
-            }
-        }
-        debug_assert_eq!(w, toks.len());
-        // Subslice boundaries come straight from the counting sort's
-        // bucket offsets — no per-token rescan of `mark_of` (which
-        // deeper levels rewrite anyway). The buffer comes from a
-        // per-depth pool so the recursion stays allocation-free once
-        // warm.
-        let mut bounds = scratch.bounds_pool.pop().unwrap_or_default();
-        bounds.clear();
-        bounds.extend((0..=t_parts).map(|j| scratch.groups.start_of(j)));
-        scratch.toks_tmp = tmp;
-        for j in 0..t_parts {
-            let (start, end) = (bounds[j] as usize, bounds[j + 1] as usize);
-            self.task2(scratch, nd.parts[j].child, &mut toks[start..end]);
-        }
-        debug_assert_eq!(bounds[t_parts] as usize, toks.len());
-        scratch.bounds_pool.push(bounds);
-    }
-
-    /// Task 3 (Definition 4.3): the meet-in-the-middle dispersal.
-    /// Token marks are read from `mark_of` (set by the caller's marker
-    /// rewrite).
-    fn task3(&mut self, scratch: &mut Scratch, node: NodeId, toks: &[usize]) {
-        self.stats.task3_calls += 1;
-        // L: max real load on any vertex of X.
-        for &tk in toks {
-            scratch.bump_vertex(self.pos[tk]);
-        }
-        let l = scratch.max_vertex_load().max(1);
-        scratch.reset_vertices();
-
-        // Disperse the real tokens. The flock buffer lives in the
-        // scratch; take it out for the duration of this call (the
-        // recursion below only starts after it is returned).
-        let mut real = std::mem::take(&mut scratch.real);
-        real.clear();
-        real.pos.extend(toks.iter().map(|&tk| self.pos[tk]));
-        real.mark.extend(toks.iter().map(|&tk| self.mark_of[tk]));
-        // Flock staging: pos u32 + mark u16 read and written (the solo
-        // path regroups per round inside `disperse`, so no bucket
-        // table is built here).
-        profile::record(profile::Phase::Task3, toks.len() as u64, 0, toks.len() as u64 * 12);
-        let _cost_real = self.disperse(scratch, node, &mut real, true);
-
-        // Dummies: 2L per vertex of X*_j, marked j, born at home. Their
-        // dispersal is independent of the real tokens, so it is served
-        // from the per-worker cache and only computed on the first
-        // (node, L) encounter; the recorded charges replay here.
-        let entry = match scratch.dummies.take(node, l) {
-            Some(entry) => entry,
-            None => self.build_dummy_entry(scratch, node, l),
-        };
-        self.apply_dummy_entry(&entry);
-
-        // Merge: pair reals with dummies of the same (part, mark);
-        // each dummy escorts its real back home (§6.3).
-        self.merge(scratch, node, &mut real, &entry);
-        // The escort trip costs the same as the dummies' dispersal.
-        self.ledger.charge("query/task3/reverse", entry.cost);
-        scratch.dummies.put(node, l, entry);
-
-        for (i, &tk) in toks.iter().enumerate() {
-            self.pos[tk] = real.pos[i];
-        }
-        scratch.real = real;
-    }
-
     /// Constructs and disperses the `(node, l)` dummy flock, capturing
     /// its charges/stats into a cacheable [`DummyEntry`] instead of
     /// applying them (the caller applies entries uniformly on hit and
-    /// miss alike).
+    /// miss alike). The flock runs on the pooled incremental dispersal
+    /// state reserved for builds (the per-job states are checked out by
+    /// the caller while a build runs), so a build pays the same
+    /// moved-tokens-proportional cost as a fused job's dispersal
+    /// instead of per-round full rescans.
     fn build_dummy_entry(&mut self, scratch: &mut Scratch, node: NodeId, l: u64) -> DummyEntry {
         let r = self.r;
         let nd = r.hier.node(node);
         let t = nd.part_count();
         let part_of = &r.part_of[node];
-        let mut flock = Flock::default();
+        let mut st = std::mem::take(&mut scratch.dummy_state);
+        st.prepare(r.graph.n(), t);
+        // 2L dummies per vertex of X*_j, marked j, born at home. Birth
+        // vertices double as the escort-back targets of every future
+        // merge against this entry.
+        let mut origins: Vec<u32> = Vec::new();
         for (j, part) in nd.parts.iter().enumerate() {
             for &v in &part.all {
                 for _ in 0..2 * l {
-                    flock.pos.push(v);
-                    flock.mark.push(j as u16);
-                    flock.origin.push(v);
+                    st.push_token(t, v, j as u16, part_of);
+                    origins.push(v);
                 }
             }
         }
@@ -1141,36 +936,36 @@ impl<'r> Exec<'r> {
         let saved_sorts = std::mem::replace(&mut self.stats.charged_sorts, 0);
         let saved_congestion = std::mem::replace(&mut self.stats.max_congestion, 0);
         let saved_dilation = std::mem::replace(&mut self.stats.max_dilation, 0);
-        let cost = self.disperse(scratch, node, &mut flock, false);
+        disperse_fused(r, scratch, self, &mut st, node, false);
+        let cost = st.total_cost;
         let ledger = std::mem::replace(&mut self.ledger, saved_ledger);
         let trace = std::mem::replace(&mut self.stats.max_load_trace, saved_trace);
         let charged_sorts = std::mem::replace(&mut self.stats.charged_sorts, saved_sorts);
         let max_congestion = std::mem::replace(&mut self.stats.max_congestion, saved_congestion);
         let max_dilation = std::mem::replace(&mut self.stats.max_dilation, saved_dilation);
 
-        // Final (part, mark) buckets and per-vertex landing loads —
-        // the dummy-side inputs of every future merge at this key. The
-        // counting sort's concatenated bucket order *is* the rank
-        // order, so the origins flatten into one group-contiguous
-        // array the merge streams through sequentially.
-        scratch.groups.build(
-            t * t,
-            flock
-                .pos
-                .iter()
-                .zip(&flock.mark)
-                .map(|(&pos, &mark)| u32::from(part_of[pos as usize]) * t as u32 + u32::from(mark)),
-        );
-        let group_start: Vec<u32> = (0..=t * t).map(|k| scratch.groups.start_of(k)).collect();
-        let origin_by_rank: Vec<u32> =
-            scratch.groups.items.iter().map(|&d| flock.origin[d as usize]).collect();
-        for &pos in &flock.pos {
-            scratch.bump_vertex(pos);
+        // Final (part, mark) buckets and per-vertex landing loads — the
+        // dummy-side inputs of every future merge at this key — read
+        // straight off the incremental state: the live buckets hold
+        // token indices ascending per key (exactly the stable counting
+        // sort's concatenated rank order), and the live per-vertex
+        // loads are the landing loads of the final positions.
+        let mut group_start: Vec<u32> = Vec::with_capacity(t * t + 1);
+        let mut origin_by_rank: Vec<u32> = Vec::with_capacity(origins.len());
+        group_start.push(0);
+        for key in 0..t * t {
+            origin_by_rank.extend(st.buckets[key].iter().map(|&d| origins[d as usize]));
+            group_start.push(origin_by_rank.len() as u32);
         }
-        let mut loads: Vec<(u32, u32)> =
-            scratch.vertex_touched.iter().map(|&v| (v, scratch.vertex_load[v as usize])).collect();
-        scratch.reset_vertices();
+        let mut loads: Vec<(u32, u32)> = st
+            .vtouched
+            .iter()
+            .map(|&v| (v, st.vload[v as usize]))
+            .filter(|&(_, load)| load > 0)
+            .collect();
         loads.sort_unstable_by_key(|&(v, _)| v);
+        st.teardown(t);
+        scratch.dummy_state = st;
 
         DummyEntry {
             origin_by_rank,
@@ -1193,264 +988,6 @@ impl<'r> Exec<'r> {
         self.stats.max_congestion = self.stats.max_congestion.max(entry.max_congestion);
         self.stats.max_dilation = self.stats.max_dilation.max(entry.max_dilation);
         self.stats.absorb_trace_maxima(&entry.trace);
-    }
-
-    /// Lazy-walk dispersal over the node's shuffler (§6.1, Lemma 6.2).
-    /// Returns the charged movement cost.
-    ///
-    /// The round loop is allocation-free in the steady state: grouping,
-    /// per-vertex loads, per-part loads, and congestion accounting all
-    /// reuse [`Scratch`](struct@Scratch) buffers, and every iteration
-    /// order is dense-index ascending (deterministic by construction).
-    fn disperse(
-        &mut self,
-        scratch: &mut Scratch,
-        node: NodeId,
-        flock: &mut Flock,
-        check: bool,
-    ) -> u64 {
-        let Exec { r, ledger, stats, .. } = self;
-        let r = *r;
-        let nd = r.hier.node(node);
-        let t = nd.part_count();
-        let sh = r.shufflers[node].as_ref().expect("internal node has shuffler");
-        let part_of = &r.part_of[node];
-        let lambda = sh.rounds.len();
-        if stats.max_load_trace.len() < lambda {
-            stats.max_load_trace.resize(lambda, 0);
-        }
-        let mut total_cost = 0u64;
-
-        for q in 0..lambda {
-            let flat = &r.rounds_flat[node][q];
-            let table = &r.round_tables[node][q];
-            // Group token indices by (current part, mark).
-            scratch.groups.build(
-                t * t,
-                flock.pos.iter().zip(&flock.mark).map(|(&pos, &mark)| {
-                    let p = part_of[pos as usize];
-                    debug_assert!(p != u16::MAX, "token strayed outside the node");
-                    u32::from(p) * t as u32 + u32::from(mark)
-                }),
-            );
-            // One load pass per round state: the per-part maxima feed
-            // this round's portal charge, and — since positions only
-            // change through the move step — their overall maximum is
-            // exactly the *previous* round's post-move load trace
-            // (Lemma 6.6). The final round's trace comes from the
-            // epilogue pass below.
-            for pl in &mut scratch.part_load[..t] {
-                *pl = 0;
-            }
-            for &pos in &flock.pos {
-                scratch.bump_vertex(pos);
-            }
-            for &v in &scratch.vertex_touched {
-                let p = part_of[v as usize] as usize;
-                scratch.part_load[p] = scratch.part_load[p].max(scratch.vertex_load[v as usize]);
-            }
-            scratch.reset_vertices();
-            if q > 0 {
-                let max_load = scratch.part_load[..t].iter().copied().max().unwrap_or(0);
-                stats.max_load_trace[q - 1] = stats.max_load_trace[q - 1].max(max_load);
-            }
-            // Portal routing (§6.2): charged as two expander sorts per
-            // part at the part's current load. Parts are parallel
-            // CONGEST instances: the round cost of the per-part portal
-            // sorts is the worst part, not the sum. Folded branch-free
-            // — an unloaded part contributes 0 to the max and 0 sorts.
-            let mut portal_charge = 0u64;
-            let mut portal_parts = 0u64;
-            for (j, part) in nd.parts.iter().enumerate() {
-                let load = u64::from(scratch.part_load[j]);
-                portal_charge = portal_charge.max(2 * load * r.cost.tsort_unit[part.child]);
-                portal_parts += u64::from(load > 0);
-            }
-            stats.charged_sorts += 2 * portal_parts;
-            ledger.charge("query/task3/portal", portal_charge);
-
-            // Move ⌊(m_ij/2)·|T_il|⌋ tokens from part i to part j.
-            scratch.mc.reset();
-            let mut moved = 0u64;
-            for i in 0..t {
-                // Integer form of the `len · m_ij/2 ≥ 1` floor guard:
-                // groups below the row's precomputed threshold cannot
-                // emit a token from any entry.
-                let min_len = table.row_min_len(i) as usize;
-                let row = table.row(i);
-                for l in 0..t {
-                    let idxs = scratch.groups.group(i * t + l);
-                    if idxs.len() < min_len {
-                        continue;
-                    }
-                    let mut cursor = 0usize;
-                    for entry in row {
-                        let cnt = (entry.m_ij / 2.0 * idxs.len() as f64).floor() as usize;
-                        // Clamp to the tokens left so the emit loop has
-                        // no per-token exhaustion branch.
-                        let cnt = cnt.min(idxs.len() - cursor);
-                        if cnt == 0 {
-                            continue;
-                        }
-                        let refs = table.edge_refs(entry);
-                        let targets = table.ref_targets(entry);
-                        debug_assert!(!refs.is_empty(), "portal entry without edges");
-                        for (c, &idx) in idxs[cursor..cursor + cnt].iter().enumerate() {
-                            let ri = c % refs.len();
-                            let ei = (refs[ri] >> 1) as usize;
-                            scratch.mc.add_flat(flat, ei, 1);
-                            // Path pre-oriented from part i towards j.
-                            flock.pos[idx as usize] = targets[ri];
-                        }
-                        cursor += cnt;
-                        moved += cnt as u64;
-                    }
-                }
-            }
-            // Group rebuild + scan streamed every token's index (u32)
-            // once; each selected move rewrote a position (u32).
-            profile::record(
-                profile::Phase::Disperse,
-                moved,
-                (t * t) as u64,
-                flock.pos.len() as u64 * 4 + moved * 8,
-            );
-            total_cost += observe_mc(stats, &scratch.mc);
-        }
-        // Epilogue: the last round's post-move loads (Lemma 6.6 trace).
-        if lambda > 0 {
-            for &pos in &flock.pos {
-                scratch.bump_vertex(pos);
-            }
-            let max_load = scratch.max_vertex_load() as u32;
-            scratch.reset_vertices();
-            stats.max_load_trace[lambda - 1] = stats.max_load_trace[lambda - 1].max(max_load);
-        }
-        ledger.charge("query/task3/disperse", total_cost);
-
-        // Lemma 6.2 dispersion envelope check.
-        if check && t >= 2 {
-            let lambda = sh.rounds.len() as f64;
-            let err = sh.final_potential().sqrt();
-            scratch.env_count.clear();
-            scratch.env_count.resize(t * t, 0.0);
-            scratch.env_tot.clear();
-            scratch.env_tot.resize(t, 0.0);
-            for idx in 0..flock.len() {
-                let p = part_of[flock.pos[idx] as usize] as usize;
-                let l = flock.mark[idx] as usize;
-                scratch.env_count[p * t + l] += 1.0;
-                scratch.env_tot[l] += 1.0;
-            }
-            for p in 0..t {
-                for (l, &tot) in scratch.env_tot.iter().enumerate() {
-                    if tot == 0.0 {
-                        continue;
-                    }
-                    stats.dispersion_checked += 1;
-                    let bound = tot / t as f64 + tot * err + lambda * t as f64 + 1.0;
-                    if scratch.env_count[p * t + l] > bound {
-                        stats.dispersion_violations += 1;
-                    }
-                }
-            }
-        }
-        total_cost
-    }
-
-    /// §6.3: pair reals with dummies per (part, mark); dummies escort
-    /// reals to their birth vertices. Reals that exceed the local dummy
-    /// supply (small-`n` slack, DESIGN.md substitution 6) fall back to
-    /// explicit shortest paths, measured and counted. Group iteration
-    /// runs in ascending dense-key order — the fallback round-robin
-    /// counters are shared across groups with the same mark, so the
-    /// order must be deterministic or target choices (and charged
-    /// costs) vary run to run. The dummy side (final buckets, landing
-    /// loads, origins) comes precomputed from the [`DummyEntry`].
-    fn merge(&mut self, scratch: &mut Scratch, node: NodeId, real: &mut Flock, dummy: &DummyEntry) {
-        let Exec { r, ledger, stats, .. } = self;
-        let r = *r;
-        let nd = r.hier.node(node);
-        let t = nd.part_count();
-        let part_of = &r.part_of[node];
-
-        let key_of =
-            |pos: u32, mark: u16| u32::from(part_of[pos as usize]) * t as u32 + u32::from(mark);
-        scratch.groups.build(t * t, real.pos.iter().zip(&real.mark).map(|(&p, &m)| key_of(p, m)));
-
-        // Merge-sort charge per part at its observed combined load:
-        // real tokens counted dense, dummy landings added from the
-        // entry's precomputed per-vertex loads. `max` over the three
-        // passes reproduces the exact combined per-part maximum —
-        // dummy-heavy vertices appear in the first pass, real-only
-        // vertices in the second.
-        for pl in &mut scratch.part_load[..t] {
-            *pl = 0;
-        }
-        for &pos in &real.pos {
-            scratch.bump_vertex(pos);
-        }
-        for &(v, dummies_here) in &dummy.loads {
-            let p = part_of[v as usize] as usize;
-            scratch.part_load[p] =
-                scratch.part_load[p].max(dummies_here + scratch.vertex_load[v as usize]);
-        }
-        for &v in &scratch.vertex_touched {
-            let p = part_of[v as usize] as usize;
-            scratch.part_load[p] = scratch.part_load[p].max(scratch.vertex_load[v as usize]);
-        }
-        scratch.reset_vertices();
-        // Parallel per-part sorts: charge the worst part (branch-free
-        // fold — an unloaded part contributes 0 to both).
-        let mut merge_charge = 0u64;
-        let mut merge_parts = 0u64;
-        for (j, part) in nd.parts.iter().enumerate() {
-            let load = u64::from(scratch.part_load[j]);
-            merge_charge = merge_charge.max(load * r.cost.tsort_unit[part.child]);
-            merge_parts += u64::from(load > 0);
-        }
-        stats.charged_sorts += merge_parts;
-        ledger.charge("query/task3/merge", merge_charge);
-
-        scratch.fallback_mc.reset();
-        for rr in &mut scratch.fallback_rr[..t] {
-            *rr = 0;
-        }
-        for key in 0..t * t {
-            let reals = scratch.groups.group(key);
-            if reals.is_empty() {
-                continue;
-            }
-            // Two-pointer split: the dummy-paired prefix streams the
-            // entry's group-contiguous origins; only the (rare)
-            // dummy-starved suffix pays the fallback machinery.
-            let origins = dummy.group(key);
-            let paired = reals.len().min(origins.len());
-            for (&ri, &origin) in reals[..paired].iter().zip(origins) {
-                real.pos[ri as usize] = origin;
-            }
-            for &ri in &reals[paired..] {
-                // Fallback: not enough dummies landed here.
-                let ri = ri as usize;
-                let lp = key % t;
-                let target_part = &nd.parts[lp].all;
-                let target = target_part[scratch.fallback_rr[lp] % target_part.len()];
-                scratch.fallback_rr[lp] += 1;
-                scratch.escort.charge(&r.graph, &mut scratch.fallback_mc, real.pos[ri], target);
-                real.pos[ri] = target;
-                stats.fallback_tokens += 1;
-            }
-        }
-        let fallback_cost = observe_mc(stats, &scratch.fallback_mc);
-        ledger.charge("query/task3/fallback", fallback_cost);
-
-        // Pairing streamed every real's group entry (u32) and wrote
-        // its landing position (u32).
-        let reals = real.len() as u64;
-        profile::record(profile::Phase::Merge, reals, (t * t) as u64, reals * 8);
-
-        // Postcondition: every real token is inside its marked part.
-        debug_assert!((0..real.len()).all(|i| { part_of[real.pos[i] as usize] == real.mark[i] }));
     }
 }
 
@@ -1727,19 +1264,42 @@ struct Span {
 /// one shared round loop scans every job's flock with per-job grouping
 /// keys and per-job (forked-ledger) charge attribution, against a
 /// single dummy-dispersal entry per `(node, L)` shared by the whole
-/// group. Per-job outcomes are byte-identical to solo
-/// [`Router::route`]/[`Router::sort`] calls (`tests/batch_determinism`,
-/// `tests/property`).
+/// group. Per-job outcomes are independent of the grouping
+/// (`tests/batch_determinism`, `tests/property`).
 pub(crate) fn run_fused<'a>(
     r: &Router,
     scratch: &mut Scratch,
     jobs: &[JobRef<'a>],
 ) -> Vec<JobOutcome> {
-    scratch.reset_for(r);
-    let root = r.hier.root();
     // Each job charges its own forked ledger: the demultiplexing
     // targets every shared-scan charge site writes through.
-    let mut ledgers = RoundLedger::new().fork_many(jobs.len()).into_iter();
+    run_fused_with(r, scratch, jobs, RoundLedger::new().fork_many(jobs.len()))
+}
+
+/// Runs one job as a singleton group, charging into `ledger` — the solo
+/// [`Router::route`]/[`Router::sort`] path. Because groups of every
+/// width run the same pipeline, solo outcomes are byte-identical to the
+/// same job inside any fused batch.
+pub(crate) fn run_single(
+    r: &Router,
+    scratch: &mut Scratch,
+    job: JobRef<'_>,
+    ledger: RoundLedger,
+) -> JobOutcome {
+    run_fused_with(r, scratch, &[job], vec![ledger]).pop().expect("one job, one outcome")
+}
+
+/// [`run_fused`] core with caller-supplied per-job ledgers.
+fn run_fused_with<'a>(
+    r: &Router,
+    scratch: &mut Scratch,
+    jobs: &[JobRef<'a>],
+    ledgers: Vec<RoundLedger>,
+) -> Vec<JobOutcome> {
+    debug_assert_eq!(jobs.len(), ledgers.len());
+    scratch.reset_for(r);
+    let root = r.hier.root();
+    let mut ledgers = ledgers.into_iter();
     let mut slots: Vec<FusedJob<'_, 'a>> = jobs
         .iter()
         .map(|&job| {
@@ -1790,7 +1350,9 @@ fn task2_fused(
     }
     let nd = r.hier.node(node);
     if nd.is_leaf() {
-        // §6.4 leaf case, per job (see `Exec::task2`).
+        // §6.4 leaf case, per job: three meet-in-the-middle passes
+        // over the precomputed leaf network; effect: exact delivery by
+        // rank.
         for sp in spans {
             let FusedJob { exec, toks, .. } = &mut slots[sp.job];
             for &t in &toks[sp.lo..sp.hi] {
@@ -1827,8 +1389,10 @@ fn task2_fused(
     // Fused Task 3: every job's flock through one shared round plan.
     task3_fused(r, scratch, slots, node, spans);
 
-    // M* hop per job (Property 3.1(3)): the dense `M*` edge map doubles
-    // as the bad-vertex membership test (see `Exec::task2`).
+    // M* hop per job (Property 3.1(3)): tokens that landed on bad
+    // vertices follow the matching into the good child. A vertex of
+    // part j is bad exactly when it carries an `M*` edge, so the dense
+    // `mstar_edge` map doubles as the membership test.
     for sp in spans {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         scratch.mc.reset();
@@ -1954,7 +1518,7 @@ fn task3_fused(
     for (ai, sp) in spans.iter().enumerate() {
         let FusedJob { exec, toks, .. } = &mut slots[sp.job];
         let st = &mut states[ai];
-        disperse_fused(r, scratch, exec, st, node);
+        disperse_fused(r, scratch, exec, st, node, true);
         let entry =
             &entries.iter().find(|&&(l, _)| l == st.l).expect("entry built for every load").1;
         exec.apply_dummy_entry(entry);
@@ -1985,6 +1549,7 @@ fn disperse_fused(
     exec: &mut Exec<'_>,
     st: &mut FusedDisperse,
     node: NodeId,
+    check: bool,
 ) {
     let nd = r.hier.node(node);
     let t = nd.part_count();
@@ -2005,7 +1570,11 @@ fn disperse_fused(
             let slot = &mut exec.stats.max_load_trace[q - 1];
             *slot = (*slot).max(round_max);
         }
-        // Portal charge folded branch-free (see `Exec::disperse`).
+        // Portal routing (§6.2): charged as two expander sorts per
+        // part at the part's current load. Parts are parallel CONGEST
+        // instances, so the round cost is the worst part, not the sum.
+        // Folded branch-free — an unloaded part contributes 0 to the
+        // max and 0 sorts.
         let mut portal_charge = 0u64;
         let mut portal_parts = 0u64;
         for (j, part) in nd.parts.iter().enumerate() {
@@ -2033,8 +1602,11 @@ fn disperse_fused(
         scratch.mc.reset();
         let mut max_bucket = 0u32;
         for i in 0..t {
-            // Integer floor guard + clamped emit counts — same
-            // branchless structure as `Exec::disperse`.
+            // Integer form of the `len · m_ij/2 ≥ 1` floor guard:
+            // buckets below the row's precomputed threshold cannot
+            // emit a token from any entry; emit counts are clamped to
+            // the tokens left so the emit loop has no per-token
+            // exhaustion branch.
             let min_len = table.row_min_len(i) as usize;
             let row = table.row(i);
             for l in 0..t {
@@ -2092,7 +1664,7 @@ fn disperse_fused(
     }
     exec.ledger.charge("query/task3/portal", st.portal_total);
     exec.ledger.charge("query/task3/disperse", st.total_cost);
-    if t >= 2 {
+    if check && t >= 2 {
         let lambda = sh.rounds.len() as f64;
         let err = sh.final_potential().sqrt();
         scratch.env_count.clear();
@@ -2120,10 +1692,18 @@ fn disperse_fused(
     }
 }
 
-/// §6.3 merge for one fused job: identical pairing and charges to
-/// [`Exec::merge`], but the real-token groups and per-part load maxima
-/// come from the job's incremental dispersal state instead of a
-/// rebuild, and the dummy side comes from the group-shared entry.
+/// §6.3 merge for one job of the group: pair reals with dummies per
+/// (part, mark); dummies escort reals to their birth vertices. Reals
+/// that exceed the local dummy supply (small-`n` slack, DESIGN.md
+/// substitution 6) fall back to explicit shortest paths, measured and
+/// counted. Group iteration runs in ascending dense-key order — the
+/// fallback round-robin counters are shared across groups with the
+/// same mark, so the order must be deterministic or target choices
+/// (and charged costs) vary run to run. The real-token groups and
+/// per-part load maxima come from the job's incremental dispersal
+/// state (no rescan of the flock); the dummy side (final buckets,
+/// landing loads, origins) comes precomputed from the group-shared
+/// [`DummyEntry`].
 fn merge_fused(
     r: &Router,
     scratch: &mut Scratch,
@@ -2136,9 +1716,11 @@ fn merge_fused(
     let t = nd.part_count();
     let part_of = &r.part_of[node];
 
-    // Combined per-part load: dummy landings joined with the live real
-    // loads, then the real-only maxima (see `Exec::merge` — same
-    // values, no rescan of the real flock).
+    // Combined per-part load for the merge-sort charge: dummy landings
+    // joined with the live real loads, then the real-only maxima. The
+    // `max` over both passes reproduces the exact combined per-part
+    // maximum — dummy-heavy vertices appear in the first pass,
+    // real-only vertices through the incremental maxima.
     for pl in &mut scratch.part_load[..t] {
         *pl = 0;
     }
@@ -2150,7 +1732,8 @@ fn merge_fused(
     for (p, &m) in st.pmax[..t].iter().enumerate() {
         scratch.part_load[p] = scratch.part_load[p].max(m);
     }
-    // Merge charge folded branch-free (see `Exec::merge`).
+    // Parallel per-part sorts: charge the worst part (branch-free
+    // fold — an unloaded part contributes 0 to both).
     let mut merge_charge = 0u64;
     let mut merge_parts = 0u64;
     for (j, part) in nd.parts.iter().enumerate() {
@@ -2170,8 +1753,10 @@ fn merge_fused(
         if reals.is_empty() {
             continue;
         }
-        // Pair reals with dummy origins in rank order: one sequential
-        // pass over two contiguous u32 slices (see `Exec::merge`).
+        // Two-pointer split: the dummy-paired prefix streams the
+        // entry's group-contiguous origins in rank order — one
+        // sequential pass over two contiguous u32 slices; only the
+        // (rare) dummy-starved suffix pays the fallback machinery.
         let origins = dummy.group(key);
         let paired = reals.len().min(origins.len());
         for (&ri, &origin) in reals[..paired].iter().zip(origins) {

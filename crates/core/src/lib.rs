@@ -25,6 +25,7 @@
 //! | Arbitrary degrees via the expander split `G⋄` (Appendix E) | [`general`] |
 //! | Instances, outcomes, load `L`, query statistics | [`token`] |
 //! | Batched/fused multi-query amortization (Theorem 1.1 at scale) | [`engine`] |
+//! | Streaming admission over the batch engine (beyond the paper) | [`service`] |
 //! | Corollary 1.4 general graphs via expander decomposition | [`decomposed`] |
 //! | §1.2 comparison baselines (GKS17, CS20, shortest path) | [`baselines`] |
 //! | Dynamic-topology degradation ladder (beyond the paper) | [`churn`] |
@@ -43,6 +44,13 @@
 //!   scratches, cross-query dummy-dispersal caching, and cross-job
 //!   dispersal fusion; outcomes are byte-identical to individual
 //!   queries at every thread count and fusion width.
+//! * [`service`] — the streaming front end over the engine:
+//!   [`RoutingService`] accepts a continuous job stream through
+//!   sharded intake queues, forms fusion groups by deadline and
+//!   density, executes them on the engine, and streams outcomes back
+//!   through per-tenant completion queues under a bounded in-flight
+//!   budget; [`service::ArrivalSchedule`] is the seeded replayable
+//!   workload for its determinism contract and benchmarks.
 //! * [`exec`] — the physical query execution: Task 2/Task 3 recursion,
 //!   shuffler-driven dispersal (Definition 6.1, Lemmas 6.2/6.6), the
 //!   meet-in-the-middle merge (§6.3), and the leaf case (§6.4).
@@ -93,6 +101,7 @@ pub mod network;
 pub mod ops;
 pub mod profile;
 pub mod router;
+pub mod service;
 pub mod token;
 
 pub use churn::{ChurnConfig, ChurnOutcome, ChurnRouter, DeliveryMode};
@@ -104,4 +113,8 @@ pub use engine::{BatchOutcome, BatchStats, Job, JobOutcome, JobRef, QueryEngine}
 pub use general::GeneralRouter;
 pub use profile::{PhaseProfile, RouteProfile};
 pub use router::{Router, RouterConfig};
+pub use service::{
+    ArrivalSchedule, RoutingService, ServiceConfig, ServiceHandle, ServiceStats, SubmitError,
+    TenantCounters, Ticket,
+};
 pub use token::{RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};

@@ -2,7 +2,7 @@
 
 use crate::cost_model::CostModel;
 use crate::engine::{JobOutcome, JobRef};
-use crate::exec::{Exec, Scratch};
+use crate::exec::Scratch;
 use crate::network::EmbeddedNetwork;
 use crate::token::{InstanceError, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome};
 use congest_sim::{cost, parallel, RoundLedger};
@@ -705,19 +705,16 @@ impl Router {
     /// Executes one *validated* job: the single entry point behind
     /// [`Router::route`], [`Router::sort`], and the batch engine. The
     /// caller provides the (possibly pooled) scratch and the (possibly
-    /// batch-forked) ledger the query charges into.
+    /// batch-forked) ledger the query charges into. Runs as a singleton
+    /// group of the fused pipeline, so the outcome is byte-identical to
+    /// the same job inside any fused batch.
     pub(crate) fn execute(
         &self,
         job: JobRef<'_>,
         scratch: &mut Scratch,
         ledger: RoundLedger,
     ) -> JobOutcome {
-        scratch.reset_for(self);
-        let exec = Exec::new(self, ledger);
-        match job {
-            JobRef::Route(inst) => JobOutcome::Route(exec.run_route(scratch, inst)),
-            JobRef::Sort(inst) => JobOutcome::Sort(exec.run_sort(scratch, inst)),
-        }
+        crate::exec::run_single(self, scratch, job, ledger)
     }
 
     /// Answers a Task 1 routing query (Definition 4.1).

@@ -23,7 +23,7 @@
 //! (default 2).
 
 use expander_routing::prelude::*;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// One timed scenario: fixed-count samples around a closure.
 struct BenchResult {
@@ -95,7 +95,55 @@ fn run_benches(samples: usize, warmup: usize) -> Vec<BenchResult> {
         time_bench("route_query_n512", samples, warmup, || {
             r.route(&solo_inst).expect("valid");
         }),
+        // Streaming service at saturation: a fixed seeded arrival
+        // schedule driven back to back through RoutingService; the
+        // median wall time of the whole replay is the (inverse)
+        // sustained-throughput figure. Compare against
+        // engine_batch_n512_B64_fused64 — the closed-batch ceiling on
+        // the same job shape.
+        time_bench("service_sustained_n512_B64", samples, warmup, || {
+            let schedule = ArrivalSchedule::permutations(n, b, 4, 0.0, 900);
+            let config = ServiceConfig {
+                tenants: 4,
+                quiescent_after: Duration::from_micros(50),
+                ..ServiceConfig::default()
+            };
+            let (outs, _) = RoutingService::serve(&auto, config, |h| schedule.drive(h, false));
+            assert_eq!(outs.len(), b, "service lost outcomes");
+        }),
     ]
+}
+
+/// The n = 4096 pair behind the streaming acceptance gate: the closed
+/// fused batch (the ceiling) and the saturated service on the same
+/// seeded schedule. Checked-in snapshots record both medians, so the
+/// service-to-ceiling ratio is auditable from the JSON alone.
+fn run_benches_large(samples: usize, warmup: usize) -> Vec<BenchResult> {
+    let n = 4096usize;
+    let b = 64usize;
+    let g = generators::random_regular(n, 4, 7).expect("generator");
+    let r = Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router");
+    let engine = QueryEngine::new(&r);
+    let schedule = ArrivalSchedule::permutations(n, b, 4, 0.0, 900);
+    let jobs = schedule.jobs();
+
+    let results = vec![
+        time_bench("engine_batch_n4096_B64_fused", samples, warmup, || {
+            engine.run(&jobs).expect("valid");
+        }),
+        time_bench("service_sustained_n4096_B64", samples, warmup, || {
+            let config = ServiceConfig {
+                tenants: 4,
+                quiescent_after: Duration::from_micros(50),
+                ..ServiceConfig::default()
+            };
+            let (outs, _) = RoutingService::serve(&engine, config, |h| schedule.drive(h, false));
+            assert_eq!(outs.len(), b, "service lost outcomes");
+        }),
+    ];
+    let ratio = results[1].median_ns as f64 / results[0].median_ns as f64;
+    eprintln!("service/ceiling at n=4096: {ratio:.2}x (target <= 1.30x)");
+    results
 }
 
 fn write_json(path: &str, results: &[BenchResult], samples: usize, warmup: usize, date: &str) {
@@ -202,7 +250,8 @@ fn main() {
     let warmup = env_count("BENCH_SNAPSHOT_WARMUP", 2);
 
     eprintln!("timing {samples} samples (+{warmup} warmup) per scenario...");
-    let results = run_benches(samples, warmup);
+    let mut results = run_benches(samples, warmup);
+    results.extend(run_benches_large(samples, warmup));
     println!(
         "{:36} {:>10} {:>10} {:>10} {:>10}",
         "bench", "min ms", "median ms", "mean ms", "max ms"

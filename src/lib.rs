@@ -46,8 +46,9 @@ pub use expander_graphs as graphs;
 pub mod prelude {
     pub use expander_apps::{cliques, mst, summarize};
     pub use expander_core::{
-        BatchOutcome, BatchStats, GeneralRouter, Job, JobOutcome, JobRef, QueryEngine, Router,
-        RouterConfig, RoutingInstance, RoutingOutcome, SortInstance, SortOutcome,
+        ArrivalSchedule, BatchOutcome, BatchStats, GeneralRouter, Job, JobOutcome, JobRef,
+        QueryEngine, Router, RouterConfig, RoutingInstance, RoutingOutcome, RoutingService,
+        ServiceConfig, ServiceStats, SortInstance, SortOutcome,
     };
     pub use expander_decomp::{Hierarchy, HierarchyParams};
     pub use expander_graphs::{generators, metrics, Graph};

@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 9] = [
+const EXAMPLES: [&str; 10] = [
     "quickstart",
     "mst_expander",
     "clique_enumeration",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 9] = [
     "general_degree",
     "scale_probe",
     "batch_throughput",
+    "service_throughput",
     "zoo_report",
     "churn_report",
 ];
@@ -38,10 +39,13 @@ fn examples_build_and_run() {
     let bin_dir = target_dir().join("release").join("examples");
     for name in EXAMPLES {
         let out = Command::new(bin_dir.join(name))
-            // The churn harness defaults to n = 1024 (~1 min); the
-            // smoke test only needs it to run end to end. CI exercises
-            // the full size in its dedicated churn step.
+            // The churn harness defaults to n = 1024 (~1 min) and the
+            // service harness sweeps to n = 4096; the smoke test only
+            // needs them to run end to end. CI exercises the full
+            // sizes in its dedicated churn/service steps.
             .env("CHURN_REPORT_N", "256")
+            .env("SERVICE_N", "256")
+            .env("SERVICE_JOBS", "16")
             .output()
             .unwrap_or_else(|e| panic!("failed to launch example `{name}`: {e}"));
         assert!(

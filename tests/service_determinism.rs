@@ -1,0 +1,203 @@
+//! Determinism and flow-control contract of the streaming service:
+//! the open-stream mirror of `tests/batch_determinism.rs`.
+//!
+//! A fixed seeded `ArrivalSchedule` replayed through `RoutingService`
+//! must produce per-job outcomes byte-identical to routing the same
+//! jobs as one closed `QueryEngine::run` batch — at 1 and 4 worker
+//! threads and under any submission-order permutation. The scheduler
+//! chooses groupings; groupings are unobservable. Backpressure must be
+//! exact: with an in-flight cap of K, the (K+1)-th fail-fast submission
+//! is rejected, and no admitted outcome is ever lost.
+
+use expander_core::service::{ArrivalSchedule, RoutingService, ServiceConfig};
+use expander_core::{
+    Job, JobOutcome, QueryEngine, Router, RouterConfig, RoutingInstance, SubmitError,
+};
+use expander_graphs::generators;
+use std::time::Duration;
+
+fn router(n: usize) -> Router {
+    let g = generators::random_regular(n, 4, 0xBA7C).expect("generator");
+    Router::preprocess(&g, RouterConfig::for_epsilon(0.4)).expect("router")
+}
+
+/// Every observable byte of one job outcome.
+fn fingerprint(out: &JobOutcome) -> String {
+    match out {
+        JobOutcome::Route(o) => {
+            format!("route|{:?}|{:?}|{}|{:?}", o.positions, o.stats, o.ledger, o.ledger)
+        }
+        JobOutcome::Sort(o) => {
+            format!("sort|{:?}|{:?}|{}|{:?}", o.positions, o.stats, o.ledger, o.ledger)
+        }
+    }
+}
+
+/// Replays `schedule` through a service at `threads` workers and
+/// returns the outcome fingerprints, indexed like the schedule's
+/// events.
+fn serve_fingerprints(
+    engine: &QueryEngine<'_>,
+    schedule: &ArrivalSchedule,
+    threads: usize,
+) -> Vec<String> {
+    let config = ServiceConfig { threads: Some(threads), tenants: 3, ..ServiceConfig::default() };
+    let (outs, stats) =
+        RoutingService::serve(engine, config, |handle| schedule.drive(handle, false));
+    assert_eq!(stats.admitted as usize, schedule.events.len());
+    assert_eq!(stats.completed, stats.admitted, "no outcome lost");
+    assert_eq!(stats.rejected, 0);
+    outs.iter().map(fingerprint).collect()
+}
+
+#[test]
+fn streamed_outcomes_match_closed_batches_at_any_thread_count() {
+    let n = 256;
+    let r = router(n);
+    let engine = QueryEngine::new(&r);
+    let schedule = ArrivalSchedule::permutations(n, 12, 3, 0.0, 0xFEED);
+
+    // The closed-batch oracle: the same jobs as one QueryEngine::run.
+    let batch = engine.run(&schedule.jobs()).expect("valid");
+    let oracle: Vec<String> = batch.outcomes.iter().map(fingerprint).collect();
+
+    for threads in [1usize, 4] {
+        let streamed = serve_fingerprints(&engine, &schedule, threads);
+        assert_eq!(streamed.len(), oracle.len());
+        for (i, (s, o)) in streamed.iter().zip(&oracle).enumerate() {
+            assert_eq!(s, o, "job {i} differs from the closed batch at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn submission_order_is_unobservable() {
+    let n = 256;
+    let r = router(n);
+    let engine = QueryEngine::new(&r);
+    let schedule = ArrivalSchedule::permutations(n, 10, 2, 0.0, 0xD15C);
+    let base = serve_fingerprints(&engine, &schedule, 2);
+
+    // Permute the events, replay, and map the fingerprints back to the
+    // original indices.
+    let mut order: Vec<usize> = (0..schedule.events.len()).collect();
+    order.reverse();
+    order.swap(0, 4);
+    order.swap(2, 7);
+    let permuted =
+        ArrivalSchedule { events: order.iter().map(|&i| schedule.events[i].clone()).collect() };
+    let out = serve_fingerprints(&engine, &permuted, 2);
+    for (pos, &orig) in order.iter().enumerate() {
+        assert_eq!(out[pos], base[orig], "job {orig} depends on submission order");
+    }
+}
+
+#[test]
+fn backpressure_cap_is_exact_and_lossless() {
+    let n = 256;
+    let r = router(n);
+    let engine = QueryEngine::new(&r);
+    const K: usize = 3;
+    // A deadline and quiescence window far beyond the test's runtime:
+    // with a single worker and nothing pulled yet, the first K jobs sit
+    // in the intake while we probe the cap.
+    let config = ServiceConfig {
+        threads: Some(1),
+        max_in_flight: K,
+        deadline: Duration::from_secs(60),
+        quiescent_after: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    };
+    let (fingerprints, stats) = RoutingService::serve(&engine, config, |handle| {
+        let mut tickets = Vec::new();
+        for seed in 0..K as u64 {
+            let job = Job::Route(RoutingInstance::permutation(n, seed));
+            tickets.push(handle.try_submit(0, job).expect("under the cap"));
+        }
+        // The (K+1)-th fail-fast submission is exactly the one
+        // rejected.
+        let overflow = Job::Route(RoutingInstance::permutation(n, K as u64));
+        assert_eq!(handle.try_submit(0, overflow.clone()), Err(SubmitError::Saturated));
+        // Receiving one outcome frees exactly one slot.
+        let mut got = Vec::new();
+        got.push(handle.recv(0).expect("K outstanding"));
+        tickets.push(handle.try_submit(0, overflow).expect("one slot freed"));
+        while let Some(out) = handle.recv(0) {
+            got.push(out);
+        }
+        // Every admitted ticket came back exactly once.
+        let mut seen: Vec<u64> = got.iter().map(|&(t, _)| t).collect();
+        seen.sort_unstable();
+        let mut expected = tickets.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected, "admitted tickets and received tickets differ");
+        got.sort_by_key(|&(t, _)| t);
+        got.iter().map(|(_, out)| fingerprint(out)).collect::<Vec<_>>()
+    });
+    assert_eq!(stats.admitted, K as u64 + 1);
+    assert_eq!(stats.completed, K as u64 + 1);
+    assert_eq!(stats.rejected, 1, "exactly the over-cap submission was rejected");
+
+    // The K+1 admitted jobs (seeds 0..K, then seed K resubmitted) are
+    // byte-identical to the closed batch of the same jobs.
+    let jobs: Vec<Job> =
+        (0..=K as u64).map(|s| Job::Route(RoutingInstance::permutation(n, s))).collect();
+    let batch = engine.run(&jobs).expect("valid");
+    for (i, (streamed, oracle)) in fingerprints.iter().zip(&batch.outcomes).enumerate() {
+        assert_eq!(streamed, &fingerprint(oracle), "job {i} differs from the closed batch");
+    }
+}
+
+#[test]
+fn blocking_submit_waits_out_saturation() {
+    let n = 256;
+    let r = router(n);
+    let engine = QueryEngine::new(&r);
+    let config = ServiceConfig { threads: Some(2), max_in_flight: 2, ..ServiceConfig::default() };
+    let (delivered, stats) = RoutingService::serve(&engine, config, |handle| {
+        // Submit far past the cap from a sibling thread while this one
+        // receives: the blocking submitter makes progress only because
+        // each recv frees a slot.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for seed in 0..10u64 {
+                    let job = Job::Route(RoutingInstance::permutation(n, seed));
+                    handle.submit(0, job).expect("blocking submit admits eventually");
+                }
+            });
+            let mut got = 0;
+            while got < 10 {
+                if handle.recv(0).is_some() {
+                    got += 1;
+                }
+            }
+            got
+        })
+    });
+    assert_eq!(delivered, 10);
+    assert_eq!(stats.admitted, 10);
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn quiescent_service_trims_pooled_scratches() {
+    let n = 256;
+    let r = router(n);
+    // A zero scratch cap makes every pooled scratch over-cap, so an
+    // idle-period trim must fire and shrink the pool's footprint.
+    let engine = QueryEngine::new(&r).with_scratch_cap(0);
+    let config = ServiceConfig {
+        threads: Some(1),
+        trim_after: Duration::from_millis(5),
+        ..ServiceConfig::default()
+    };
+    let (_, stats) = RoutingService::serve(&engine, config, |handle| {
+        handle.submit(0, Job::Route(RoutingInstance::permutation(n, 1))).expect("admitted");
+        let _ = handle.recv(0).expect("one outcome");
+        // Stay idle long enough for the worker's quiescent trim.
+        std::thread::sleep(Duration::from_millis(60));
+    });
+    assert!(stats.trims >= 1, "idle service never trimmed its scratches: {stats:?}");
+    assert_eq!(stats.completed, 1);
+}
