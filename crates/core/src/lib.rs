@@ -28,6 +28,7 @@
 //! | Streaming admission over the batch engine (beyond the paper) | [`service`] |
 //! | Corollary 1.4 general graphs via expander decomposition | [`decomposed`] |
 //! | §1.2 comparison baselines (GKS17, CS20, shortest path) | [`baselines`] |
+//! | Rival-router arena ("faster and more versatile", measured) | [`arena`] |
 //! | Dynamic-topology degradation ladder (beyond the paper) | [`churn`] |
 //!
 //! # What lives here
@@ -63,6 +64,11 @@
 //! * [`baselines`] — the GKS17 randomized random-walk router, a
 //!   CS20-style per-query-recomputation router, and a naive
 //!   shortest-path router, for the comparison experiments.
+//! * [`arena`] — the baseline arena: the [`RoutingAlgorithm`] trait
+//!   rival routers implement (`route_instance(graph, instance) →`
+//!   [`RouteOutcome`] on the shared charge model), with adapters
+//!   putting [`Router`] and [`RoutedDecomposition`] behind it; the
+//!   competing algorithms live in the `expander-baselines` crate.
 //! * [`decomposed`] — graceful degradation on general graphs
 //!   (Corollary 1.4): [`RoutedDecomposition`] splits a non-expander
 //!   into expander pieces, routes within each, and reports
@@ -89,6 +95,7 @@
 //! assert!(outcome.all_delivered());
 //! ```
 
+pub mod arena;
 pub mod baselines;
 pub mod churn;
 pub mod cost_model;
@@ -104,6 +111,7 @@ pub mod router;
 pub mod service;
 pub mod token;
 
+pub use arena::{RouteOutcome, RoutingAlgorithm};
 pub use churn::{ChurnConfig, ChurnOutcome, ChurnRouter, DeliveryMode};
 pub use decomposed::{
     DecomposedConfig, DecomposedOutcome, FallbackReason, RoutedDecomposition, Undeliverable,

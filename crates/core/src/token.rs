@@ -254,7 +254,11 @@ pub struct InstanceError {
 }
 
 impl InstanceError {
-    pub(crate) fn new(message: impl Into<String>) -> Self {
+    /// Creates an error with a human-readable message. Public so that
+    /// out-of-crate [`crate::arena::RoutingAlgorithm`] implementations
+    /// (the `expander-baselines` crate) can reject malformed instances
+    /// through the same error type as the in-crate routers.
+    pub fn new(message: impl Into<String>) -> Self {
         InstanceError { message: message.into() }
     }
 }

@@ -25,6 +25,9 @@
 //!   hierarchical decomposition (Definition 3.3).
 //! * [`split`] — the expander split `G⋄` (Preliminaries + Appendix E)
 //!   reducing arbitrary-degree expanders to constant degree.
+//! * [`SpanningForest`] — deterministically-seeded spanning forests
+//!   with unique-tree-path queries, the substrate of the splicer
+//!   baseline (arXiv:0807.1496) in `expander-baselines`.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod ingest;
 pub mod metrics;
 pub mod paths;
 pub mod split;
+pub mod trees;
 pub mod union_find;
 
 pub use embedding::Embedding;
@@ -53,4 +57,5 @@ pub use graph::{BfsScratch, Graph, GraphEdit, VertexId};
 pub use ingest::{parse_edge_list, write_edge_list, IngestOptions, LabeledGraph, ParseError};
 pub use paths::{Path, PathSet};
 pub use split::SplitGraph;
+pub use trees::SpanningForest;
 pub use union_find::UnionFind;

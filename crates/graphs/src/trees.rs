@@ -1,0 +1,221 @@
+//! Deterministically-seeded spanning forests with tree-path queries.
+//!
+//! This is the substrate of the *splicer* baseline (union of random
+//! spanning trees, Goyal–Rademacher–Vempala, arXiv:0807.1496): a
+//! splicer routes every token along a path inside one of `k` seeded
+//! spanning trees, so the only graph machinery it needs is "give me a
+//! random spanning forest" and "give me the unique tree path between
+//! two vertices".
+//!
+//! Trees are sampled by *seeded-shuffle Kruskal*: shuffle the edge list
+//! with a [`rand::rngs::StdRng`] stream and keep every edge that joins
+//! two components. Unlike a random-walk sampler (Aldous–Broder), this
+//! terminates on disconnected graphs — it yields one spanning tree per
+//! connected component — and its output depends only on `(graph, seed)`,
+//! never on thread count or iteration order, which is what the
+//! workspace's byte-identical determinism contract requires. The
+//! distribution over trees is not the uniform-spanning-tree measure the
+//! splicer paper analyses, but the baseline only needs *diverse*
+//! deterministic trees, not exactly-uniform ones; the substitution is
+//! documented at the call site.
+
+use crate::graph::{Graph, VertexId};
+use crate::paths::Path;
+use crate::union_find::UnionFind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A rooted spanning forest of a [`Graph`], sampled from a seed.
+///
+/// Each connected component of the host graph becomes one tree, rooted
+/// at the component's smallest vertex id. Parent pointers and depths
+/// support `O(depth)` unique-tree-path queries without touching the
+/// host graph again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// `parent[v]` — parent of `v` in its tree; `v` itself at roots.
+    parent: Vec<VertexId>,
+    /// `depth[v]` — hops from `v` to its root.
+    depth: Vec<u32>,
+    /// `component[v]` — root vertex id of `v`'s tree (the component label).
+    component: Vec<VertexId>,
+    /// The forest's edges, each as `(min, max)`, sorted.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl SpanningForest {
+    /// Samples a spanning forest of `g` determined entirely by `seed`.
+    pub fn random(g: &Graph, seed: u64) -> SpanningForest {
+        let n = g.n();
+        let mut pool: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        pool.shuffle(&mut rng);
+
+        let mut uf = UnionFind::new(n);
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        for (u, v) in pool {
+            if uf.union(u, v) {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        edges.sort_unstable();
+
+        // Orient each tree from its smallest vertex by BFS over the
+        // tree adjacency (deterministic: queue order is fixed by the
+        // insertion order above, and parent/depth/component do not
+        // depend on it anyway — the tree is fixed at this point).
+        let mut parent: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut depth = vec![0u32; n];
+        let mut component: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut seen = vec![false; n];
+        let mut queue = Vec::new();
+        for root in 0..n {
+            if seen[root] {
+                continue;
+            }
+            seen[root] = true;
+            queue.clear();
+            queue.push(root as VertexId);
+            let mut head = 0;
+            while head < queue.len() {
+                let v = queue[head];
+                head += 1;
+                component[v as usize] = root as VertexId;
+                for &w in &adj[v as usize] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        parent[w as usize] = v;
+                        depth[w as usize] = depth[v as usize] + 1;
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+
+        SpanningForest { parent, depth, component, edges }
+    }
+
+    /// Number of vertices of the host graph.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The forest's edges, each once as `(min, max)`, sorted.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Root label of `v`'s tree (the smallest vertex in its component).
+    pub fn component_of(&self, v: VertexId) -> VertexId {
+        self.component[v as usize]
+    }
+
+    /// Whether `u` and `v` lie in the same tree of the forest.
+    pub fn same_tree(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+
+    /// Depth of `v` below its tree's root.
+    pub fn depth_of(&self, v: VertexId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// The unique tree path from `u` to `v`, or `None` when they lie in
+    /// different trees. Runs in `O(depth(u) + depth(v))`.
+    pub fn path(&self, u: VertexId, v: VertexId) -> Option<Path> {
+        if !self.same_tree(u, v) {
+            return None;
+        }
+        // Climb the deeper endpoint to the common depth, then climb
+        // both in lockstep until they meet at the lowest common
+        // ancestor; stitch the two half-paths together.
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        let (mut a, mut b) = (u, v);
+        while self.depth[a as usize] > self.depth[b as usize] {
+            up.push(a);
+            a = self.parent[a as usize];
+        }
+        while self.depth[b as usize] > self.depth[a as usize] {
+            down.push(b);
+            b = self.parent[b as usize];
+        }
+        while a != b {
+            up.push(a);
+            a = self.parent[a as usize];
+            down.push(b);
+            b = self.parent[b as usize];
+        }
+        up.push(a);
+        up.extend(down.into_iter().rev());
+        Some(Path::new(up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn spanning_tree_of_connected_graph() {
+        let g = generators::random_regular(64, 4, 7).expect("generator");
+        let f = SpanningForest::random(&g, 3);
+        assert_eq!(f.edges().len(), 63, "spanning tree has n-1 edges");
+        for &(u, v) in f.edges() {
+            assert!(g.edge_id(u, v).is_some(), "tree edge {u}-{v} exists in host");
+        }
+        for v in 0..64 {
+            assert!(f.same_tree(0, v));
+        }
+    }
+
+    #[test]
+    fn path_endpoints_and_validity() {
+        let g = generators::random_regular(64, 4, 7).expect("generator");
+        let f = SpanningForest::random(&g, 11);
+        for (u, v) in [(0u32, 63u32), (5, 5), (17, 40)] {
+            let p = f.path(u, v).expect("connected");
+            assert_eq!(p.source(), u);
+            assert_eq!(p.target(), v);
+            for (a, b) in p.edges() {
+                assert!(g.edge_id(a, b).is_some(), "path edge {a}-{b} in host");
+            }
+        }
+        assert_eq!(f.path(9, 9).expect("trivial").hops(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        let g = generators::disconnected_expanders(2, 32, 4, 5).expect("generator");
+        let f = SpanningForest::random(&g, 1);
+        assert_eq!(f.edges().len(), 62, "two trees of 31 edges each");
+        assert!(!f.same_tree(0, 32));
+        assert!(f.path(0, 32).is_none());
+        assert_eq!(f.component_of(0), 0);
+        assert_eq!(f.component_of(40), 32);
+    }
+
+    #[test]
+    fn seeded_and_diverse() {
+        let g = generators::random_regular(128, 6, 9).expect("generator");
+        let a = SpanningForest::random(&g, 1);
+        let b = SpanningForest::random(&g, 1);
+        let c = SpanningForest::random(&g, 2);
+        assert_eq!(a, b, "same seed, same forest");
+        assert_ne!(a.edges(), c.edges(), "different seeds, different trees");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g0 = Graph::from_edges(0, &[]);
+        assert_eq!(SpanningForest::random(&g0, 0).edges().len(), 0);
+        let g1 = Graph::from_edges(1, &[]);
+        let f = SpanningForest::random(&g1, 0);
+        assert_eq!(f.path(0, 0).expect("self path").hops(), 0);
+    }
+}

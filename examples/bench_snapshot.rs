@@ -76,6 +76,7 @@ fn run_benches(samples: usize, warmup: usize) -> Vec<BenchResult> {
     let perjob = QueryEngine::new(&r).with_fusion_width(Some(1));
     let auto = QueryEngine::new(&r);
     let solo_inst = RoutingInstance::permutation(n, 9);
+    let splicer = SplicerRouting::default();
 
     vec![
         time_bench("engine_batch_n512_B64_fused64", samples, warmup, || {
@@ -94,6 +95,16 @@ fn run_benches(samples: usize, warmup: usize) -> Vec<BenchResult> {
         }),
         time_bench("route_query_n512", samples, warmup, || {
             r.route(&solo_inst).expect("valid");
+        }),
+        // Baseline arena rivals on the same dense permutation (see
+        // crates/bench/benches/baselines.rs and the README comparison
+        // table) — gated alongside the hierarchical hot path so a
+        // baseline regression can't hide behind the engine numbers.
+        time_bench("baseline_splicer_n512", samples, warmup, || {
+            splicer.route_instance(&g, &solo_inst).expect("valid");
+        }),
+        time_bench("baseline_local_n512", samples, warmup, || {
+            GreedyLocalRouting.route_instance(&g, &solo_inst).expect("valid");
         }),
         // Streaming service at saturation: a fixed seeded arrival
         // schedule driven back to back through RoutingService; the

@@ -17,6 +17,7 @@
 //! | [`decomp`] | `expander-decomp` | cut-matching game, hierarchical decomposition (Property 3.1), shufflers (Definition 5.4) |
 //! | [`core`] | `expander-core` | the router (Theorem 1.1), Tasks 1/2/3, expander sorting, routing⇄sorting equivalence (Appendix F), general-degree reduction (Appendix E), baselines |
 //! | [`apps`] | `expander-apps` | MST (Corollary 1.3), k-clique enumeration (Corollary 1.4), data summarization |
+//! | [`baselines`] | `expander-baselines` | rival routers for the baseline arena: splicer spanning-tree routing, greedy deterministic local routing |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 
 pub use congest_sim as congest;
 pub use expander_apps as apps;
+pub use expander_baselines as baselines;
 pub use expander_core as core;
 pub use expander_decomp as decomp;
 pub use expander_graphs as graphs;
@@ -45,10 +47,12 @@ pub use expander_graphs as graphs;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use expander_apps::{cliques, mst, summarize};
+    pub use expander_baselines::{GreedyLocalRouting, SplicerRouting};
     pub use expander_core::{
-        ArrivalSchedule, BatchOutcome, BatchStats, GeneralRouter, Job, JobOutcome, JobRef,
-        QueryEngine, Router, RouterConfig, RoutingInstance, RoutingOutcome, RoutingService,
-        ServiceConfig, ServiceStats, SortInstance, SortOutcome,
+        ArrivalSchedule, BatchOutcome, BatchStats, DecomposedConfig, GeneralRouter, Job,
+        JobOutcome, JobRef, QueryEngine, RouteOutcome, RoutedDecomposition, Router, RouterConfig,
+        RoutingAlgorithm, RoutingInstance, RoutingOutcome, RoutingService, ServiceConfig,
+        ServiceStats, SortInstance, SortOutcome,
     };
     pub use expander_decomp::{Hierarchy, HierarchyParams};
     pub use expander_graphs::{generators, metrics, Graph};

@@ -7,8 +7,9 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 10] = [
+const EXAMPLES: [&str; 11] = [
     "quickstart",
+    "baseline_comparison",
     "mst_expander",
     "clique_enumeration",
     "sorting_pipeline",
@@ -43,6 +44,7 @@ fn examples_build_and_run() {
             // service harness sweeps to n = 4096; the smoke test only
             // needs them to run end to end. CI exercises the full
             // sizes in its dedicated churn/service steps.
+            .env("BASELINE_COMPARISON_N", "128")
             .env("CHURN_REPORT_N", "256")
             .env("SERVICE_N", "256")
             .env("SERVICE_JOBS", "16")

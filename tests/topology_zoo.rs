@@ -66,6 +66,28 @@ fn zoo_conformance_all_topologies_route_or_report() {
                 .unwrap_or_else(|e| panic!("{name}/{wname}: instance rejected: {e}"));
             let issues = out.verify(&inst);
             assert!(issues.is_empty(), "{name}/{wname}: conformance violations: {issues:?}");
+            // Round accounting: charged iff some token actually moved,
+            // and bounded by a crude polynomial cap that still catches
+            // runaway regressions. On the decomposition's fallback path
+            // the worst measured zoo point is ring/hotspot at 23.9M
+            // rounds against a cap of 84.9M (`32·L·n³`, L = per-vertex
+            // load) — ≥ 2× headroom everywhere, deterministic seeds.
+            let moved =
+                inst.tokens.iter().enumerate().any(|(i, t)| {
+                    t.src != t.dst && !out.undeliverable.iter().any(|u| u.token == i)
+                });
+            assert_eq!(
+                out.rounds() > 0,
+                moved,
+                "{name}/{wname}: rounds {} vs moved {moved}",
+                out.rounds()
+            );
+            let cap = 32 * inst.load(n).max(1) as u64 * (n.max(2) as u64).pow(3);
+            assert!(
+                out.rounds() <= cap,
+                "{name}/{wname}: {} rounds over the polynomial cap {cap}",
+                out.rounds()
+            );
         }
         // Malformed instances are structured errors, not panics.
         if n > 0 {
